@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table bench binaries.
+ *
+ * Every bench accepts:
+ *   --n <dim>     input dimension (default 128, scaled caches)
+ *   --paper       the paper's exact configuration (n = 512, Table I
+ *                 cache sizes; slow: minutes per figure)
+ *   --quick       n = 64 for smoke runs
+ *   --workloads a,b,c   restrict the benchmark list
+ *
+ * Scaled runs divide every cache capacity by (512/n)^2 so the
+ * working-set : capacity ratios — which the paper's results hinge on —
+ * are preserved.
+ */
+
+#ifndef MDA_BENCH_BENCH_COMMON_HH
+#define MDA_BENCH_BENCH_COMMON_HH
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+namespace mda::bench
+{
+
+/** Parsed command-line options. */
+struct BenchOptions
+{
+    std::int64_t n = 128;
+    bool paper = false;
+    std::vector<std::string> workloads = workloads::workloadNames();
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions opts;
+        for (int a = 1; a < argc; ++a) {
+            std::string arg = argv[a];
+            if (arg == "--paper") {
+                opts.paper = true;
+                opts.n = 512;
+            } else if (arg == "--quick") {
+                opts.n = 64;
+            } else if (arg == "--n" && a + 1 < argc) {
+                opts.n = std::atoll(argv[++a]);
+            } else if (arg == "--workloads" && a + 1 < argc) {
+                opts.workloads.clear();
+                std::stringstream ss(argv[++a]);
+                std::string item;
+                while (std::getline(ss, item, ','))
+                    opts.workloads.push_back(item);
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << "options: --paper | --quick | --n <dim> |"
+                             " --workloads a,b,c\n";
+                std::exit(0);
+            } else {
+                std::cerr << "unknown option: " << arg << '\n';
+                std::exit(1);
+            }
+        }
+        if (opts.n % 8 != 0 || opts.n < 16)
+            fatal("--n must be a multiple of 8, at least 16");
+        return opts;
+    }
+
+    /** Build the RunSpec for one cell of a figure. */
+    RunSpec
+    spec(const std::string &workload, DesignPoint design,
+         std::uint64_t llc_bytes = 1024 * 1024) const
+    {
+        RunSpec s;
+        s.workload = workload;
+        s.n = n;
+        s.system.design = design;
+        s.system.l3Size = llc_bytes;
+        s.autoScaleCaches = !paper;
+        return s;
+    }
+
+    std::string
+    describe() const
+    {
+        std::ostringstream os;
+        os << "input " << n << "x" << n << " (HTAP " << 4 * n << "x"
+           << n << "), "
+           << (paper ? "paper Table I cache sizes"
+                     : "capacities scaled to preserve working-set "
+                       "ratios");
+        return os.str();
+    }
+};
+
+/** Cycles for one (workload, design) cell, with small result cache. */
+class CellRunner
+{
+  public:
+    RunResult
+    operator()(const RunSpec &spec)
+    {
+        // The key must cover every field a bench may vary, or a cell
+        // would silently reuse another configuration's result.
+        const SystemConfig &sys = spec.system;
+        std::string key =
+            spec.workload + "/" + designName(sys.design) + "/" +
+            std::to_string(spec.n) + "/" +
+            std::to_string(sys.l1Size) + "/" +
+            std::to_string(sys.l2Size) + "/" +
+            std::to_string(sys.l3Size) + "/" +
+            std::to_string(sys.threeLevel) + "/" +
+            std::to_string(sys.memTiming.tCas) + "/" +
+            std::to_string(sys.memTiming.tActivate) + "/" +
+            std::to_string(sys.memTopo.subRowBuffers) + "/" +
+            std::to_string(sys.tileWritePenalty) + "/" +
+            std::to_string(sys.maxOutstanding) + "/" +
+            std::to_string(sys.prefetchDegree) + "/" +
+            std::to_string(sys.gatherHits) + "/" +
+            std::to_string(sys.disableMshrCoalescing) + "/" +
+            (sys.layoutOverride
+                 ? std::to_string(static_cast<int>(*sys.layoutOverride))
+                 : "auto") +
+            "/" + std::to_string(spec.autoScaleCaches) + "/" +
+            std::to_string(spec.seed);
+        auto it = _cache.find(key);
+        if (it != _cache.end())
+            return it->second;
+        RunResult result = runOne(spec);
+        _cache.emplace(key, result);
+        return result;
+    }
+
+  private:
+    std::map<std::string, RunResult> _cache;
+};
+
+} // namespace mda::bench
+
+#endif // MDA_BENCH_BENCH_COMMON_HH

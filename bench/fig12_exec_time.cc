@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: execution cycles of 1P2L, 1P2L_SameSet and
+ * 2P2L normalized to the prefetching 1P1L baseline, across LLC
+ * capacities of 1 / 1.5 / 2 / 4 MB (scaled alongside the input unless
+ * --paper).
+ *
+ * Paper averages: 1P2L reduces execution time by 64/65/46/45%;
+ * 1P2L_SameSet by 72/68/64/57%; 2P2L by 65/66/41/39%.
+ */
+
+#include "bench_common.hh"
+
+using namespace mda;
+using namespace mda::bench;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = BenchOptions::parse(argc, argv);
+    CellRunner run;
+
+    const std::vector<std::pair<std::string, std::uint64_t>> llcs{
+        {"1MB", 1024ull * 1024},
+        {"1.5MB", 1536ull * 1024},
+        {"2MB", 2048ull * 1024},
+        {"4MB", 4096ull * 1024},
+    };
+    const std::vector<DesignPoint> designs{
+        DesignPoint::D1_1P2L, DesignPoint::D1_1P2L_SameSet,
+        DesignPoint::D2_2P2L};
+
+    std::cout << "MDACache Fig. 12 reproduction (" << opts.describe()
+              << ")\nNormalized total cycles vs 1P1L+prefetch; lower "
+                 "is better.\n";
+
+    for (const auto &[llc_name, llc_bytes] : llcs) {
+        report::banner("Fig. 12 — " + llc_name + " LLC");
+        report::Table table(
+            {"bench", "1P2L", "1P2L_SameSet", "2P2L"});
+        std::map<DesignPoint, std::vector<double>> normalized;
+        for (const auto &workload : opts.workloads) {
+            auto base = run(
+                opts.spec(workload, DesignPoint::D0_1P1L, llc_bytes));
+            std::vector<std::string> row{workload};
+            for (auto design : designs) {
+                auto result =
+                    run(opts.spec(workload, design, llc_bytes));
+                double norm = static_cast<double>(result.cycles) /
+                              static_cast<double>(base.cycles);
+                normalized[design].push_back(norm);
+                row.push_back(report::fmt(norm));
+            }
+            table.addRow(std::move(row));
+        }
+        std::vector<std::string> avg_row{"Average"};
+        std::vector<std::string> red_row{"Reduction"};
+        for (auto design : designs) {
+            double avg = report::mean(normalized[design]);
+            avg_row.push_back(report::fmt(avg));
+            red_row.push_back(report::pct(1.0 - avg));
+        }
+        table.addRow(std::move(avg_row));
+        table.addRow(std::move(red_row));
+        table.print();
+    }
+    std::cout << "\nPaper reductions (512x512): 1P2L 64/65/46/45%, "
+                 "1P2L_SameSet 72/68/64/57%, 2P2L 65/66/41/39% at "
+                 "1/1.5/2/4MB.\n";
+    return 0;
+}

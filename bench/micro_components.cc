@@ -1,0 +1,172 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * address decode, oriented-line geometry, storage lookup, MSHR
+ * operations, the event queue, and trace generation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/mshr.hh"
+#include "cache/prefetcher.hh"
+#include "cache/storage.hh"
+#include "compiler/trace_gen.hh"
+#include "mem/address_decode.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace mda;
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    AddressDecoder dec((MemTopologyParams()));
+    Rng rng(1);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 0x237;
+        benchmark::DoNotOptimize(dec.decode(addr & 0xffffffff));
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_OrientedLineContaining(benchmark::State &state)
+{
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 0x1c8;
+        auto line = OrientedLine::containing(addr & 0xffffff,
+                                             Orientation::Col);
+        benchmark::DoNotOptimize(line.baseAddr());
+    }
+}
+BENCHMARK(BM_OrientedLineContaining);
+
+void
+BM_LineStorageLookup(benchmark::State &state)
+{
+    LineStorage storage(128, 4);
+    Rng rng(2);
+    // Populate.
+    for (unsigned n = 0; n < 512; ++n) {
+        std::uint64_t set = rng.below(128);
+        CacheEntry *victim = storage.victim(set);
+        if (victim->valid)
+            storage.invalidate(victim);
+        storage.install(victim,
+                        OrientedLine(Orientation::Row, rng.next() & 0xffff));
+    }
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        ++id;
+        benchmark::DoNotOptimize(storage.find(
+            id % 128, OrientedLine(Orientation::Row, id & 0xffff)));
+    }
+}
+BENCHMARK(BM_LineStorageLookup);
+
+void
+BM_MshrAllocRetire(benchmark::State &state)
+{
+    MshrFile mshr(32, 8);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        OrientedLine line(Orientation::Row, id++);
+        mshr.alloc(line, false, 0);
+        benchmark::DoNotOptimize(mshr.find(line));
+        mshr.retire(line);
+    }
+}
+BENCHMARK(BM_MshrAllocRetire);
+
+void
+BM_MshrConflictScan(benchmark::State &state)
+{
+    MshrFile mshr(32, 8);
+    for (std::uint64_t n = 0; n < 32; ++n)
+        mshr.alloc(OrientedLine(Orientation::Row, n * 8), false, 0);
+    std::uint64_t id = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mshr.conflictsWith(
+            OrientedLine(Orientation::Col, (id++ % 64) * 8)));
+    }
+}
+BENCHMARK(BM_MshrConflictScan);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int n = 0; n < 64; ++n)
+            eq.scheduleAfter(static_cast<Tick>(n % 7),
+                             [&sink] { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_StridePrefetcher(benchmark::State &state)
+{
+    StridePrefetcher pf(4);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 4096;
+        benchmark::DoNotOptimize(pf.observe(7, addr));
+    }
+}
+BENCHMARK(BM_StridePrefetcher);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workloads::WorkloadParams params;
+    params.n = 64;
+    auto ck = compiler::compileKernel(
+        workloads::makeSgemm(params), compiler::CompileOptions{});
+    compiler::TraceGenerator gen(ck);
+    compiler::TraceOp op;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        if (!gen.next(op))
+            gen.reset();
+        benchmark::DoNotOptimize(op.addr);
+        ++ops;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_BaselineTraceGeneration(benchmark::State &state)
+{
+    workloads::WorkloadParams params;
+    params.n = 64;
+    compiler::CompileOptions opts;
+    opts.mdaEnabled = false;
+    auto ck = compiler::compileKernel(workloads::makeSgemm(params),
+                                      opts);
+    compiler::TraceGenerator gen(ck);
+    compiler::TraceOp op;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        if (!gen.next(op))
+            gen.reset();
+        benchmark::DoNotOptimize(op.addr);
+        ++ops;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_BaselineTraceGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

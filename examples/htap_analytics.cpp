@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Column-store analytics scenario (the paper's introduction and
+ * Section V motivation): a row-major table serving both transactional
+ * row lookups and analytical column scans — the workload class where
+ * row/column access symmetry pays off most.
+ *
+ * The example builds a custom HTAP kernel with a configurable
+ * analytics share, then sweeps the mix from pure transactions to pure
+ * analytics and shows how each design point's advantage grows with
+ * the column share.
+ *
+ * Build & run:  ./examples/htap_analytics [rows] [cols]
+ */
+
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "sim/random.hh"
+
+using namespace mda;
+
+namespace
+{
+
+/** Build an HTAP kernel with @p scans column scans and @p txns
+ *  random-row transactions over a rows x cols table. */
+compiler::Kernel
+makeMix(std::int64_t rows, std::int64_t cols, std::size_t scans,
+        std::size_t txns, std::uint64_t seed)
+{
+    using compiler::AffineExpr;
+    compiler::KernelBuilder b("htap_mix");
+    auto table = b.array("table", rows, cols);
+    Rng rng(seed);
+
+    if (scans > 0) {
+        std::vector<std::int64_t> columns;
+        for (std::size_t q = 0; q < scans; ++q)
+            columns.push_back(static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(cols))));
+        auto scan = b.nest("scan");
+        auto q = scan.loopOver("q", std::move(columns));
+        auto i = scan.loop("i", 0, rows);
+        auto &body = scan.stmt(1);
+        scan.read(body, table, AffineExpr::var(i), AffineExpr::var(q));
+    }
+    if (txns > 0) {
+        std::vector<std::int64_t> picked;
+        for (std::size_t t = 0; t < txns; ++t)
+            picked.push_back(static_cast<std::int64_t>(
+                rng.below(static_cast<std::uint64_t>(rows))));
+        auto txn = b.nest("txn");
+        auto t = txn.loopOver("t", std::move(picked));
+        auto f = txn.loop("f", 0, std::min<std::int64_t>(16, cols));
+        auto &body = txn.stmt(1);
+        txn.read(body, table, AffineExpr::var(t), AffineExpr::var(f));
+    }
+    return b.build();
+}
+
+std::uint64_t
+simulate(compiler::Kernel kernel, DesignPoint design)
+{
+    auto opts = compiler::CompileOptions{};
+    opts.mdaEnabled = (design != DesignPoint::D0_1P1L);
+    auto compiled = compiler::compileKernel(std::move(kernel), opts);
+    SystemConfig config;
+    config.design = design;
+    // Keep the table comfortably non-resident, like a real DB heap.
+    config = config.scaledForInput(128);
+    System system(config, compiled);
+    return system.run().cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t rows = argc > 1 ? std::atoll(argv[1]) : 2048;
+    std::int64_t cols = argc > 2 ? std::atoll(argv[2]) : 128;
+
+    std::cout << "== HTAP on a " << rows << "x" << cols
+              << " row-major table ==\n"
+              << "Sweeping the analytics share; each scan walks one "
+                 "column, each transaction\nreads a 16-field row "
+                 "projection.\n\n";
+
+    report::Table table({"analytics share", "1P1L cycles",
+                         "1P2L cycles", "2P2L cycles", "1P2L speedup",
+                         "2P2L speedup"});
+    for (int share = 0; share <= 100; share += 25) {
+        // Budget ~64 scans' worth of work, split by share.
+        auto scans = static_cast<std::size_t>(64 * share / 100);
+        auto txns = static_cast<std::size_t>(
+            (100 - share) * (64.0 * rows / 100.0 / 16.0));
+        auto base = simulate(makeMix(rows, cols, scans, txns, 7),
+                             DesignPoint::D0_1P1L);
+        auto mda = simulate(makeMix(rows, cols, scans, txns, 7),
+                            DesignPoint::D1_1P2L);
+        auto tile = simulate(makeMix(rows, cols, scans, txns, 7),
+                             DesignPoint::D2_2P2L);
+        table.addRow({std::to_string(share) + "%",
+                      std::to_string(base), std::to_string(mda),
+                      std::to_string(tile),
+                      report::fmt(static_cast<double>(base) / mda, 2) +
+                          "x",
+                      report::fmt(static_cast<double>(base) / tile, 2) +
+                          "x"});
+    }
+    table.print();
+    std::cout << "\nColumn scans on an MDA hierarchy fetch 8 useful "
+                 "words per 64-byte transfer\ninstead of one — the "
+                 "speedup grows directly with the analytics share,\n"
+                 "with no column-store layout conversion and no "
+                 "transposition penalty for\nthe transactional side.\n";
+    return 0;
+}

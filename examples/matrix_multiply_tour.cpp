@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A guided tour of the paper's running example (Section V-A):
+ * matrix multiplication C = A * B, where A is row-traversed and B is
+ * column-traversed.
+ *
+ * The tour prints what each compiler stage decides — the per-reference
+ * access directions, the layouts the padding transform produces, and
+ * the vectorization plan — then runs the kernel on all four design
+ * points and reports who wins and why (traffic, hits, cycles).
+ *
+ * Build & run:  ./examples/matrix_multiply_tour [n]
+ */
+
+#include <iostream>
+
+#include "compiler/access_mix.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace mda;
+
+namespace
+{
+
+void
+describeCompilation(const compiler::CompiledKernel &ck)
+{
+    const auto &kernel = ck.kernel;
+    std::cout << "compilation for "
+              << (ck.options.mdaEnabled ? "an MDA hierarchy"
+                                        : "the 1-D baseline")
+              << ":\n";
+    for (std::size_t n = 0; n < kernel.nests.size(); ++n) {
+        const auto &nest = kernel.nests[n];
+        for (std::size_t s = 0; s < nest.stmts.size(); ++s) {
+            const auto &stmt = nest.stmts[s];
+            for (const auto &ref : stmt.refs) {
+                const auto &arr = kernel.array(ref.array);
+                std::cout << "  " << (ref.isWrite ? "store " : "load  ")
+                          << arr.name << "[" << ref.rowExpr.str()
+                          << "][" << ref.colExpr.str() << "]  dir="
+                          << compiler::directionName(
+                                 ck.directions.of(ref.refId))
+                          << "  annotated="
+                          << orientName(ck.orientationOf(ref.refId))
+                          << (ck.vplan.isVectorized(n, s)
+                                  ? "  (vectorized x8)"
+                                  : "")
+                          << "\n";
+            }
+        }
+    }
+    for (const auto &arr : kernel.arrays) {
+        const auto &layout = ck.layoutOf(arr.id);
+        std::cout << "  layout of " << arr.name << ": "
+                  << (layout.kind() == compiler::LayoutKind::Tiled2D
+                          ? "8x8-word tiles (MDA-compliant)"
+                          : "row-major (1-D optimized)")
+                  << ", " << layout.footprintBytes() / 1024
+                  << " KiB\n";
+    }
+    auto mix = compiler::measureAccessMix(ck);
+    std::cout << "  access mix by volume: row "
+              << report::pct(mix.fraction(mix.rowScalar +
+                                          mix.rowVector))
+              << ", column "
+              << report::pct(mix.fraction(mix.colScalar +
+                                          mix.colVector))
+              << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t n = argc > 1 ? std::atoll(argv[1]) : 128;
+
+    std::cout << "== The paper's Section V-A example: C = A * B ("
+              << n << "x" << n << ") ==\n\n"
+              << "A is walked along rows (A[i][k], k innermost); B "
+                 "along columns (B[k][j]).\nA conventional compiler "
+                 "cannot vectorize the k loop for B; with MDA\nsupport "
+                 "both operands vectorize, each along its own "
+                 "dimension.\n\n";
+
+    workloads::WorkloadParams params;
+    params.n = n;
+
+    // Show what the compiler decides for both targets.
+    {
+        compiler::CompileOptions base_opts;
+        base_opts.mdaEnabled = false;
+        describeCompilation(compiler::compileKernel(
+            workloads::makeSgemm(params), base_opts));
+        describeCompilation(compiler::compileKernel(
+            workloads::makeSgemm(params), compiler::CompileOptions{}));
+    }
+
+    // Race the design points.
+    report::Table table({"design", "cycles", "normalized", "L1 hit",
+                         "LLC accesses", "mem MB"});
+    std::uint64_t base_cycles = 0;
+    for (auto design :
+         {DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
+          DesignPoint::D1_1P2L_SameSet, DesignPoint::D2_2P2L}) {
+        RunSpec spec;
+        spec.workload = "sgemm";
+        spec.n = n;
+        spec.system.design = design;
+        RunResult result = runOne(spec);
+        if (design == DesignPoint::D0_1P1L)
+            base_cycles = result.cycles;
+        table.addRow({designName(design),
+                      std::to_string(result.cycles),
+                      report::fmt(static_cast<double>(result.cycles) /
+                                  static_cast<double>(base_cycles)),
+                      report::pct(result.l1HitRate),
+                      std::to_string(result.llcAccesses),
+                      report::fmt(result.memBytes / 1.0e6, 1)});
+    }
+    table.print();
+    std::cout << "\nThe MDA designs fetch each B column as one "
+                 "64-byte column line instead of\neight 64-byte row "
+                 "lines — an 8x cut in fetched volume for the column "
+                 "operand.\n";
+    return 0;
+}

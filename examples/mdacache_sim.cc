@@ -1,0 +1,161 @@
+/**
+ * @file
+ * mdacache_sim: the full-featured command-line front end.
+ *
+ * Runs any paper workload (or all of them) on any design point with
+ * configurable cache/memory parameters, optionally dumping every
+ * statistic — the tool a user reaches for to explore the design space
+ * beyond the canned figure benches.
+ *
+ * Examples:
+ *   mdacache_sim --workload sgemm --design 1P2L --n 128
+ *   mdacache_sim --workload htap1 --design 2P2L --llc 2M --stats
+ *   mdacache_sim --all --design 1P2L_SameSet --paper
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace mda;
+
+namespace
+{
+
+void
+usage()
+{
+    std::cout <<
+        "mdacache_sim — MDA cache-hierarchy simulator\n"
+        "\n"
+        "  --workload <name>   sgemm ssyr2k ssyrk strmm sobel htap1 "
+        "htap2\n"
+        "  --all               run every workload\n"
+        "  --design <name>     1P1L | 1P2L | 1P2L_SameSet | 2P2L |\n"
+        "                      2P2L_Dense\n"
+        "  --n <dim>           input dimension (default 128)\n"
+        "  --paper             n=512 with unscaled Table I caches\n"
+        "  --llc <bytes>       LLC capacity (suffix K/M; default 1M)\n"
+        "  --two-level         L2 is the LLC (no L3)\n"
+        "  --fast-mem          1.6x faster main memory (Fig. 17)\n"
+        "  --write-penalty <c> extra 2P2L write cycles (Fig. 16)\n"
+        "  --no-scale          do not scale caches with n\n"
+        "  --check             verify all data against a reference\n"
+        "  --stats             dump every statistic after the run\n";
+}
+
+std::uint64_t
+parseBytes(const std::string &text)
+{
+    char suffix = text.back();
+    std::uint64_t mult = 1;
+    std::string digits = text;
+    if (suffix == 'K' || suffix == 'k') {
+        mult = 1024;
+        digits.pop_back();
+    } else if (suffix == 'M' || suffix == 'm') {
+        mult = 1024 * 1024;
+        digits.pop_back();
+    }
+    return static_cast<std::uint64_t>(std::stod(digits) *
+                                      static_cast<double>(mult));
+}
+
+DesignPoint
+parseDesign(const std::string &name)
+{
+    if (name == "1P1L")
+        return DesignPoint::D0_1P1L;
+    if (name == "1P2L")
+        return DesignPoint::D1_1P2L;
+    if (name == "1P2L_SameSet")
+        return DesignPoint::D1_1P2L_SameSet;
+    if (name == "2P2L")
+        return DesignPoint::D2_2P2L;
+    if (name == "2P2L_Dense")
+        return DesignPoint::D2_2P2L_Dense;
+    fatal("unknown design: %s (try --help)", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunSpec spec;
+    bool all = false;
+    bool dump_stats = false;
+
+    for (int a = 1; a < argc; ++a) {
+        std::string arg = argv[a];
+        auto next = [&]() -> std::string {
+            if (a + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++a];
+        };
+        if (arg == "--workload") {
+            spec.workload = next();
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--design") {
+            spec.system.design = parseDesign(next());
+        } else if (arg == "--n") {
+            spec.n = std::stoll(next());
+        } else if (arg == "--paper") {
+            spec.n = 512;
+            spec.autoScaleCaches = false;
+        } else if (arg == "--llc") {
+            spec.system.l3Size = parseBytes(next());
+        } else if (arg == "--two-level") {
+            spec.system.threeLevel = false;
+        } else if (arg == "--fast-mem") {
+            spec.system.memTiming = MemTimingParams::sttFast();
+        } else if (arg == "--write-penalty") {
+            spec.system.tileWritePenalty =
+                static_cast<Cycles>(std::stoull(next()));
+        } else if (arg == "--no-scale") {
+            spec.autoScaleCaches = false;
+        } else if (arg == "--check") {
+            spec.system.checkData = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            usage();
+            return 1;
+        }
+    }
+
+    std::vector<std::string> list =
+        all ? workloads::workloadNames()
+            : std::vector<std::string>{spec.workload};
+
+    report::Table table({"workload", "design", "cycles", "L1 hit",
+                         "LLC accesses", "mem bytes", "check"});
+    for (const auto &name : list) {
+        RunSpec one = spec;
+        one.workload = name;
+        PreparedRun run(one);
+        RunResult result = run.system.run();
+        table.addRow({name, designName(one.system.design),
+                      std::to_string(result.cycles),
+                      report::pct(result.l1HitRate),
+                      std::to_string(result.llcAccesses),
+                      std::to_string(result.memBytes),
+                      one.system.checkData
+                          ? (result.checkFailures ? "FAIL" : "ok")
+                          : "-"});
+        if (dump_stats) {
+            report::banner(name + " statistics");
+            run.system.statGroup().dump(std::cout);
+        }
+    }
+    report::banner("results");
+    table.print();
+    return 0;
+}

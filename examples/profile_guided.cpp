@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Profile-guided direction annotation (paper Section V, last
+ * paragraph): when static analysis cannot discern a reference's
+ * row/column preference, a profiling run can.
+ *
+ * The example builds a pointer-chasing-style kernel whose hot
+ * reference is invariant in its innermost loop — statically
+ * undiscerned, so it defaults to row preference — but which actually
+ * walks straight down a column. Profiling detects the bias,
+ * re-annotates the load, and the simulation shows the column-fetch
+ * benefit appearing.
+ *
+ * Build & run:  ./examples/profile_guided
+ */
+
+#include <iostream>
+
+#include "compiler/profiler.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+
+using namespace mda;
+
+namespace
+{
+
+/** for j: for i: acc += X[j][0] * W[j][i]  — X[j][0] is invariant in
+ *  i (undiscerned), yet walks down column 0 as j advances. */
+compiler::Kernel
+makeKernel(std::int64_t n)
+{
+    using compiler::AffineExpr;
+    compiler::KernelBuilder b("pgd");
+    auto x = b.array("X", n, n);
+    auto w = b.array("W", n, n);
+    auto nest = b.nest("walk");
+    auto j = nest.loop("j", 0, n);
+    auto i = nest.loop("i", 0, n);
+    auto &s = nest.stmt(1);
+    s.vectorizable = false; // a data-dependent use keeps it scalar
+    nest.read(s, x, AffineExpr::var(j), 0);
+    nest.read(s, w, AffineExpr::var(j), AffineExpr::var(i));
+    return b.build();
+}
+
+RunResult
+simulate(const compiler::CompiledKernel &ck)
+{
+    SystemConfig config;
+    config.design = DesignPoint::D1_1P2L;
+    config = config.scaledForInput(128);
+    System system(config, ck);
+    return system.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr std::int64_t n = 128;
+
+    auto plain = compiler::compileKernel(makeKernel(n),
+                                         compiler::CompileOptions{});
+    std::uint32_t hot = plain.kernel.nests[0].stmts[0].refs[0].refId;
+    std::cout << "static analysis of X[j][0] w.r.t. the inner loop: "
+              << compiler::directionName(plain.directions.of(hot))
+              << " -> annotated "
+              << orientName(plain.orientationOf(hot)) << "\n";
+
+    auto profiled = compiler::compileKernel(makeKernel(n),
+                                            compiler::CompileOptions{});
+    auto profile = compiler::profileKernel(profiled.kernel);
+    unsigned changed = compiler::applyProfile(profiled, profile);
+    const auto &rp = profile.of(hot);
+    std::cout << "profiler: " << rp.colSteps << " column steps vs "
+              << rp.rowSteps << " row steps -> re-annotated "
+              << changed << " reference(s) as "
+              << orientName(profiled.orientationOf(hot)) << "\n\n";
+
+    auto before = simulate(plain);
+    auto after = simulate(profiled);
+    report::Table table({"compilation", "cycles", "mem bytes"});
+    table.addRow({"static only", std::to_string(before.cycles),
+                  std::to_string(before.memBytes)});
+    table.addRow({"profile-guided", std::to_string(after.cycles),
+                  std::to_string(after.memBytes)});
+    table.print();
+    std::cout << "\nColumn annotation lets each miss on X fetch the "
+                 "next eight j values in one\ncolumn line — the same "
+                 "mechanism the compiler exploits statically when it "
+                 "can.\n";
+    return after.cycles <= before.cycles ? 0 : 1;
+}

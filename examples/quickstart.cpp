@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: the smallest end-to-end use of the MDACache library.
+ *
+ * 1. Express a computation as an affine loop nest (the compiler IR).
+ * 2. Compile it for an MDA-capable hierarchy: access-direction
+ *    analysis, the tiled (MDA-compliant) layout, and row+column
+ *    vectorization all happen here.
+ * 3. Build a simulated machine (1P2L caches over an MDA memory) and
+ *    run, with every byte checked against a reference model.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <iostream>
+
+#include "harness/runner.hh"
+
+using namespace mda;
+
+int
+main()
+{
+    // --- 1. A kernel: column-order reduction of a 64x64 matrix.
+    // for j in [0,64): for i in [0,64): sum += A[i][j]
+    compiler::KernelBuilder builder("colsum");
+    auto arr = builder.array("A", 64, 64);
+    auto nest = builder.nest("reduce");
+    auto j = nest.loop("j", 0, 64);
+    auto i = nest.loop("i", 0, 64);
+    auto &body = nest.stmt(/*computeCycles=*/1);
+    nest.read(body, arr, compiler::AffineExpr::var(i),
+              compiler::AffineExpr::var(j));
+
+    // --- 2. Compile for an MDA hierarchy.
+    auto kernel = builder.build();
+    auto directions = compiler::analyzeDirections(kernel);
+    std::cout << "access direction of A[i][j] w.r.t. the innermost "
+                 "loop: "
+              << compiler::directionName(
+                     directions.of(body.refs[0].refId))
+              << " (the compiler will emit column-vector loads)\n";
+
+    auto compiled = compiler::compileKernel(std::move(kernel),
+                                            compiler::CompileOptions{});
+
+    // --- 3. Simulate it on the paper's Design 1 (1P2L) hierarchy.
+    SystemConfig config;
+    config.design = DesignPoint::D1_1P2L;
+    config.checkData = true; // verify every byte
+    System system(config, compiled);
+    RunResult result = system.run();
+
+    std::cout << "executed " << result.ops << " memory ops in "
+              << result.cycles << " cycles\n"
+              << "L1 hit rate " << result.l1HitRate * 100 << "%, "
+              << result.memBytes << " bytes moved from memory\n"
+              << "functional check: "
+              << (result.checkFailures == 0 ? "clean" : "FAILED")
+              << "\n";
+    return result.checkFailures == 0 ? 0 : 1;
+}

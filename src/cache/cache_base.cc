@@ -1,0 +1,224 @@
+#include "cache_base.hh"
+
+#include <bit>
+
+namespace mda
+{
+
+CacheBase::CacheBase(const std::string &obj_name, EventQueue &eq,
+                     stats::StatGroup &sg, const CacheConfig &config)
+    : SimObject(obj_name, eq, sg),
+      _config(config),
+      _mshr(config.mshrs, config.targetsPerMshr)
+{
+    regScalar("demandAccesses", &_demandAccesses,
+              "demand accesses (reads + writes)");
+    regScalar("demandHits", &_demandHits, "demand hits");
+    regScalar("demandMisses", &_demandMisses, "demand misses");
+    regScalar("readHits", &_readHits, "read hits");
+    regScalar("readMisses", &_readMisses, "read misses");
+    regScalar("writeHits", &_writeHits, "write hits");
+    regScalar("writeMisses", &_writeMisses, "write misses");
+    regScalar("vectorHits", &_vectorHits, "SIMD/line hits");
+    regScalar("vectorMisses", &_vectorMisses, "SIMD/line misses");
+    regScalar("misOrientedHits", &_misOrientedHits,
+              "scalar hits served from the non-preferred orientation");
+    regScalar("partialHits", &_partialHits,
+              "line accesses with only part of the words present");
+    regScalar("mshrCoalesced", &_mshrCoalesced,
+              "accesses coalesced into an existing MSHR entry");
+    regScalar("deferrals", &_deferrals,
+              "accesses deferred for overlapping-word ordering");
+    regScalar("writebacksIn", &_writebacksIn,
+              "writebacks received from above");
+    regScalar("writebacksOut", &_writebacksOut,
+              "writebacks sent downstream");
+    regScalar("bytesWrittenBack", &_bytesWrittenBack,
+              "bytes written back downstream");
+    regScalar("fills", &_fills, "line fills received");
+    regScalar("fillBytes", &_fillBytes, "bytes filled from below");
+    regScalar("prefetchesIssued", &_prefetchesIssued,
+              "prefetch fills issued");
+    regScalar("prefetchesUseful", &_prefetchesUseful,
+              "prefetched lines later hit by demand");
+    regScalar("extraTagAccesses", &_extraTagAccesses,
+              "additional tag probes (cross-orientation checks)");
+    regScalar("evictions", &_evictions, "valid lines evicted");
+}
+
+bool
+CacheBase::canAccept() const
+{
+    // Count lookups already accepted but not yet handled: each could
+    // allocate an MSHR entry, so reserve space for them.
+    return _mshr.size() + _inFlightLookups < _config.mshrs &&
+           _writeBuffer.size() < _config.writeBufferSize &&
+           _deferred.size() < maxDeferred;
+}
+
+bool
+CacheBase::tryRequest(PacketPtr &pkt)
+{
+    if (!canAccept()) {
+        _upstreamBlocked = true;
+        return false;
+    }
+    // Dispatch after the tag-lookup latency. Constant latency plus
+    // FIFO event ordering preserves arrival order at the handlers.
+    auto *raw = pkt.release();
+    ++_inFlightLookups;
+    eventq().scheduleAfter(_config.tagLatency, [this, raw] {
+        PacketPtr p(raw);
+        --_inFlightLookups;
+        if (p->cmd == MemCmd::Writeback) {
+            ++_writebacksIn;
+            handleWriteback(std::move(p));
+        } else {
+            ++_demandAccesses;
+            handleDemand(std::move(p));
+        }
+    });
+    return true;
+}
+
+void
+CacheBase::recvResponse(PacketPtr pkt)
+{
+    mda_assert(pkt->isResponse && pkt->isLineFill,
+               "cache received a non-fill response");
+    ++_fills;
+    _fillBytes += std::popcount(pkt->wordMask) * wordBytes;
+    handleFill(std::move(pkt));
+    replayDeferred();
+    maybeUnblockUpstream();
+}
+
+void
+CacheBase::recvRetry()
+{
+    trySendQueues();
+}
+
+void
+CacheBase::defer(PacketPtr pkt)
+{
+    ++_deferrals;
+    _deferred.push_back(std::move(pkt));
+}
+
+void
+CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line)
+{
+    MshrEntry *entry = _mshr.find(line);
+    if (entry) {
+        if (!_mshr.canTarget(*entry)) {
+            defer(std::move(pkt));
+            return;
+        }
+        if (entry->isPrefetch) {
+            // A demand arrived for an in-flight prefetch.
+            entry->isPrefetch = false;
+            ++_prefetchesUseful;
+        }
+        ++_mshrCoalesced;
+        entry->targets.push_back(std::move(pkt));
+        return;
+    }
+    if (_mshr.full()) {
+        // Replay/burst overflow: park until a fill retires an entry.
+        defer(std::move(pkt));
+        return;
+    }
+    MshrEntry &fresh = _mshr.alloc(line, false, curTick());
+    fresh.pc = pkt->pc;
+    fresh.targets.push_back(std::move(pkt));
+    trySendQueues();
+}
+
+void
+CacheBase::issuePrefetch(const OrientedLine &line)
+{
+    if (_mshr.full() || _mshr.find(line) || _mshr.conflictsWith(line))
+        return;
+    _mshr.alloc(line, true, curTick());
+    ++_prefetchesIssued;
+    trySendQueues();
+}
+
+void
+CacheBase::pushWriteback(PacketPtr wb)
+{
+    mda_assert(wb->cmd == MemCmd::Writeback, "not a writeback");
+    ++_writebacksOut;
+    _bytesWrittenBack += std::popcount(wb->wordMask) * wordBytes;
+    _writeBuffer.push_back(std::move(wb));
+    trySendQueues();
+}
+
+void
+CacheBase::respond(PacketPtr pkt, Cycles delay)
+{
+    if (!pkt->isResponse)
+        pkt->makeResponse();
+    auto *raw = pkt.release();
+    eventq().scheduleAfter(
+        delay,
+        [this, raw] {
+            PacketPtr p(raw);
+            mda_assert(_upstream, "response with no upstream");
+            _upstream->recvResponse(std::move(p));
+        },
+        EventPriority::Response);
+}
+
+void
+CacheBase::replayDeferred()
+{
+    if (_deferred.empty())
+        return;
+    std::deque<PacketPtr> pending;
+    pending.swap(_deferred);
+    for (auto &pkt : pending) {
+        // Re-run through the handler; still-conflicting packets will
+        // re-defer themselves (preserving relative order).
+        if (pkt->cmd == MemCmd::Writeback)
+            handleWriteback(std::move(pkt));
+        else
+            handleDemand(std::move(pkt));
+    }
+    maybeUnblockUpstream();
+}
+
+void
+CacheBase::trySendQueues()
+{
+    mda_assert(_downstream, "cache with no downstream");
+    // Writebacks drain strictly in order.
+    while (!_writeBuffer.empty()) {
+        if (!_downstream->tryRequest(_writeBuffer.front()))
+            return; // downstream will retry us
+        _writeBuffer.pop_front();
+        maybeUnblockUpstream();
+    }
+    // Fills may go once no queued writeback overlaps them; with an
+    // empty write buffer that is vacuously true.
+    for (MshrEntry *entry : _mshr.unsent()) {
+        auto fill = Packet::makeLineFill(entry->line, entry->isPrefetch,
+                                         curTick());
+        fill->pc = entry->pc;
+        if (!_downstream->tryRequest(fill))
+            return;
+        entry->sent = true;
+    }
+}
+
+void
+CacheBase::maybeUnblockUpstream()
+{
+    if (_upstreamBlocked && canAccept() && _upstream) {
+        _upstreamBlocked = false;
+        _upstream->recvRetry();
+    }
+}
+
+} // namespace mda

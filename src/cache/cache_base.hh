@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Common machinery for all cache levels.
+ *
+ * CacheBase owns the pieces every design point shares: the 2-D-aware
+ * MSHR file, the writeback buffer, upstream/downstream flow control,
+ * the overlapping-access deferral queue, and the common statistics.
+ * Subclasses (LineCache for 1P1L/1P2L, TileCache for sparse 2P2L)
+ * implement lookup, fill, and policy.
+ *
+ * Ordering guarantees provided here:
+ *  - an access that word-overlaps an in-flight crossing MSHR entry is
+ *    deferred until that entry completes (2-D MSHR ordering);
+ *  - a fill request is never sent downstream while an overlapping
+ *    writeback sits in the write buffer (modified data is propagated
+ *    down before a duplicate copy is fetched).
+ */
+
+#ifndef MDA_CACHE_CACHE_BASE_HH
+#define MDA_CACHE_CACHE_BASE_HH
+
+#include <deque>
+
+#include "cache_config.hh"
+#include "mshr.hh"
+#include "sim/port.hh"
+#include "sim/sim_object.hh"
+
+namespace mda
+{
+
+/** Abstract cache level. */
+class CacheBase : public SimObject, public MemDevice, public MemClient
+{
+  public:
+    CacheBase(const std::string &name, EventQueue &eq,
+              stats::StatGroup &sg, const CacheConfig &config);
+
+    // MemDevice (requests from the level above / CPU)
+    bool tryRequest(PacketPtr &pkt) override;
+    void setUpstream(MemClient *client) override { _upstream = client; }
+
+    // MemClient (responses from the level below)
+    void recvResponse(PacketPtr pkt) override;
+    void recvRetry() override;
+
+    /** Connect the next level (cache or memory). */
+    void setDownstream(MemDevice *dev) { _downstream = dev; }
+
+    const CacheConfig &config() const { return _config; }
+
+  protected:
+    /** Demand access (Read/Write; scalar, vector, or line fill from an
+     *  upper cache), invoked after the tag-lookup latency. */
+    virtual void handleDemand(PacketPtr pkt) = 0;
+
+    /** Writeback from the level above, after lookup latency. */
+    virtual void handleWriteback(PacketPtr pkt) = 0;
+
+    /** Fill response from below (demand or prefetch). */
+    virtual void handleFill(PacketPtr pkt) = 0;
+
+    // ---- services for subclasses ----
+
+    /** Park @p pkt until an in-flight conflicting entry completes. */
+    void defer(PacketPtr pkt);
+
+    /**
+     * Record a miss on @p line: coalesce into an existing entry or
+     * allocate a new one and try to send the fill downstream.
+     * @pre the caller has checked conflictsWith().
+     */
+    void allocateMiss(PacketPtr pkt, const OrientedLine &line);
+
+    /** Allocate a prefetch fill for @p line if resources allow. */
+    void issuePrefetch(const OrientedLine &line);
+
+    /** Queue a writeback packet toward the next level. */
+    void pushWriteback(PacketPtr wb);
+
+    /** Complete @p pkt back to the requester after @p delay cycles. */
+    void respond(PacketPtr pkt, Cycles delay);
+
+    /** Re-process all deferred packets (after a fill completes). */
+    void replayDeferred();
+
+    /** Drain the write buffer, then any unsent fills (in that order
+     *  for overlapping lines). */
+    void trySendQueues();
+
+    /** Wake a blocked upstream if resources freed up. */
+    void maybeUnblockUpstream();
+
+    /** Resources left for a new request? */
+    bool canAccept() const;
+
+    CacheConfig _config;
+    MshrFile _mshr;
+    std::deque<PacketPtr> _writeBuffer;
+    std::deque<PacketPtr> _deferred;
+
+    /** Accepted requests whose lookup has not yet completed. */
+    unsigned _inFlightLookups = 0;
+
+    MemClient *_upstream = nullptr;
+    MemDevice *_downstream = nullptr;
+    bool _upstreamBlocked = false;
+
+    // ---- statistics (shared across cache designs) ----
+    stats::Scalar _demandAccesses;
+    stats::Scalar _demandHits, _demandMisses;
+    stats::Scalar _readHits, _readMisses;
+    stats::Scalar _writeHits, _writeMisses;
+    stats::Scalar _vectorHits, _vectorMisses;
+    stats::Scalar _misOrientedHits;
+    stats::Scalar _partialHits;
+    stats::Scalar _mshrCoalesced;
+    stats::Scalar _deferrals;
+    stats::Scalar _writebacksIn, _writebacksOut;
+    stats::Scalar _bytesWrittenBack;
+    stats::Scalar _fills, _fillBytes;
+    stats::Scalar _prefetchesIssued, _prefetchesUseful;
+    stats::Scalar _extraTagAccesses;
+    stats::Scalar _evictions;
+
+  private:
+    static constexpr std::size_t maxDeferred = 64;
+};
+
+} // namespace mda
+
+#endif // MDA_CACHE_CACHE_BASE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cache geometry and latency configuration (paper Table I).
+ */
+
+#ifndef MDA_CACHE_CACHE_CONFIG_HH
+#define MDA_CACHE_CACHE_CONFIG_HH
+
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mda
+{
+
+/** Static parameters of one cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+
+    /** Associativity. */
+    unsigned ways = 4;
+
+    /** Tag array access latency (cycles). */
+    Cycles tagLatency = 2;
+
+    /** Data array access latency (cycles). */
+    Cycles dataLatency = 2;
+
+    /** Parallel tag/data (L1) vs sequential (L2/L3). */
+    bool parallelTagData = true;
+
+    /** Outstanding-miss capacity. */
+    unsigned mshrs = 16;
+
+    /** Coalesced targets per MSHR entry. */
+    unsigned targetsPerMshr = 16;
+
+    /** Writeback buffer entries. */
+    unsigned writeBufferSize = 16;
+
+    /** Enable the PC-stride prefetcher (baseline 1P1L only). */
+    bool prefetch = false;
+
+    /** 1P2L policy extension: serve an oriented line request whose
+     *  eight words are all present in crossing lines by gathering
+     *  them (paper Section IV-B calls this a policy decision for
+     *  lower-level caches). Costs eight sequential tag+data accesses. */
+    bool gatherHits = false;
+
+    /** Prefetch lookahead degree. */
+    unsigned prefetchDegree = 4;
+
+    /** Cache-line-granular frames in this cache. */
+    std::uint64_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    /** Sets for a line-granular organization. */
+    std::uint64_t
+    numSets() const
+    {
+        mda_assert(numLines() % ways == 0, "size/ways mismatch");
+        // Non-power-of-two set counts (e.g. the paper's 1.5 MB LLC)
+        // are supported via modulo indexing.
+        return numLines() / ways;
+    }
+
+    /** Sets for a 512-byte tile-granular (2P2L) organization. */
+    std::uint64_t
+    numTileSets() const
+    {
+        std::uint64_t frames = sizeBytes / tileBytes;
+        mda_assert(frames % ways == 0, "size/ways mismatch (tiles)");
+        return frames / ways;
+    }
+
+    /** Latency of a hit (demand word/line served from this level). */
+    Cycles
+    hitLatency() const
+    {
+        return parallelTagData ? std::max(tagLatency, dataLatency)
+                               : tagLatency + dataLatency;
+    }
+
+    /** Table I presets. */
+    static CacheConfig
+    l1D()
+    {
+        CacheConfig c;
+        c.sizeBytes = 32 * 1024;
+        c.ways = 4;
+        c.tagLatency = 2;
+        c.dataLatency = 2;
+        c.parallelTagData = true;
+        return c;
+    }
+
+    static CacheConfig
+    l2(std::uint64_t size_bytes = 256 * 1024)
+    {
+        CacheConfig c;
+        c.sizeBytes = size_bytes;
+        c.ways = 8;
+        c.tagLatency = 6;
+        c.dataLatency = 9;
+        c.parallelTagData = false;
+        c.mshrs = 24;
+        return c;
+    }
+
+    static CacheConfig
+    l3(std::uint64_t size_bytes = 1024 * 1024)
+    {
+        CacheConfig c;
+        c.sizeBytes = size_bytes;
+        c.ways = 8;
+        c.tagLatency = 8;
+        c.dataLatency = 12;
+        c.parallelTagData = false;
+        c.mshrs = 32;
+        return c;
+    }
+};
+
+} // namespace mda
+
+#endif // MDA_CACHE_CACHE_CONFIG_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Logically-2-D-aware MSHR file (paper Section IV-B).
+ *
+ * Entries are keyed by the *oriented* target line, so scalar misses to
+ * different words of one column coalesce into a single column fetch —
+ * the mechanism behind the paper's large L3-access reduction. The file
+ * also answers the ordering question the paper raises: an incoming
+ * access that word-overlaps an in-flight entry of a *crossing* line
+ * must be deferred until that entry completes ("any overlapping writes
+ * are blocked in the MSHR until the previous overlapping accesses have
+ * finished").
+ */
+
+#ifndef MDA_CACHE_MSHR_HH
+#define MDA_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <list>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/packet.hh"
+
+namespace mda
+{
+
+/** One outstanding line fill and the accesses waiting on it. */
+struct MshrEntry
+{
+    OrientedLine line;
+
+    /** Fill request has been accepted downstream. */
+    bool sent = false;
+
+    /** Entry created by the prefetcher (no demand targets yet). */
+    bool isPrefetch = false;
+
+    /** PC of the first demand target; carried on the fill request so
+     *  lower-level prefetchers can train on this cache's miss
+     *  stream (0 for prefetch-generated fills). */
+    std::uint32_t pc = 0;
+
+    /** Demand packets to satisfy when the fill returns, in order. */
+    std::vector<PacketPtr> targets;
+
+    Tick allocTick = 0;
+};
+
+/** Fixed-capacity MSHR file. */
+class MshrFile
+{
+  public:
+    MshrFile(unsigned num_entries, unsigned targets_per_entry)
+        : _capacity(num_entries), _targetCap(targets_per_entry)
+    {}
+
+    bool full() const { return _entries.size() >= _capacity; }
+    bool empty() const { return _entries.empty(); }
+    std::size_t size() const { return _entries.size(); }
+
+    /** Find the in-flight entry for @p line, if any. */
+    MshrEntry *
+    find(const OrientedLine &line)
+    {
+        for (auto &e : _entries)
+            if (e.line == line)
+                return &e;
+        return nullptr;
+    }
+
+    /** Whether @p entry can absorb one more target. */
+    bool
+    canTarget(const MshrEntry &entry) const
+    {
+        return entry.targets.size() < _targetCap;
+    }
+
+    /**
+     * Whether @p line word-overlaps any in-flight entry other than an
+     * entry for @p line itself (i.e. a crossing line of the same
+     * tile, or the identical word set in the other orientation).
+     */
+    bool
+    conflictsWith(const OrientedLine &line) const
+    {
+        for (const auto &e : _entries)
+            if (!(e.line == line) && e.line.intersects(line))
+                return true;
+        return false;
+    }
+
+    /** Whether the single word at @p addr overlaps any entry. */
+    bool
+    wordConflicts(Addr addr, const OrientedLine &own_line) const
+    {
+        for (const auto &e : _entries)
+            if (!(e.line == own_line) && e.line.containsWord(addr))
+                return true;
+        return false;
+    }
+
+    /** Allocate a new entry. @pre !full() && !find(line) */
+    MshrEntry &
+    alloc(const OrientedLine &line, bool is_prefetch, Tick now)
+    {
+        mda_assert(!full(), "MSHR overflow");
+        mda_assert(!find(line), "duplicate MSHR entry");
+        _entries.emplace_back();
+        MshrEntry &e = _entries.back();
+        e.line = line;
+        e.isPrefetch = is_prefetch;
+        e.allocTick = now;
+        return e;
+    }
+
+    /** Remove a completed entry, returning its targets. */
+    std::vector<PacketPtr>
+    retire(const OrientedLine &line)
+    {
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->line == line) {
+                auto targets = std::move(it->targets);
+                _entries.erase(it);
+                return targets;
+            }
+        }
+        panic("retiring unknown MSHR entry");
+    }
+
+    /** Entries not yet sent downstream (for retry processing). */
+    std::vector<MshrEntry *>
+    unsent()
+    {
+        std::vector<MshrEntry *> out;
+        for (auto &e : _entries)
+            if (!e.sent)
+                out.push_back(&e);
+        return out;
+    }
+
+    /** All in-flight entries (tests/occupancy probes). */
+    const std::list<MshrEntry> &entries() const { return _entries; }
+
+  private:
+    unsigned _capacity;
+    unsigned _targetCap;
+    std::list<MshrEntry> _entries;
+};
+
+} // namespace mda
+
+#endif // MDA_CACHE_MSHR_HH

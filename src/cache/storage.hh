@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Set-associative storage for oriented cache lines.
+ *
+ * Identity is the full OrientedLine (orientation + line id); the set
+ * index is supplied by the cache (Different-Set vs Same-Set mapping is
+ * a property of the cache, not the storage). Entries carry real data
+ * plus a per-word dirty mask — the paper's "1 extra dirty bit per
+ * word" that enables partial writebacks under false sharing of
+ * intersecting lines.
+ */
+
+#ifndef MDA_CACHE_STORAGE_HH
+#define MDA_CACHE_STORAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/orientation.hh"
+#include "sim/packet.hh"
+
+namespace mda
+{
+
+/** One line frame. */
+struct CacheEntry
+{
+    OrientedLine line;
+    bool valid = false;
+    bool prefetched = false; ///< Installed by prefetch, not yet used.
+    std::uint8_t dirtyMask = 0;
+    std::uint64_t lruStamp = 0;
+    std::array<std::uint8_t, lineBytes> data{};
+
+    bool dirty() const { return dirtyMask != 0; }
+
+    std::uint64_t
+    word(unsigned k) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, data.data() + k * wordBytes, wordBytes);
+        return v;
+    }
+
+    void
+    setWord(unsigned k, std::uint64_t v, bool mark_dirty)
+    {
+        std::memcpy(data.data() + k * wordBytes, &v, wordBytes);
+        if (mark_dirty)
+            dirtyMask |= static_cast<std::uint8_t>(1u << k);
+    }
+};
+
+/** Fixed-geometry set-associative array of CacheEntry frames. */
+class LineStorage
+{
+  public:
+    LineStorage(std::uint64_t num_sets, unsigned ways)
+        : _sets(num_sets), _ways(ways),
+          _entries(num_sets * ways)
+    {
+        mda_assert(num_sets > 0 && ways > 0, "empty storage");
+    }
+
+    std::uint64_t numSets() const { return _sets; }
+    unsigned ways() const { return _ways; }
+
+    /** Find a valid entry holding exactly @p line in @p set. */
+    CacheEntry *
+    find(std::uint64_t set, const OrientedLine &line)
+    {
+        CacheEntry *base = setBase(set);
+        for (unsigned w = 0; w < _ways; ++w) {
+            CacheEntry &e = base[w];
+            if (e.valid && e.line == line)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Pick a victim frame in @p set: an invalid way if one exists,
+     * else the LRU valid way. Never returns null.
+     */
+    CacheEntry *
+    victim(std::uint64_t set)
+    {
+        CacheEntry *base = setBase(set);
+        CacheEntry *lru = &base[0];
+        for (unsigned w = 0; w < _ways; ++w) {
+            CacheEntry &e = base[w];
+            if (!e.valid)
+                return &e;
+            if (e.lruStamp < lru->lruStamp)
+                lru = &e;
+        }
+        return lru;
+    }
+
+    /** Update recency on @p entry. */
+    void touch(CacheEntry *entry) { entry->lruStamp = ++_clock; }
+
+    /** Mark @p entry invalid and clean. */
+    void
+    invalidate(CacheEntry *entry)
+    {
+        if (entry->valid && entry->line.orient == Orientation::Col)
+            --_validColLines;
+        else if (entry->valid)
+            --_validRowLines;
+        entry->valid = false;
+        entry->dirtyMask = 0;
+    }
+
+    /** Install @p line into @p entry (which must be invalid). */
+    void
+    install(CacheEntry *entry, const OrientedLine &line)
+    {
+        mda_assert(!entry->valid, "installing over a valid entry");
+        entry->valid = true;
+        entry->line = line;
+        entry->prefetched = false;
+        entry->dirtyMask = 0;
+        entry->data.fill(0);
+        touch(entry);
+        if (line.orient == Orientation::Col)
+            ++_validColLines;
+        else
+            ++_validRowLines;
+    }
+
+    /** Iterate the ways of a set (for tests and policy probes). */
+    CacheEntry *setBase(std::uint64_t set)
+    {
+        mda_assert(set < _sets, "set out of range");
+        return &_entries[set * _ways];
+    }
+
+    /** Currently valid column-oriented lines (Fig. 15 occupancy). */
+    std::uint64_t validColLines() const { return _validColLines; }
+    std::uint64_t validRowLines() const { return _validRowLines; }
+
+  private:
+    std::uint64_t _sets;
+    unsigned _ways;
+    std::vector<CacheEntry> _entries;
+    std::uint64_t _clock = 0;
+    std::uint64_t _validColLines = 0;
+    std::uint64_t _validRowLines = 0;
+};
+
+} // namespace mda
+
+#endif // MDA_CACHE_STORAGE_HH

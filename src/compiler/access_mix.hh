@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Access orientation/size mix analysis (reproduces paper Fig. 10).
+ *
+ * Runs a compiled kernel's trace and tallies data volume into the four
+ * categories the paper plots: {row, column} x {scalar, vector}.
+ */
+
+#ifndef MDA_COMPILER_ACCESS_MIX_HH
+#define MDA_COMPILER_ACCESS_MIX_HH
+
+#include <cstdint>
+
+#include "trace_gen.hh"
+
+namespace mda::compiler
+{
+
+/** Byte totals per access category. */
+struct AccessMix
+{
+    std::uint64_t rowScalar = 0;
+    std::uint64_t rowVector = 0;
+    std::uint64_t colScalar = 0;
+    std::uint64_t colVector = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return rowScalar + rowVector + colScalar + colVector;
+    }
+
+    double
+    fraction(std::uint64_t part) const
+    {
+        return total() ? static_cast<double>(part) / total() : 0.0;
+    }
+
+    void
+    record(const TraceOp &op)
+    {
+        std::uint64_t bytes = op.bytes();
+        if (op.orient == Orientation::Row) {
+            (op.isVector ? rowVector : rowScalar) += bytes;
+        } else {
+            (op.isVector ? colVector : colScalar) += bytes;
+        }
+    }
+};
+
+/** Walk the whole kernel and classify every access by data volume. */
+inline AccessMix
+measureAccessMix(const CompiledKernel &ck)
+{
+    TraceGenerator gen(ck);
+    AccessMix mix;
+    TraceOp op;
+    while (gen.next(op))
+        mix.record(op);
+    return mix;
+}
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_ACCESS_MIX_HH

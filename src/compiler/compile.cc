@@ -1,0 +1,49 @@
+#include "compile.hh"
+
+namespace mda::compiler
+{
+
+std::uint64_t
+CompiledKernel::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layout : layouts)
+        total += layout->footprintBytes();
+    return total;
+}
+
+CompiledKernel
+compileKernel(Kernel kernel, const CompileOptions &opts)
+{
+    kernel.validate();
+
+    CompiledKernel ck;
+    ck.options = opts;
+    ck.directions = analyzeDirections(kernel);
+
+    VectorizeOptions vopts;
+    vopts.enable = opts.vectorize;
+    // Column vectors need both an MDA-capable hierarchy and the
+    // MDA-compliant layout; otherwise each "vector" would splinter
+    // into per-word transfers.
+    vopts.allowColumnVectors =
+        opts.mdaEnabled && opts.effectiveLayout() == LayoutKind::Tiled2D;
+    ck.vplan = planVectorization(kernel, vopts);
+
+    // Place arrays back to back on page boundaries (the paper's OS
+    // support guarantees column-contiguous allocation; a page-aligned
+    // sequential placement models that).
+    constexpr Addr page = 4096;
+    Addr cursor = alignUp(opts.dataBase, page);
+    LayoutKind kind = opts.effectiveLayout();
+    for (const auto &arr : kernel.arrays) {
+        auto layout = makeLayout(kind, cursor, arr.rows, arr.cols);
+        cursor = alignUp(cursor + layout->footprintBytes(), page);
+        ck.layouts.push_back(std::move(layout));
+    }
+
+    ck.kernel = std::move(kernel);
+    return ck;
+}
+
+} // namespace mda::compiler

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The compiler driver: analysis + transforms -> CompiledKernel.
+ *
+ * Compiling a kernel runs access-direction analysis, picks memory
+ * layouts (the padding transform), plans vectorization, and assigns
+ * array base addresses. The result is everything the trace generator
+ * and the Fig. 10 access-mix analysis need.
+ */
+
+#ifndef MDA_COMPILER_COMPILE_HH
+#define MDA_COMPILER_COMPILE_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "direction.hh"
+#include "ir.hh"
+#include "layout.hh"
+#include "vectorizer.hh"
+
+namespace mda::compiler
+{
+
+/** Knobs for a compilation. */
+struct CompileOptions
+{
+    /**
+     * Target an MDA-capable hierarchy: annotate column preferences and
+     * vectorize along columns. False compiles for the conventional
+     * 1P1L baseline (all accesses row-marked, row-only vectorization).
+     */
+    bool mdaEnabled = true;
+
+    /** Master vectorization enable (both modes vectorize rows). */
+    bool vectorize = true;
+
+    /**
+     * Layout override for ablations. Default: Tiled2D when mdaEnabled,
+     * RowMajor1D otherwise — the paper always pairs the layout with
+     * the logical dimensionality of the hierarchy (Section IV-C).
+     */
+    std::optional<LayoutKind> layoutOverride;
+
+    /** Base of the data segment (tile/page aligned). */
+    Addr dataBase = 0x10000000;
+
+    LayoutKind
+    effectiveLayout() const
+    {
+        if (layoutOverride)
+            return *layoutOverride;
+        return mdaEnabled ? LayoutKind::Tiled2D : LayoutKind::RowMajor1D;
+    }
+};
+
+/** A compiled kernel: IR + analysis results + placed layouts. */
+struct CompiledKernel
+{
+    Kernel kernel;
+    CompileOptions options;
+    DirectionInfo directions;
+    VectorPlan vplan;
+    std::vector<std::unique_ptr<Layout>> layouts; ///< Per array id.
+
+    /** Profile-guided annotation overrides (see compiler/profiler.hh)
+     *  for references the static analysis left undiscerned. Consulted
+     *  before the static preference; apply before constructing trace
+     *  generators. */
+    std::map<std::uint32_t, Orientation> annotationOverrides;
+
+    const Layout &
+    layoutOf(ArrayId id) const
+    {
+        mda_assert(id < layouts.size(), "array id out of range");
+        return *layouts[id];
+    }
+
+    /** Orientation annotation carried by accesses of @p ref_id. */
+    Orientation
+    orientationOf(std::uint32_t ref_id) const
+    {
+        if (!options.mdaEnabled)
+            return Orientation::Row;
+        auto it = annotationOverrides.find(ref_id);
+        if (it != annotationOverrides.end())
+            return it->second;
+        return directions.preference(ref_id);
+    }
+
+    /** Sum of all array footprints (the working-set size). */
+    std::uint64_t footprintBytes() const;
+};
+
+/** Run the full compilation pipeline. */
+CompiledKernel compileKernel(Kernel kernel, const CompileOptions &opts);
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_COMPILE_HH

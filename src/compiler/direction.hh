@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Access-direction analysis (paper Section V).
+ *
+ * For every array reference, determine whether the innermost enclosing
+ * loop traverses the array along rows (innermost index appears only in
+ * the column subscript — the fastest-changing dimension of a row-major
+ * array), along columns (only in the row subscript), is invariant, or
+ * mixes both (diagonal walks). Row-wise and undiscerned accesses are
+ * annotated with row preference; column-wise accesses with column
+ * preference — the annotation the ISA carries on each load/store.
+ */
+
+#ifndef MDA_COMPILER_DIRECTION_HH
+#define MDA_COMPILER_DIRECTION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "ir.hh"
+#include "sim/orientation.hh"
+
+namespace mda::compiler
+{
+
+/** The analysis verdict for one reference. */
+enum class AccessDirection : std::uint8_t
+{
+    RowWise,    ///< Moves along a row (unit-ish stride).
+    ColWise,    ///< Moves down a column (row-pitch stride).
+    Invariant,  ///< Does not move with the innermost loop.
+    Mixed,      ///< Innermost index in both subscripts (diagonal).
+};
+
+/** Printable name. */
+constexpr const char *
+directionName(AccessDirection d)
+{
+    switch (d) {
+      case AccessDirection::RowWise: return "row";
+      case AccessDirection::ColWise: return "col";
+      case AccessDirection::Invariant: return "invariant";
+      case AccessDirection::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+/** Orientation preference conveyed to hardware for a verdict:
+ *  only column-wise accesses get column preference (paper: accesses
+ *  without discerned preference are marked row). */
+constexpr Orientation
+preferenceOf(AccessDirection d)
+{
+    return d == AccessDirection::ColWise ? Orientation::Col
+                                         : Orientation::Row;
+}
+
+/**
+ * The innermost loop that actually varies for a statement: the deepest
+ * enclosing loop (statements above the innermost loop are analyzed
+ * with respect to the deepest loop that encloses *them*).
+ */
+inline LoopId
+innermostFor(const LoopNest &nest, const Stmt &stmt)
+{
+    return nest.loops[stmt.depth].id;
+}
+
+/** Classify one reference with respect to enclosing loop @p innermost. */
+inline AccessDirection
+classifyRef(const ArrayRef &ref, LoopId innermost)
+{
+    bool in_row = ref.rowExpr.uses(innermost);
+    bool in_col = ref.colExpr.uses(innermost);
+    if (in_row && in_col)
+        return AccessDirection::Mixed;
+    if (in_row)
+        return AccessDirection::ColWise;
+    if (in_col)
+        return AccessDirection::RowWise;
+    return AccessDirection::Invariant;
+}
+
+/** Per-kernel analysis result, keyed by static reference id. */
+struct DirectionInfo
+{
+    std::map<std::uint32_t, AccessDirection> byRef;
+
+    AccessDirection
+    of(std::uint32_t ref_id) const
+    {
+        auto it = byRef.find(ref_id);
+        mda_assert(it != byRef.end(), "unknown ref id %u", ref_id);
+        return it->second;
+    }
+
+    Orientation
+    preference(std::uint32_t ref_id) const
+    {
+        return preferenceOf(of(ref_id));
+    }
+};
+
+/** Run the analysis over a whole kernel. */
+inline DirectionInfo
+analyzeDirections(const Kernel &kernel)
+{
+    DirectionInfo info;
+    for (const auto &nest : kernel.nests) {
+        for (const auto &stmt : nest.stmts) {
+            LoopId innermost = innermostFor(nest, stmt);
+            for (const auto &ref : stmt.refs)
+                info.byRef[ref.refId] = classifyRef(ref, innermost);
+        }
+    }
+    return info;
+}
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_DIRECTION_HH

@@ -1,0 +1,101 @@
+#include "ir.hh"
+
+#include <set>
+#include <sstream>
+
+namespace mda::compiler
+{
+
+std::string
+AffineExpr::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &t : _terms) {
+        if (!first)
+            os << (t.second >= 0 ? " + " : " - ");
+        else if (t.second < 0)
+            os << "-";
+        std::int64_t mag = t.second < 0 ? -t.second : t.second;
+        if (mag != 1)
+            os << mag << "*";
+        os << "L" << t.first;
+        first = false;
+    }
+    if (_constant != 0 || first) {
+        if (!first)
+            os << (_constant >= 0 ? " + " : " - ");
+        std::int64_t mag = _constant < 0 ? -_constant : _constant;
+        os << (first ? _constant : mag);
+    }
+    return os.str();
+}
+
+void
+Kernel::validate() const
+{
+    std::set<LoopId> seen_loops;
+    std::set<std::uint32_t> seen_refs;
+    for (const auto &arr : arrays) {
+        if (arr.rows <= 0 || arr.cols <= 0)
+            fatal("array %s has non-positive dimensions",
+                  arr.name.c_str());
+    }
+    for (const auto &nest : nests) {
+        if (nest.loops.empty())
+            fatal("nest %s has no loops", nest.name.c_str());
+        if (nest.stmts.empty())
+            fatal("nest %s has no statements", nest.name.c_str());
+        for (const auto &loop : nest.loops) {
+            if (!seen_loops.insert(loop.id).second)
+                fatal("loop id %u reused across nests", loop.id);
+            if (loop.id >= loopCount)
+                fatal("loop id %u exceeds loopCount %u", loop.id,
+                      loopCount);
+        }
+        // Bounds may only reference outer loops of the same nest.
+        for (std::size_t d = 0; d < nest.loops.size(); ++d) {
+            const Loop &loop = nest.loops[d];
+            if (loop.values)
+                continue;
+            for (const AffineExpr *e : {&loop.lower, &loop.upper}) {
+                for (const auto &t : e->terms()) {
+                    bool outer = false;
+                    for (std::size_t o = 0; o < d; ++o)
+                        outer |= (nest.loops[o].id == t.first);
+                    if (!outer) {
+                        fatal("loop %s bound uses non-outer loop L%u",
+                              loop.varName.c_str(), t.first);
+                    }
+                }
+            }
+        }
+        for (const auto &stmt : nest.stmts) {
+            if (stmt.depth >= nest.loops.size())
+                fatal("stmt depth %u too deep in nest %s", stmt.depth,
+                      nest.name.c_str());
+            for (const auto &ref : stmt.refs) {
+                if (ref.array >= arrays.size())
+                    fatal("ref to undeclared array %u", ref.array);
+                if (!seen_refs.insert(ref.refId).second)
+                    fatal("duplicate ref id %u", ref.refId);
+                // Subscripts may only use loops of this nest that
+                // enclose the statement.
+                for (const AffineExpr *e : {&ref.rowExpr, &ref.colExpr}) {
+                    for (const auto &t : e->terms()) {
+                        bool enclosing = false;
+                        for (std::size_t d = 0; d <= stmt.depth; ++d)
+                            enclosing |= (nest.loops[d].id == t.first);
+                        if (!enclosing) {
+                            fatal("ref in %s uses loop L%u that does "
+                                  "not enclose it",
+                                  nest.name.c_str(), t.first);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace mda::compiler

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Affine loop-nest intermediate representation.
+ *
+ * Workload kernels are expressed as sequences of loop nests over 2-D
+ * arrays with affine subscripts — exactly the program class the paper's
+ * compiler support (Section V) targets. The compiler analyses this IR
+ * to extract access-direction preferences, applies the MDA-compliant
+ * layout transform, vectorizes along rows *and* columns, and emits the
+ * annotated memory-access stream the simulated hardware consumes.
+ */
+
+#ifndef MDA_COMPILER_IR_HH
+#define MDA_COMPILER_IR_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mda::compiler
+{
+
+/** Identifies a loop within a kernel (assigned by the builder). */
+using LoopId = unsigned;
+
+/** Identifies an array within a kernel. */
+using ArrayId = unsigned;
+
+/**
+ * A linear expression c0 + sum(ci * loop_i) over loop variables.
+ * Subscripts and loop bounds are affine expressions.
+ */
+class AffineExpr
+{
+  public:
+    AffineExpr() = default;
+
+    /** Constant expression. */
+    /* implicit */ AffineExpr(std::int64_t c) : _constant(c) {}
+
+    /** The expression "var" (coefficient 1 on @p loop). */
+    static AffineExpr
+    var(LoopId loop)
+    {
+        AffineExpr e;
+        e._terms.emplace_back(loop, 1);
+        return e;
+    }
+
+    /** Add @p coeff * loop to this expression. */
+    AffineExpr &
+    plusVar(LoopId loop, std::int64_t coeff)
+    {
+        if (coeff == 0)
+            return *this;
+        for (auto &t : _terms) {
+            if (t.first == loop) {
+                t.second += coeff;
+                if (t.second == 0)
+                    removeVar(loop);
+                return *this;
+            }
+        }
+        _terms.emplace_back(loop, coeff);
+        return *this;
+    }
+
+    /** Add a constant. */
+    AffineExpr &
+    plusConst(std::int64_t c)
+    {
+        _constant += c;
+        return *this;
+    }
+
+    /** Coefficient of @p loop (0 if absent). */
+    std::int64_t
+    coeffOf(LoopId loop) const
+    {
+        for (const auto &t : _terms)
+            if (t.first == loop)
+                return t.second;
+        return 0;
+    }
+
+    /** Whether @p loop appears with non-zero coefficient. */
+    bool uses(LoopId loop) const { return coeffOf(loop) != 0; }
+
+    std::int64_t constant() const { return _constant; }
+    const std::vector<std::pair<LoopId, std::int64_t>> &terms() const
+    {
+        return _terms;
+    }
+
+    /**
+     * Evaluate with loop values supplied by index: vals[loop id].
+     * Loop ids must be dense (assigned by KernelBuilder).
+     */
+    std::int64_t
+    eval(const std::vector<std::int64_t> &vals) const
+    {
+        std::int64_t v = _constant;
+        for (const auto &t : _terms) {
+            mda_assert(t.first < vals.size(), "loop id out of range");
+            v += t.second * vals[t.first];
+        }
+        return v;
+    }
+
+    /** Render as a human-readable string, e.g. "i + 2*k - 1". */
+    std::string str() const;
+
+  private:
+    void
+    removeVar(LoopId loop)
+    {
+        std::erase_if(_terms,
+                      [loop](const auto &t) { return t.first == loop; });
+    }
+
+    std::int64_t _constant = 0;
+    std::vector<std::pair<LoopId, std::int64_t>> _terms;
+};
+
+/** A 2-D array of 64-bit elements. */
+struct ArrayDecl
+{
+    ArrayId id = 0;
+    std::string name;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+};
+
+/** One subscripted array access within a statement. */
+struct ArrayRef
+{
+    ArrayId array = 0;
+    AffineExpr rowExpr;
+    AffineExpr colExpr;
+    bool isWrite = false;
+
+    /** Static-instruction id; unique across the kernel, assigned at
+     *  build time, used as the prefetcher-training PC. */
+    std::uint32_t refId = 0;
+};
+
+/** Where a statement sits relative to deeper loops at its depth. */
+enum class StmtPhase : std::uint8_t
+{
+    Pre,   ///< Executes before the next-deeper loop each iteration.
+    Post,  ///< Executes after the next-deeper loop completes.
+};
+
+/**
+ * A straight-line statement: an ordered list of array references plus
+ * an estimate of the non-memory work (ALU cycles) per execution.
+ */
+struct Stmt
+{
+    std::vector<ArrayRef> refs;
+
+    /** Depth d: the statement lives directly in the body of loops[d]. */
+    unsigned depth = 0;
+
+    StmtPhase phase = StmtPhase::Pre;
+
+    /** Non-memory cycles charged once per (possibly SIMD) execution. */
+    unsigned computeCycles = 1;
+
+    /** False models bodies the vectorizer must reject regardless of
+     *  subscripts (data-dependent predicates, calls, ...). */
+    bool vectorizable = true;
+};
+
+/** One loop of a nest. */
+struct Loop
+{
+    LoopId id = 0;
+    std::string varName;
+
+    /** Half-open bounds [lower, upper); affine in *outer* loop vars. */
+    AffineExpr lower;
+    AffineExpr upper;
+
+    /**
+     * Explicit iteration values (e.g. randomly chosen transaction rows
+     * in the HTAP workloads). When set, bounds are ignored and the
+     * loop is never vectorized along.
+     */
+    std::optional<std::vector<std::int64_t>> values;
+};
+
+/** A perfect-or-imperfect loop nest with statements at any depth. */
+struct LoopNest
+{
+    std::string name;
+    std::vector<Loop> loops;   ///< Outermost first.
+
+    /** Deque: statements keep stable addresses while the builder
+     *  appends more (the fluent API hands out references). */
+    std::deque<Stmt> stmts;
+
+    const Loop &innermost() const { return loops.back(); }
+};
+
+/** A whole kernel: arrays plus an ordered sequence of loop nests. */
+struct Kernel
+{
+    std::string name;
+    std::vector<ArrayDecl> arrays;
+
+    /** Deque: nests keep stable addresses across builder appends. */
+    std::deque<LoopNest> nests;
+
+    /** Total distinct loops (ids are dense in [0, loopCount)). */
+    unsigned loopCount = 0;
+
+    const ArrayDecl &
+    array(ArrayId id) const
+    {
+        mda_assert(id < arrays.size(), "array id out of range");
+        return arrays[id];
+    }
+
+    /** Validate structural invariants; fatal on violation. */
+    void validate() const;
+};
+
+/**
+ * Fluent builder assigning dense loop ids and unique ref ids.
+ *
+ * Usage:
+ * @code
+ *   KernelBuilder b("sgemm");
+ *   auto A = b.array("A", n, n);
+ *   auto nest = b.nest("mm");
+ *   auto i = nest.loop("i", 0, n);
+ *   ...
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name) { _kernel.name = std::move(name); }
+
+    /** Declare a rows x cols array of 64-bit words. */
+    ArrayId
+    array(std::string name, std::int64_t rows, std::int64_t cols)
+    {
+        ArrayDecl decl;
+        decl.id = static_cast<ArrayId>(_kernel.arrays.size());
+        decl.name = std::move(name);
+        decl.rows = rows;
+        decl.cols = cols;
+        _kernel.arrays.push_back(std::move(decl));
+        return _kernel.arrays.back().id;
+    }
+
+    /** Scoped builder for one loop nest. */
+    class NestBuilder
+    {
+      public:
+        /** Add a loop with affine half-open bounds [lo, hi). */
+        LoopId
+        loop(std::string var, AffineExpr lo, AffineExpr hi)
+        {
+            Loop l;
+            l.id = _parent->_kernel.loopCount++;
+            l.varName = std::move(var);
+            l.lower = std::move(lo);
+            l.upper = std::move(hi);
+            _nest->loops.push_back(std::move(l));
+            return _nest->loops.back().id;
+        }
+
+        /** Add a loop iterating over explicit values. */
+        LoopId
+        loopOver(std::string var, std::vector<std::int64_t> values)
+        {
+            Loop l;
+            l.id = _parent->_kernel.loopCount++;
+            l.varName = std::move(var);
+            l.values = std::move(values);
+            _nest->loops.push_back(std::move(l));
+            return _nest->loops.back().id;
+        }
+
+        /** Add a statement at the innermost depth (Pre phase). */
+        Stmt &
+        stmt(unsigned compute_cycles = 1)
+        {
+            return stmtAt(static_cast<unsigned>(_nest->loops.size()) - 1,
+                          StmtPhase::Pre, compute_cycles);
+        }
+
+        /** Add a statement at an explicit depth/phase. */
+        Stmt &
+        stmtAt(unsigned depth, StmtPhase phase,
+               unsigned compute_cycles = 1)
+        {
+            mda_assert(depth < _nest->loops.size(), "stmt too deep");
+            Stmt s;
+            s.depth = depth;
+            s.phase = phase;
+            s.computeCycles = compute_cycles;
+            _nest->stmts.push_back(std::move(s));
+            return _nest->stmts.back();
+        }
+
+        /** Append a read reference to @p s. */
+        ArrayRef &
+        read(Stmt &s, ArrayId arr, AffineExpr row, AffineExpr col)
+        {
+            return addRef(s, arr, std::move(row), std::move(col), false);
+        }
+
+        /** Append a write reference to @p s. */
+        ArrayRef &
+        write(Stmt &s, ArrayId arr, AffineExpr row, AffineExpr col)
+        {
+            return addRef(s, arr, std::move(row), std::move(col), true);
+        }
+
+      private:
+        friend class KernelBuilder;
+        NestBuilder(KernelBuilder *parent, LoopNest *nest)
+            : _parent(parent), _nest(nest)
+        {}
+
+        ArrayRef &
+        addRef(Stmt &s, ArrayId arr, AffineExpr row, AffineExpr col,
+               bool is_write)
+        {
+            ArrayRef ref;
+            ref.array = arr;
+            ref.rowExpr = std::move(row);
+            ref.colExpr = std::move(col);
+            ref.isWrite = is_write;
+            ref.refId = ++_parent->_nextRefId;
+            s.refs.push_back(std::move(ref));
+            return s.refs.back();
+        }
+
+        KernelBuilder *_parent;
+        LoopNest *_nest;
+    };
+
+    /** Start a new nest appended after existing ones. */
+    NestBuilder
+    nest(std::string name)
+    {
+        LoopNest n;
+        n.name = std::move(name);
+        _kernel.nests.push_back(std::move(n));
+        return NestBuilder(this, &_kernel.nests.back());
+    }
+
+    /** Finish: validates and returns the kernel. */
+    Kernel
+    build()
+    {
+        _kernel.validate();
+        return std::move(_kernel);
+    }
+
+  private:
+    Kernel _kernel;
+    std::uint32_t _nextRefId = 0;
+};
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_IR_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Memory layouts: the target of the MDA-compliant padding transform.
+ *
+ * RowMajorLayout is the conventional 1-D-optimized layout (row pitch
+ * padded to a whole number of cache lines). TiledLayout is the
+ * MDA-compliant layout of Section V: both dimensions are padded to the
+ * 8x8-word tile geometry and elements are stored tile-by-tile, so that
+ * the eight elements X[8a..8a+7][j] of any aligned logical column land
+ * in one physical column line of one 512-byte tile — the property the
+ * paper's intra-array padding establishes ("two data elements that map
+ * to the same column ... need also map to the same column in the MDA
+ * memory structure").
+ */
+
+#ifndef MDA_COMPILER_LAYOUT_HH
+#define MDA_COMPILER_LAYOUT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/logging.hh"
+#include "sim/orientation.hh"
+#include "sim/types.hh"
+
+namespace mda::compiler
+{
+
+/** Which layout family an array uses. */
+enum class LayoutKind : std::uint8_t
+{
+    RowMajor1D,  ///< Conventional, 1-D-optimized (pitch padded to 64 B).
+    Tiled2D,     ///< MDA-compliant 8x8-word tiles.
+};
+
+/** Maps logical (row, col) element coordinates to byte addresses. */
+class Layout
+{
+  public:
+    Layout(Addr base, std::int64_t rows, std::int64_t cols)
+        : _base(base), _rows(rows), _cols(cols)
+    {
+        mda_assert((base & (tileBytes - 1)) == 0,
+                   "array base must be tile aligned");
+    }
+
+    virtual ~Layout() = default;
+
+    /** Byte address of element (row, col). */
+    virtual Addr elementAddr(std::int64_t row, std::int64_t col) const = 0;
+
+    /** Total padded footprint in bytes. */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    virtual LayoutKind kind() const = 0;
+
+    Addr base() const { return _base; }
+    std::int64_t rows() const { return _rows; }
+    std::int64_t cols() const { return _cols; }
+
+  protected:
+    Addr _base;
+    std::int64_t _rows;
+    std::int64_t _cols;
+};
+
+/** Conventional row-major with the pitch padded to full cache lines. */
+class RowMajorLayout : public Layout
+{
+  public:
+    RowMajorLayout(Addr base, std::int64_t rows, std::int64_t cols)
+        : Layout(base, rows, cols),
+          _pitch(alignUp(static_cast<Addr>(cols) * wordBytes, lineBytes))
+    {}
+
+    Addr
+    elementAddr(std::int64_t row, std::int64_t col) const override
+    {
+        mda_assert(row >= 0 && row < _rows && col >= 0 && col < _cols,
+                   "element out of bounds");
+        return _base + static_cast<Addr>(row) * _pitch +
+               static_cast<Addr>(col) * wordBytes;
+    }
+
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return static_cast<std::uint64_t>(_rows) * _pitch;
+    }
+
+    LayoutKind kind() const override { return LayoutKind::RowMajor1D; }
+
+    /** Row pitch in bytes (after line padding). */
+    Addr pitch() const { return _pitch; }
+
+  private:
+    Addr _pitch;
+};
+
+/** MDA-compliant tiled layout: 8x8-word tiles stored row-of-tiles
+ *  major; both dimensions padded up to multiples of 8 elements. */
+class TiledLayout : public Layout
+{
+  public:
+    TiledLayout(Addr base, std::int64_t rows, std::int64_t cols)
+        : Layout(base, rows, cols),
+          _tileRows((rows + tileLines - 1) / tileLines),
+          _tileCols((cols + lineWords - 1) / lineWords)
+    {}
+
+    Addr
+    elementAddr(std::int64_t row, std::int64_t col) const override
+    {
+        mda_assert(row >= 0 && row < _rows && col >= 0 && col < _cols,
+                   "element out of bounds");
+        std::int64_t ti = row / tileLines, fi = row % tileLines;
+        std::int64_t tj = col / lineWords, fj = col % lineWords;
+        std::int64_t tile = ti * _tileCols + tj;
+        return _base + static_cast<Addr>(tile) * tileBytes +
+               static_cast<Addr>(fi) * lineBytes +
+               static_cast<Addr>(fj) * wordBytes;
+    }
+
+    std::uint64_t
+    footprintBytes() const override
+    {
+        return static_cast<std::uint64_t>(_tileRows) * _tileCols *
+               tileBytes;
+    }
+
+    LayoutKind kind() const override { return LayoutKind::Tiled2D; }
+
+    std::int64_t tileRows() const { return _tileRows; }
+    std::int64_t tileCols() const { return _tileCols; }
+
+  private:
+    std::int64_t _tileRows;
+    std::int64_t _tileCols;
+};
+
+/** Construct a layout of the requested kind. */
+inline std::unique_ptr<Layout>
+makeLayout(LayoutKind kind, Addr base, std::int64_t rows,
+           std::int64_t cols)
+{
+    if (kind == LayoutKind::RowMajor1D)
+        return std::make_unique<RowMajorLayout>(base, rows, cols);
+    return std::make_unique<TiledLayout>(base, rows, cols);
+}
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_LAYOUT_HH

@@ -1,0 +1,91 @@
+#include "profiler.hh"
+
+#include <unordered_map>
+
+#include "trace_gen.hh"
+
+namespace mda::compiler
+{
+
+KernelProfile
+profileKernel(const Kernel &kernel, std::uint64_t max_ops)
+{
+    // Profile on a scalar, row-major compilation: logical movement is
+    // recoverable from address deltas via each array's row pitch.
+    Kernel copy = kernel;
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    opts.vectorize = false;
+    CompiledKernel ck = compileKernel(std::move(copy), opts);
+
+    // Per-reference row pitch (bytes between vertically adjacent
+    // elements) from the profiling layout.
+    std::unordered_map<std::uint32_t, Addr> pitch_of;
+    for (const auto &nest : ck.kernel.nests) {
+        for (const auto &stmt : nest.stmts) {
+            for (const auto &ref : stmt.refs) {
+                const auto *layout = static_cast<const RowMajorLayout *>(
+                    &ck.layoutOf(ref.array));
+                pitch_of[ref.refId] = layout->pitch();
+            }
+        }
+    }
+
+    KernelProfile profile;
+    std::unordered_map<std::uint32_t, Addr> last_addr;
+    TraceGenerator gen(ck);
+    TraceOp op;
+    std::uint64_t ops = 0;
+    while (ops < max_ops && gen.next(op)) {
+        ++ops;
+        auto [it, fresh] = last_addr.emplace(op.pc, op.addr);
+        if (fresh)
+            continue;
+        std::int64_t delta = static_cast<std::int64_t>(op.addr) -
+                             static_cast<std::int64_t>(it->second);
+        it->second = op.addr;
+        if (delta == 0)
+            continue;
+        RefProfile &rp = profile.byRef[op.pc];
+        auto pitch = static_cast<std::int64_t>(pitch_of[op.pc]);
+        std::int64_t mag = delta < 0 ? -delta : delta;
+        if (mag < pitch) {
+            ++rp.rowSteps; // moved within the row
+        } else if (mag % pitch == 0 && mag / pitch <= 2) {
+            ++rp.colSteps; // moved a row or two straight down
+        } else {
+            ++rp.farJumps; // loop boundary / random reposition
+        }
+    }
+    return profile;
+}
+
+unsigned
+applyProfile(CompiledKernel &ck, const KernelProfile &profile,
+             double threshold)
+{
+    if (!ck.options.mdaEnabled)
+        return 0; // the baseline ISA has no column annotations
+    unsigned changed = 0;
+    for (const auto &nest : ck.kernel.nests) {
+        for (const auto &stmt : nest.stmts) {
+            for (const auto &ref : stmt.refs) {
+                AccessDirection dir = ck.directions.of(ref.refId);
+                if (dir != AccessDirection::Mixed &&
+                    dir != AccessDirection::Invariant)
+                    continue; // statically resolved
+                const RefProfile &rp = profile.of(ref.refId);
+                if (rp.total() == 0)
+                    continue;
+                Orientation suggested = rp.preference(threshold);
+                if (suggested != ck.orientationOf(ref.refId)) {
+                    ck.annotationOverrides[ref.refId] = suggested;
+                    ++changed;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace mda::compiler

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Profile-guided access-direction annotation (paper Section V):
+ * "In cases where a data reference in the target code does not
+ * exhibit a strong row or column preference that can be detected by
+ * the compiler, we can employ profiling ... and then the
+ * corresponding static load/store instructions can be annotated (with
+ * access preference information) as suggested by the profiler."
+ *
+ * The profiler replays a kernel's (scalar) access stream and, for
+ * each static reference, classifies consecutive dynamic accesses as
+ * row-neighbouring (same logical row, nearby column) or
+ * column-neighbouring. References whose static analysis said Mixed or
+ * Invariant get the empirically dominant direction when the bias
+ * clears a confidence threshold.
+ */
+
+#ifndef MDA_COMPILER_PROFILER_HH
+#define MDA_COMPILER_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+
+#include "compile.hh"
+
+namespace mda::compiler
+{
+
+/** Per-reference dynamic direction statistics. */
+struct RefProfile
+{
+    std::uint64_t rowSteps = 0; ///< Next access moved along the row.
+    std::uint64_t colSteps = 0; ///< Next access moved down the column.
+    std::uint64_t farJumps = 0; ///< Neither (loop boundary, random).
+
+    std::uint64_t total() const { return rowSteps + colSteps + farJumps; }
+
+    /** Empirical preference, if the bias is strong enough. */
+    Orientation
+    preference(double threshold = 0.6) const
+    {
+        std::uint64_t steps = rowSteps + colSteps;
+        if (steps == 0)
+            return Orientation::Row;
+        double col_bias = static_cast<double>(colSteps) /
+                          static_cast<double>(steps);
+        return col_bias >= threshold ? Orientation::Col
+                                     : Orientation::Row;
+    }
+};
+
+/** Profile of one kernel run. */
+struct KernelProfile
+{
+    std::map<std::uint32_t, RefProfile> byRef;
+
+    const RefProfile &
+    of(std::uint32_t ref_id) const
+    {
+        static const RefProfile empty;
+        auto it = byRef.find(ref_id);
+        return it == byRef.end() ? empty : it->second;
+    }
+};
+
+/**
+ * Replay @p kernel's scalar access stream and collect per-reference
+ * direction statistics. @p max_ops bounds profiling cost (sampling).
+ */
+KernelProfile profileKernel(const Kernel &kernel,
+                            std::uint64_t max_ops = 1u << 22);
+
+/**
+ * Re-annotate a compiled kernel: references the static analysis left
+ * without a discerned preference (Mixed) adopt the profiler's
+ * suggestion when its bias clears @p threshold. Statically resolved
+ * references are never overridden (the compiler knows best).
+ *
+ * @return Number of references whose annotation changed.
+ */
+unsigned applyProfile(CompiledKernel &ck, const KernelProfile &profile,
+                      double threshold = 0.6);
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_PROFILER_HH

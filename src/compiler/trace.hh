@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The annotated memory-operation stream a compiled kernel executes.
+ */
+
+#ifndef MDA_COMPILER_TRACE_HH
+#define MDA_COMPILER_TRACE_HH
+
+#include <cstdint>
+
+#include "sim/orientation.hh"
+#include "sim/types.hh"
+
+namespace mda::compiler
+{
+
+/**
+ * One dynamic memory operation. Scalars carry the word address;
+ * vector ops carry the base address of the oriented line they touch
+ * plus a mask of the covered words (an unaligned SIMD access is split
+ * by the generator into one op per line touched).
+ */
+struct TraceOp
+{
+    Addr addr = invalidAddr;
+    Orientation orient = Orientation::Row;
+    bool isWrite = false;
+    bool isVector = false;
+
+    /** For vector ops: which words of the line are accessed. */
+    std::uint8_t wordMask = 0x01;
+
+    /** Static reference id (prefetcher training key). */
+    std::uint32_t pc = 0;
+
+    /** Non-memory cycles the CPU stalls before issuing this op. */
+    std::uint32_t computeCycles = 0;
+
+    /** Bytes of data moved by this op. */
+    unsigned
+    bytes() const
+    {
+        if (!isVector)
+            return wordBytes;
+        return static_cast<unsigned>(__builtin_popcount(wordMask)) *
+               wordBytes;
+    }
+};
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_TRACE_HH

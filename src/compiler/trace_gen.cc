@@ -1,0 +1,316 @@
+#include "trace_gen.hh"
+
+#include <algorithm>
+
+namespace mda::compiler
+{
+
+TraceGenerator::TraceGenerator(const CompiledKernel &ck) : _ck(ck)
+{
+    buildPlans();
+    reset();
+}
+
+void
+TraceGenerator::buildPlans()
+{
+    const Kernel &k = _ck.kernel;
+    _plans.clear();
+    _plans.reserve(k.nests.size());
+
+    std::size_t max_depth = 0;
+    for (std::size_t n = 0; n < k.nests.size(); ++n) {
+        const LoopNest &nest = k.nests[n];
+        max_depth = std::max(max_depth, nest.loops.size());
+
+        NestPlan plan;
+        plan.nest = &nest;
+        plan.preAt.resize(nest.loops.size());
+        plan.postAt.resize(nest.loops.size());
+
+        unsigned innermost_depth =
+            static_cast<unsigned>(nest.loops.size()) - 1;
+        bool all_inner_vectorized = true;
+        bool any_inner = false;
+
+        for (std::size_t s = 0; s < nest.stmts.size(); ++s) {
+            const Stmt &stmt = nest.stmts[s];
+            StmtPlan sp;
+            sp.depth = stmt.depth;
+            sp.phase = stmt.phase;
+            sp.computeCycles = stmt.computeCycles;
+            sp.vectorized = _ck.vplan.isVectorized(n, s);
+            if (stmt.depth == innermost_depth) {
+                any_inner = true;
+                all_inner_vectorized &= sp.vectorized;
+            }
+            LoopId inner_lid = nest.loops[stmt.depth].id;
+            for (const auto &ref : stmt.refs) {
+                RefPlan rp;
+                rp.layout = &_ck.layoutOf(ref.array);
+                rp.rowExpr = ref.rowExpr;
+                rp.colExpr = ref.colExpr;
+                rp.orient = _ck.orientationOf(ref.refId);
+                rp.dir = classifyRef(ref, inner_lid);
+                rp.isWrite = ref.isWrite;
+                rp.pc = ref.refId;
+                rp.rowStep = ref.rowExpr.coeffOf(inner_lid);
+                rp.colStep = ref.colExpr.coeffOf(inner_lid);
+                sp.refs.push_back(std::move(rp));
+            }
+            auto &bucket = (stmt.phase == StmtPhase::Pre)
+                               ? plan.preAt[stmt.depth]
+                               : plan.postAt[stmt.depth];
+            bucket.push_back(static_cast<unsigned>(plan.stmts.size()));
+            plan.stmts.push_back(std::move(sp));
+        }
+
+        // The innermost loop steps by 8 only when every statement in
+        // its body vectorizes; a mix would need unroll-and-jam.
+        if (!(any_inner && all_inner_vectorized)) {
+            for (auto &sp : plan.stmts)
+                if (sp.depth == innermost_depth)
+                    sp.vectorized = false;
+        }
+        _plans.push_back(std::move(plan));
+    }
+
+    _vals.assign(k.loopCount, 0);
+    _hi.assign(max_depth, 0);
+    _valueIdx.assign(max_depth, 0);
+}
+
+void
+TraceGenerator::reset()
+{
+    _nestIdx = 0;
+    _phase = Phase::EnterLoop;
+    _depth = 0;
+    std::fill(_vals.begin(), _vals.end(), 0);
+    std::fill(_hi.begin(), _hi.end(), 0);
+    std::fill(_valueIdx.begin(), _valueIdx.end(), 0);
+    _lastWidth = 1;
+    _pendingCompute = 0;
+    _buffer.clear();
+    _head = 0;
+    _emitted = 0;
+    _done = _plans.empty();
+}
+
+std::int64_t
+TraceGenerator::loopLower(const Loop &loop) const
+{
+    return loop.lower.eval(_vals);
+}
+
+std::int64_t
+TraceGenerator::loopUpper(const Loop &loop) const
+{
+    return loop.upper.eval(_vals);
+}
+
+void
+TraceGenerator::pushOp(TraceOp op)
+{
+    op.computeCycles = _pendingCompute;
+    _pendingCompute = 0;
+    _buffer.push_back(op);
+}
+
+void
+TraceGenerator::emitScalarRef(const RefPlan &ref)
+{
+    std::int64_t r = ref.rowExpr.eval(_vals);
+    std::int64_t c = ref.colExpr.eval(_vals);
+    TraceOp op;
+    op.addr = ref.layout->elementAddr(r, c);
+    op.orient = ref.orient;
+    op.isWrite = ref.isWrite;
+    op.isVector = false;
+    op.wordMask = 0x01;
+    op.pc = ref.pc;
+    pushOp(op);
+}
+
+void
+TraceGenerator::emitVectorRef(const RefPlan &ref)
+{
+    // Eight lanes along the moving dimension; group the lane addresses
+    // into the oriented lines they fall in (1 if aligned, 2 if the
+    // group straddles a tile boundary) and emit one op per line.
+    std::int64_t r = ref.rowExpr.eval(_vals);
+    std::int64_t c = ref.colExpr.eval(_vals);
+    bool col_moves = (ref.dir == AccessDirection::RowWise);
+
+    OrientedLine cur_line;
+    std::uint8_t mask = 0;
+    bool have_line = false;
+    for (unsigned lane = 0; lane < VectorPlan::width; ++lane) {
+        Addr a = col_moves
+                     ? ref.layout->elementAddr(r, c + lane)
+                     : ref.layout->elementAddr(r + lane, c);
+        OrientedLine line = OrientedLine::containing(a, ref.orient);
+        if (!have_line || !(line == cur_line)) {
+            if (have_line) {
+                TraceOp op;
+                op.addr = cur_line.baseAddr();
+                op.orient = ref.orient;
+                op.isWrite = ref.isWrite;
+                op.isVector = true;
+                op.wordMask = mask;
+                op.pc = ref.pc;
+                pushOp(op);
+            }
+            cur_line = line;
+            mask = 0;
+            have_line = true;
+        }
+        mask |= static_cast<std::uint8_t>(1u << line.wordIndexOf(a));
+    }
+    if (have_line) {
+        TraceOp op;
+        op.addr = cur_line.baseAddr();
+        op.orient = ref.orient;
+        op.isWrite = ref.isWrite;
+        op.isVector = true;
+        op.wordMask = mask;
+        op.pc = ref.pc;
+        pushOp(op);
+    }
+}
+
+void
+TraceGenerator::emitStmt(const StmtPlan &stmt, unsigned width)
+{
+    _pendingCompute += stmt.computeCycles;
+    for (const auto &ref : stmt.refs) {
+        bool moving = (ref.dir == AccessDirection::RowWise ||
+                       ref.dir == AccessDirection::ColWise);
+        if (width == VectorPlan::width && moving)
+            emitVectorRef(ref);
+        else
+            emitScalarRef(ref);
+    }
+}
+
+bool
+TraceGenerator::refill()
+{
+    if (_done)
+        return false;
+    _buffer.clear();
+    _head = 0;
+
+    while (_buffer.empty() && !_done) {
+        const NestPlan &plan = _plans[_nestIdx];
+        const LoopNest &nest = *plan.nest;
+        unsigned inner = static_cast<unsigned>(nest.loops.size()) - 1;
+
+        switch (_phase) {
+          case Phase::EnterLoop: {
+            const Loop &loop = nest.loops[_depth];
+            if (loop.values) {
+                if (loop.values->empty()) {
+                    _phase = Phase::ExitLoop;
+                    break;
+                }
+                _valueIdx[_depth] = 0;
+                _vals[loop.id] = (*loop.values)[0];
+                _hi[_depth] =
+                    static_cast<std::int64_t>(loop.values->size());
+            } else {
+                std::int64_t lo = loopLower(loop);
+                std::int64_t hi = loopUpper(loop);
+                if (lo >= hi) {
+                    _phase = Phase::ExitLoop;
+                    break;
+                }
+                _vals[loop.id] = lo;
+                _hi[_depth] = hi;
+            }
+            _phase = Phase::BodyPre;
+            break;
+          }
+
+          case Phase::BodyPre: {
+            unsigned width = 1;
+            if (_depth == inner) {
+                const Loop &loop = nest.loops[_depth];
+                bool can_vec = !loop.values &&
+                               _vals[loop.id] + VectorPlan::width <=
+                                   _hi[_depth];
+                // All-or-nothing per buildPlans; probe any inner stmt.
+                bool nest_vec = false;
+                for (const auto &sp : plan.stmts)
+                    nest_vec |= (sp.depth == inner && sp.vectorized);
+                width = (nest_vec && can_vec) ? VectorPlan::width : 1;
+                _lastWidth = width;
+            }
+            for (unsigned idx : plan.preAt[_depth])
+                emitStmt(plan.stmts[idx], width);
+            if (_depth < inner) {
+                ++_depth;
+                _phase = Phase::EnterLoop;
+            } else {
+                _phase = Phase::BodyPost;
+            }
+            break;
+          }
+
+          case Phase::BodyPost: {
+            unsigned width = (_depth == inner) ? _lastWidth : 1;
+            for (unsigned idx : plan.postAt[_depth])
+                emitStmt(plan.stmts[idx], width);
+            _phase = Phase::Advance;
+            break;
+          }
+
+          case Phase::Advance: {
+            const Loop &loop = nest.loops[_depth];
+            if (loop.values) {
+                ++_valueIdx[_depth];
+                if (static_cast<std::int64_t>(_valueIdx[_depth]) <
+                    _hi[_depth]) {
+                    _vals[loop.id] = (*loop.values)[_valueIdx[_depth]];
+                    _phase = Phase::BodyPre;
+                } else {
+                    _phase = Phase::ExitLoop;
+                }
+            } else {
+                std::int64_t step =
+                    (_depth == inner) ? _lastWidth : 1;
+                _vals[loop.id] += step;
+                if (_vals[loop.id] < _hi[_depth])
+                    _phase = Phase::BodyPre;
+                else
+                    _phase = Phase::ExitLoop;
+            }
+            break;
+          }
+
+          case Phase::ExitLoop: {
+            if (_depth == 0) {
+                _phase = Phase::NestDone;
+            } else {
+                --_depth;
+                _phase = Phase::BodyPost;
+            }
+            break;
+          }
+
+          case Phase::NestDone: {
+            ++_nestIdx;
+            if (_nestIdx >= _plans.size()) {
+                _done = true;
+            } else {
+                _depth = 0;
+                _phase = Phase::EnterLoop;
+            }
+            break;
+          }
+        }
+    }
+    return !_buffer.empty();
+}
+
+} // namespace mda::compiler

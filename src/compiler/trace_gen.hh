@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Streaming trace generation: walk a compiled kernel's iteration
+ * space and emit annotated memory operations, one at a time.
+ *
+ * No trace is ever materialized; the generator advances an explicit
+ * loop-nest state machine (handling affine/triangular bounds,
+ * explicit-value loops, statements at any depth in Pre/Post phases,
+ * and width-8 vector groups with scalar remainders) and produces ops
+ * on demand. This is what makes 10^8-operation simulations practical.
+ */
+
+#ifndef MDA_COMPILER_TRACE_GEN_HH
+#define MDA_COMPILER_TRACE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compile.hh"
+#include "trace.hh"
+
+namespace mda::compiler
+{
+
+/** Pull-interface generator over a compiled kernel's accesses. */
+class TraceGenerator
+{
+  public:
+    /** @param ck Compiled kernel; must outlive the generator. */
+    explicit TraceGenerator(const CompiledKernel &ck);
+
+    /**
+     * Produce the next operation.
+     * @return False when the kernel is exhausted (@p op untouched).
+     */
+    bool
+    next(TraceOp &op)
+    {
+        if (_head == _buffer.size() && !refill())
+            return false;
+        op = _buffer[_head++];
+        ++_emitted;
+        return true;
+    }
+
+    /** Restart from the first operation. */
+    void reset();
+
+    /** Operations handed out so far. */
+    std::uint64_t opsEmitted() const { return _emitted; }
+
+  private:
+    /** Pre-resolved, flat view of one reference (hot-path friendly). */
+    struct RefPlan
+    {
+        const Layout *layout = nullptr;
+        AffineExpr rowExpr, colExpr;
+        Orientation orient = Orientation::Row;
+        AccessDirection dir = AccessDirection::Invariant;
+        bool isWrite = false;
+        std::uint32_t pc = 0;
+        /** Per-lane step of the moving subscript under the stmt's
+         *  innermost loop (0 for invariant refs). */
+        std::int64_t rowStep = 0, colStep = 0;
+    };
+
+    /** Pre-resolved view of one statement. */
+    struct StmtPlan
+    {
+        std::vector<RefPlan> refs;
+        unsigned depth = 0;
+        StmtPhase phase = StmtPhase::Pre;
+        unsigned computeCycles = 0;
+        bool vectorized = false;
+    };
+
+    /** Pre-resolved view of one nest. */
+    struct NestPlan
+    {
+        const LoopNest *nest = nullptr;
+        /** Statements grouped: preAt[d]/postAt[d] = indexes into
+         *  stmts for depth d, in program order. */
+        std::vector<std::vector<unsigned>> preAt, postAt;
+        std::vector<StmtPlan> stmts;
+    };
+
+    /** Walker position within the current nest. */
+    enum class Phase : std::uint8_t
+    {
+        EnterLoop,
+        BodyPre,
+        BodyPost,
+        Advance,
+        ExitLoop,
+        NestDone,
+    };
+
+    void buildPlans();
+    bool refill();
+    void emitStmt(const StmtPlan &stmt, unsigned width);
+    void emitScalarRef(const RefPlan &ref);
+    void emitVectorRef(const RefPlan &ref);
+    void pushOp(TraceOp op);
+
+    std::int64_t loopLower(const Loop &loop) const;
+    std::int64_t loopUpper(const Loop &loop) const;
+
+    const CompiledKernel &_ck;
+    std::vector<NestPlan> _plans;
+
+    // --- walker state ---
+    std::size_t _nestIdx = 0;
+    Phase _phase = Phase::EnterLoop;
+    unsigned _depth = 0;
+    std::vector<std::int64_t> _vals;      ///< By loop id.
+    std::vector<std::int64_t> _hi;        ///< Upper bound per depth.
+    std::vector<std::size_t> _valueIdx;   ///< Cursor for values loops.
+    unsigned _lastWidth = 1;              ///< Width of last inner body.
+    std::uint32_t _pendingCompute = 0;
+
+    // --- output buffer ---
+    std::vector<TraceOp> _buffer;
+    std::size_t _head = 0;
+    std::uint64_t _emitted = 0;
+    bool _done = false;
+};
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_TRACE_GEN_HH

@@ -1,0 +1,100 @@
+#include "transforms.hh"
+
+namespace mda::compiler
+{
+
+namespace
+{
+
+/** Rewrite v := lo + factor*strip(v) + point in place. */
+void
+substitute(AffineExpr &expr, LoopId var, std::int64_t lo,
+           std::int64_t factor, LoopId point)
+{
+    std::int64_t coeff = expr.coeffOf(var);
+    if (coeff == 0)
+        return;
+    // var keeps its id as the strip loop: scale its coefficient.
+    expr.plusVar(var, coeff * (factor - 1)); // coeff -> coeff*factor
+    expr.plusVar(point, coeff);
+    expr.plusConst(coeff * lo);
+}
+
+} // namespace
+
+LoopId
+tileLoop(Kernel &kernel, std::size_t nest_idx, unsigned depth,
+         unsigned sink_pos, std::int64_t factor)
+{
+    mda_assert(nest_idx < kernel.nests.size(), "bad nest index");
+    LoopNest &nest = kernel.nests[nest_idx];
+    mda_assert(depth < nest.loops.size(), "bad loop depth");
+    mda_assert(sink_pos > depth && sink_pos <= nest.loops.size(),
+               "sink position must be below the tiled loop");
+    mda_assert(factor > 1, "tiling factor must exceed 1");
+
+    Loop &loop = nest.loops[depth];
+    if (loop.values)
+        fatal("cannot tile a loop over explicit values");
+    if (!loop.lower.terms().empty() || !loop.upper.terms().empty())
+        fatal("cannot tile loop %s: non-constant bounds",
+              loop.varName.c_str());
+    std::int64_t lo = loop.lower.constant();
+    std::int64_t hi = loop.upper.constant();
+    std::int64_t trip = hi - lo;
+    if (trip <= 0 || trip % factor != 0)
+        fatal("cannot tile loop %s: trip %lld not divisible by %lld",
+              loop.varName.c_str(), (long long)trip,
+              (long long)factor);
+
+    LoopId var = loop.id;
+    for (const Loop &other : nest.loops) {
+        if (other.id == var || other.values)
+            continue;
+        if (other.lower.uses(var) || other.upper.uses(var))
+            fatal("cannot tile loop %s: loop %s bounds depend on it",
+                  loop.varName.c_str(), other.varName.c_str());
+    }
+
+    // The original loop becomes the strip loop.
+    loop.lower = AffineExpr(0);
+    loop.upper = AffineExpr(trip / factor);
+
+    // Build and insert the point loop.
+    Loop point;
+    point.id = kernel.loopCount++;
+    point.varName = loop.varName + "'";
+    point.lower = AffineExpr(0);
+    point.upper = AffineExpr(factor);
+    LoopId point_id = point.id;
+    nest.loops.insert(nest.loops.begin() + sink_pos, std::move(point));
+
+    // Rewrite subscripts and adjust statement depths.
+    for (Stmt &stmt : nest.stmts) {
+        bool uses = false;
+        for (ArrayRef &ref : stmt.refs) {
+            uses |= ref.rowExpr.uses(var) || ref.colExpr.uses(var);
+            substitute(ref.rowExpr, var, lo, factor, point_id);
+            substitute(ref.colExpr, var, lo, factor, point_id);
+        }
+        if (stmt.depth >= sink_pos) {
+            ++stmt.depth; // a loop was inserted above it
+        } else if (uses) {
+            if (stmt.depth + 1 == sink_pos) {
+                // Sink directly under the point loop; it now runs per
+                // (strip, ..., point) — the same iteration set.
+                stmt.depth = sink_pos;
+            } else {
+                fatal("cannot tile: statement at depth %u references "
+                      "the tiled loop but is not adjacent to the sink "
+                      "position %u",
+                      stmt.depth, sink_pos);
+            }
+        }
+    }
+
+    kernel.validate();
+    return point_id;
+}
+
+} // namespace mda::compiler

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Loop transformations beyond vectorization.
+ *
+ * tileLoop() implements the strip-mine-and-sink transform behind the
+ * paper's proposed future work (Section X): iteration-space tiling
+ * whose tile size matches the 2-D block geometry, so blocked reuse
+ * lines up with what a 2P2L cache (or the 1P2L line pair) holds.
+ */
+
+#ifndef MDA_COMPILER_TRANSFORMS_HH
+#define MDA_COMPILER_TRANSFORMS_HH
+
+#include "ir.hh"
+
+namespace mda::compiler
+{
+
+/**
+ * Strip-mine loop @p depth of nest @p nest_idx by @p factor and sink
+ * the point loop to position @p sink_pos.
+ *
+ * The original loop becomes the *strip* loop (iterating trip/factor
+ * times, keeping its id); a new *point* loop of @p factor iterations
+ * is inserted at @p sink_pos. Every affine expression referencing the
+ * original variable v is rewritten as lo + factor*strip + point.
+ *
+ * Restrictions (checked, fatal on violation):
+ *  - the loop has constant bounds and a trip count divisible by
+ *    @p factor, and no explicit value list;
+ *  - no other loop's bounds reference it;
+ *  - statements shallower than the sink position that reference v
+ *    must sit directly above it (they are sunk under the point loop);
+ *    anything else is unsupported.
+ *
+ * @return The id of the new point loop.
+ */
+LoopId tileLoop(Kernel &kernel, std::size_t nest_idx, unsigned depth,
+                unsigned sink_pos, std::int64_t factor);
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_TRANSFORMS_HH

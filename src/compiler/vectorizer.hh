@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Row/column vectorization planning (paper Section V).
+ *
+ * A statement at the deepest level of its nest is vectorized (width 8,
+ * one cache line of 64-bit words) when every reference either does not
+ * move with the innermost loop (broadcast/reduction operand) or moves
+ * with unit coefficient along a single array dimension:
+ *
+ *  - unit stride in the column subscript => a row vector access;
+ *  - unit stride in the row subscript    => a column vector access,
+ *    legal only when the MDA-compliant tiled layout is in use and the
+ *    target hierarchy supports column transfers (the paper's key
+ *    extension over conventional vectorizers, which would have to
+ *    gather column elements through memory).
+ *
+ * The baseline (1P1L) compilation therefore leaves column-traversing
+ * statements scalar, exactly as state-of-the-art compilers do.
+ */
+
+#ifndef MDA_COMPILER_VECTORIZER_HH
+#define MDA_COMPILER_VECTORIZER_HH
+
+#include <vector>
+
+#include "direction.hh"
+#include "ir.hh"
+
+namespace mda::compiler
+{
+
+/** Vectorization options. */
+struct VectorizeOptions
+{
+    /** Master enable; false leaves everything scalar. */
+    bool enable = true;
+
+    /** Allow column-direction vector accesses (MDA hierarchies with
+     *  tiled layout only). */
+    bool allowColumnVectors = true;
+};
+
+/** Plan: which statements execute as width-8 SIMD. */
+struct VectorPlan
+{
+    /** vectorized[nest][stmt] — parallel to Kernel::nests/stmts. */
+    std::vector<std::vector<bool>> vectorized;
+
+    /** SIMD width (fixed at one line of words). */
+    static constexpr unsigned width = lineWords;
+
+    bool
+    isVectorized(std::size_t nest, std::size_t stmt) const
+    {
+        return vectorized[nest][stmt];
+    }
+};
+
+/** Whether @p stmt of @p nest can be vectorized along its loop. */
+inline bool
+stmtVectorizable(const LoopNest &nest, const Stmt &stmt,
+                 const VectorizeOptions &opts)
+{
+    // Only statements in the deepest loop body vectorize; shallower
+    // statements would require unroll-and-jam, which the paper's
+    // compiler support does not assume.
+    if (stmt.depth + 1 != nest.loops.size())
+        return false;
+    if (!stmt.vectorizable)
+        return false; // predicated/irregular body
+    const Loop &inner = nest.loops[stmt.depth];
+    if (inner.values)
+        return false; // irregular iteration (e.g. HTAP transactions)
+    LoopId lid = inner.id;
+    for (const auto &ref : stmt.refs) {
+        switch (classifyRef(ref, lid)) {
+          case AccessDirection::Invariant:
+            break; // broadcast operand, fine
+          case AccessDirection::RowWise:
+            if (ref.colExpr.coeffOf(lid) != 1)
+                return false; // non-unit stride along the row
+            break;
+          case AccessDirection::ColWise:
+            if (!opts.allowColumnVectors)
+                return false;
+            if (ref.rowExpr.coeffOf(lid) != 1)
+                return false;
+            break;
+          case AccessDirection::Mixed:
+            return false; // diagonal walk
+        }
+    }
+    return true;
+}
+
+/** Plan vectorization for a whole kernel. */
+inline VectorPlan
+planVectorization(const Kernel &kernel, const VectorizeOptions &opts)
+{
+    VectorPlan plan;
+    plan.vectorized.resize(kernel.nests.size());
+    for (std::size_t n = 0; n < kernel.nests.size(); ++n) {
+        const LoopNest &nest = kernel.nests[n];
+        plan.vectorized[n].resize(nest.stmts.size(), false);
+        if (!opts.enable)
+            continue;
+        for (std::size_t s = 0; s < nest.stmts.size(); ++s) {
+            plan.vectorized[n][s] =
+                stmtVectorizable(nest, nest.stmts[s], opts);
+        }
+    }
+    return plan;
+}
+
+} // namespace mda::compiler
+
+#endif // MDA_COMPILER_VECTORIZER_HH

@@ -1,0 +1,392 @@
+#include "line_cache.hh"
+
+namespace mda
+{
+
+LineCache::LineCache(const std::string &obj_name, EventQueue &eq,
+                     stats::StatGroup &sg, const CacheConfig &config,
+                     LineMapping mapping)
+    : CacheBase(obj_name, eq, sg, config),
+      _mapping(mapping),
+      _storage(config.numSets(), config.ways),
+      _prefetcher(config.prefetchDegree)
+{
+    regScalar("dupWritebacks", &_dupWritebacks,
+              "crossing-line dirty words written back (Fig. 9)");
+    regScalar("dupEvictions", &_dupEvictions,
+              "duplicate copies evicted on writes (Fig. 9)");
+    regScalar("fullLineWriteAllocs", &_fullLineWriteAllocs,
+              "full-line vector writes allocated without a fetch");
+    regScalar("gatherHits", &_gatherHits,
+              "line requests assembled from crossing lines");
+}
+
+std::uint64_t
+LineCache::setFor(const OrientedLine &line) const
+{
+    // The baseline indexes conventionally (low line-address bits),
+    // inheriting the classic pathology of power-of-two-strided walks:
+    // a row-major matrix column maps to a few sets and thrashes. The
+    // 2-D designs cannot index that way at all — under the tiled
+    // layout consecutive lines of a logical row or column differ by 8
+    // in line id, and narrow workloads (the HTAP fields) touch only a
+    // thin band of tile columns — so they realize Fig. 8's composed
+    // index as a hash of the tile ("index high") bits, spreading the
+    // intra-tile index in Different-Set mode.
+    if (_mapping == LineMapping::OneD)
+        return line.id % _storage.numSets();
+    std::uint64_t tile_hash =
+        (line.tile() * 0x9e3779b97f4a7c15ULL) >> 24;
+    if (_mapping == LineMapping::TwoDSameSet)
+        return tile_hash % _storage.numSets();
+    return (tile_hash ^ (line.index() * 0x9e3779b9ULL)) %
+           _storage.numSets();
+}
+
+CacheEntry *
+LineCache::lookup(const OrientedLine &line)
+{
+    return _storage.find(setFor(line), line);
+}
+
+void
+LineCache::writebackDirty(CacheEntry *entry)
+{
+    if (!entry->dirty())
+        return;
+    auto wb = Packet::makeWriteback(entry->line, entry->dirtyMask,
+                                    curTick());
+    for (unsigned k = 0; k < lineWords; ++k)
+        if (entry->dirtyMask & (1u << k))
+            wb->setWord(k, entry->word(k));
+    wb->wordMask = entry->dirtyMask;
+    entry->dirtyMask = 0;
+    pushWriteback(std::move(wb));
+}
+
+void
+LineCache::evict(CacheEntry *entry)
+{
+    ++_evictions;
+    writebackDirty(entry);
+    _storage.invalidate(entry);
+}
+
+unsigned
+LineCache::prepareLine(const OrientedLine &line,
+                       std::uint8_t covered_mask,
+                       std::uint8_t written_mask)
+{
+    if (!is2D())
+        return 0;
+    unsigned probes = 0;
+    Orientation cross_orient = flip(line.orient);
+    for (unsigned k = 0; k < lineWords; ++k) {
+        std::uint8_t bit = static_cast<std::uint8_t>(1u << k);
+        if (!((covered_mask | written_mask) & bit))
+            continue;
+        Addr word = line.wordAddr(k);
+        OrientedLine cross =
+            OrientedLine::containing(word, cross_orient);
+        ++probes;
+        CacheEntry *entry = lookup(cross);
+        if (!entry)
+            continue;
+        if (entry->dirty()) {
+            ++_dupWritebacks;
+            writebackDirty(entry);
+        }
+        if (written_mask & bit) {
+            ++_dupEvictions;
+            _storage.invalidate(entry);
+        }
+    }
+    _extraTagAccesses += probes;
+    return probes;
+}
+
+void
+LineCache::copyOut(CacheEntry *entry, Packet &pkt)
+{
+    if (!pkt.isLine()) {
+        unsigned idx = entry->line.wordIndexOf(pkt.addr);
+        pkt.setWord(0, entry->word(idx));
+        pkt.wordMask = 0x01;
+        return;
+    }
+    mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    for (unsigned k = 0; k < lineWords; ++k)
+        if (pkt.wordMask & (1u << k))
+            pkt.setWord(k, entry->word(k));
+}
+
+void
+LineCache::performWrite(CacheEntry *entry, const Packet &pkt)
+{
+    if (!pkt.isLine()) {
+        unsigned idx = entry->line.wordIndexOf(pkt.addr);
+        entry->setWord(idx, pkt.word(0), true);
+        return;
+    }
+    mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    for (unsigned k = 0; k < lineWords; ++k)
+        if (pkt.wordMask & (1u << k))
+            entry->setWord(k, pkt.word(k), true);
+}
+
+void
+LineCache::notePrefetchUse(CacheEntry *entry)
+{
+    if (entry->prefetched) {
+        entry->prefetched = false;
+        ++_prefetchesUseful;
+    }
+}
+
+void
+LineCache::train(const Packet &pkt)
+{
+    if (!_config.prefetch)
+        return;
+    auto candidates = _prefetcher.observe(pkt.pc, pkt.addr);
+    for (Addr line_base : candidates) {
+        OrientedLine line =
+            OrientedLine::containing(line_base, Orientation::Row);
+        if (!lookup(line))
+            issuePrefetch(line);
+    }
+}
+
+void
+LineCache::handleDemand(PacketPtr pkt)
+{
+    bool is_write = (pkt->cmd == MemCmd::Write);
+    bool is_line = pkt->isLine();
+
+    // The baseline has no column transfers: scalars lose their
+    // preference annotation; oriented lines must never reach it.
+    if (_mapping == LineMapping::OneD) {
+        mda_assert(!is_line || pkt->orient == Orientation::Row,
+                   "column line access reached a 1P1L cache");
+        pkt->orient = Orientation::Row;
+    }
+
+    OrientedLine line = pkt->line();
+    CacheEntry *entry = lookup(line);
+    bool mis_oriented = false;
+
+    // Scalar accesses may be served by the crossing line: hit is
+    // word presence, ignoring alignment (paper Section IV-B).
+    if (!entry && !is_line && is2D()) {
+        OrientedLine cross =
+            OrientedLine::containing(pkt->addr, flip(pkt->orient));
+        if (chargesProbes()) {
+            ++_extraTagAccesses;
+            pkt->extraLatency += _config.tagLatency;
+        }
+        entry = lookup(cross);
+        mis_oriented = (entry != nullptr);
+    }
+
+    // Writes also check the other orientation, but stores drain from
+    // a store buffer off the load critical path, so only the tag-port
+    // occupancy is modeled (counted in extraTagAccesses), not added
+    // response latency.
+    train(*pkt);
+
+    if (entry) {
+        // ---- hit ----
+        ++_demandHits;
+        if (is_line)
+            ++_vectorHits;
+        if (mis_oriented)
+            ++_misOrientedHits;
+        (is_write ? _writeHits : _readHits) += 1;
+        notePrefetchUse(entry);
+        _storage.touch(entry);
+        if (is_write) {
+            // Evict every other copy of the written words first.
+            std::uint8_t mask =
+                is_line ? pkt->wordMask
+                        : static_cast<std::uint8_t>(
+                              1u << entry->line.wordIndexOf(pkt->addr));
+            prepareLine(entry->line, 0, mask);
+            performWrite(entry, *pkt);
+        } else {
+            copyOut(entry, *pkt);
+        }
+        Cycles delay = _config.hitLatency() + pkt->extraLatency;
+        respond(std::move(pkt), delay);
+        return;
+    }
+
+    // Gather-hit policy: a line read whose words all sit in crossing
+    // lines can be assembled without going below (lower-level caches
+    // only; costs 8 sequential tag+data accesses).
+    if (_config.gatherHits && is2D() && is_line && !is_write &&
+        pkt->cmd == MemCmd::Read) {
+        std::array<CacheEntry *, lineWords> sources{};
+        bool complete = true;
+        for (unsigned k = 0; k < lineWords && complete; ++k) {
+            if (!(pkt->wordMask & (1u << k)))
+                continue;
+            OrientedLine cross = OrientedLine::containing(
+                line.wordAddr(k), flip(line.orient));
+            sources[k] = lookup(cross);
+            complete = (sources[k] != nullptr);
+        }
+        _extraTagAccesses += lineWords;
+        if (complete) {
+            ++_gatherHits;
+            ++_demandHits;
+            ++_vectorHits;
+            ++_readHits;
+            for (unsigned k = 0; k < lineWords; ++k) {
+                if (!(pkt->wordMask & (1u << k)))
+                    continue;
+                unsigned idx =
+                    sources[k]->line.wordIndexOf(line.wordAddr(k));
+                pkt->setWord(k, sources[k]->word(idx));
+                _storage.touch(sources[k]);
+            }
+            Cycles delay = _config.hitLatency() +
+                           lineWords * _config.tagLatency +
+                           pkt->extraLatency;
+            respond(std::move(pkt), delay);
+            return;
+        }
+    }
+
+    // ---- miss ----
+    // Every deferral decision happens before the miss is counted so
+    // deferred packets are counted exactly once, on final resolution.
+    MshrEntry *inflight = _mshr.find(line);
+    if (!inflight &&
+        (_mshr.conflictsWith(line) || _mshr.full())) {
+        defer(std::move(pkt));
+        return;
+    }
+    if (inflight && !_mshr.canTarget(*inflight)) {
+        defer(std::move(pkt));
+        return;
+    }
+    ++_demandMisses;
+    if (is_line)
+        ++_vectorMisses;
+    (is_write ? _writeMisses : _readMisses) += 1;
+
+    // Coalesce onto an in-flight fill of the same line.
+    if (inflight) {
+        allocateMiss(std::move(pkt), line);
+        return;
+    }
+
+    // SIMD misses probe the crossing lines for dirty words that must
+    // be propagated down before the fill (Different-Set pays 8 tag
+    // accesses; Same-Set sees them in the same set access).
+    std::uint8_t written = is_write
+                               ? (is_line ? pkt->wordMask
+                                          : static_cast<std::uint8_t>(
+                                                1u << line.wordIndexOf(
+                                                    alignDown(
+                                                        pkt->addr,
+                                                        wordBytes))))
+                               : 0;
+    // The probes overlap the fill's round trip (they only have to
+    // finish before the fill returns), so they cost tag-port
+    // occupancy but no added miss latency.
+    prepareLine(line, 0xff, written);
+
+    // A full-line vector write needs no fetch: allocate and write.
+    if (is_write && is_line && pkt->wordMask == 0xff) {
+        ++_fullLineWriteAllocs;
+        std::uint64_t set = setFor(line);
+        CacheEntry *victim = _storage.victim(set);
+        if (victim->valid)
+            evict(victim);
+        _storage.install(victim, line);
+        performWrite(victim, *pkt);
+        Cycles delay = _config.hitLatency() + pkt->extraLatency;
+        respond(std::move(pkt), delay);
+        return;
+    }
+
+    allocateMiss(std::move(pkt), line);
+}
+
+void
+LineCache::handleWriteback(PacketPtr pkt)
+{
+    OrientedLine line = pkt->line();
+    if (_mapping == LineMapping::OneD) {
+        mda_assert(line.orient == Orientation::Row,
+                   "column writeback reached a 1P1L cache");
+    }
+
+    // Order against any in-flight fill touching these words.
+    if (_mshr.find(line) || _mshr.conflictsWith(line)) {
+        defer(std::move(pkt));
+        return;
+    }
+
+    CacheEntry *entry = lookup(line);
+    if (entry) {
+        // Merge: the written words invalidate crossing duplicates.
+        prepareLine(line, 0, pkt->wordMask);
+        performWrite(entry, *pkt);
+        _storage.touch(entry);
+        return;
+    }
+    if (pkt->wordMask == 0xff) {
+        // Full-line writeback allocates without a fetch.
+        prepareLine(line, 0, 0xff);
+        std::uint64_t set = setFor(line);
+        CacheEntry *victim = _storage.victim(set);
+        if (victim->valid)
+            evict(victim);
+        _storage.install(victim, line);
+        performWrite(victim, *pkt);
+        return;
+    }
+    // Partial writeback with no local copy: purge stale duplicates of
+    // the written words, then pass it down.
+    prepareLine(line, 0, pkt->wordMask);
+    pushWriteback(std::move(pkt));
+}
+
+void
+LineCache::handleFill(PacketPtr pkt)
+{
+    OrientedLine line = pkt->line();
+    mda_assert(pkt->wordMask == 0xff, "partial line fill");
+    auto targets = _mshr.retire(line);
+
+    mda_assert(!lookup(line), "fill for an already-present line");
+    std::uint64_t set = setFor(line);
+    CacheEntry *victim = _storage.victim(set);
+    if (victim->valid)
+        evict(victim);
+    _storage.install(victim, line);
+    for (unsigned k = 0; k < lineWords; ++k)
+        victim->setWord(k, pkt->word(k), false);
+    victim->prefetched = pkt->isPrefetch && targets.empty();
+
+    for (auto &target : targets) {
+        if (target->cmd == MemCmd::Write) {
+            std::uint8_t mask =
+                target->isLine()
+                    ? target->wordMask
+                    : static_cast<std::uint8_t>(
+                          1u << line.wordIndexOf(target->addr));
+            prepareLine(line, 0, mask);
+            performWrite(victim, *target);
+        } else {
+            copyOut(victim, *target);
+        }
+        Cycles delay = _config.dataLatency + target->extraLatency;
+        respond(std::move(target), delay);
+    }
+    trySendQueues();
+}
+
+} // namespace mda

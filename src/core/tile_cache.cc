@@ -1,0 +1,322 @@
+#include "tile_cache.hh"
+
+#include <bit>
+
+namespace mda
+{
+
+TileCache::TileCache(const std::string &obj_name, EventQueue &eq,
+                     stats::StatGroup &sg, const CacheConfig &config,
+                     TileFillPolicy fill)
+    : CacheBase(obj_name, eq, sg, config),
+      _sets(config.numTileSets()),
+      _fill(fill),
+      _frames(config.numTileSets() * config.ways)
+{
+    regScalar("denseBlockStreams", &_denseBlockStreams,
+              "whole 2-D blocks streamed by the dense fill policy");
+    regScalar("writeValidates", &_writeValidates,
+              "words validated by writes without a fetch");
+    regScalar("sparseLineFills", &_sparseLineFills,
+              "oriented lines filled into sparse 2-D blocks");
+    regScalar("writebackBytesElided", &_writebackBytesElided,
+              "bytes never written back (words never filled)");
+    regScalar("frameEvictions", &_frameEvictions,
+              "2-D block frames evicted");
+}
+
+std::uint64_t
+TileCache::setFor(std::uint64_t tile) const
+{
+    // Same index hashing rationale as LineCache::setFor: narrow tile
+    // bands (HTAP fields) would otherwise collapse into a few sets.
+    return ((tile * 0x9e3779b97f4a7c15ULL) >> 24) % _sets;
+}
+
+TileEntry *
+TileCache::find(std::uint64_t tile)
+{
+    TileEntry *base = setBase(setFor(tile));
+    for (unsigned w = 0; w < _config.ways; ++w) {
+        TileEntry &e = base[w];
+        if (e.valid && e.tile == tile)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+TileCache::pinned(std::uint64_t tile) const
+{
+    for (const auto &entry : _mshr.entries())
+        if (entry.line.tile() == tile)
+            return true;
+    return false;
+}
+
+TileEntry *
+TileCache::allocFrame(std::uint64_t tile)
+{
+    if (TileEntry *hit = find(tile))
+        return hit;
+    TileEntry *base = setBase(setFor(tile));
+    TileEntry *victim = nullptr;
+    for (unsigned w = 0; w < _config.ways; ++w) {
+        TileEntry &e = base[w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (pinned(e.tile))
+            continue;
+        if (!victim || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (!victim)
+        return nullptr; // every way pinned by in-flight fills
+    if (victim->valid)
+        evictFrame(victim);
+    victim->valid = true;
+    victim->tile = tile;
+    victim->wordValid = 0;
+    victim->wordDirty = 0;
+    victim->data.fill(0);
+    touch(victim);
+    return victim;
+}
+
+void
+TileCache::evictFrame(TileEntry *entry)
+{
+    ++_frameEvictions;
+    ++_evictions;
+    // Per-row partial writebacks of the dirty words; rows with no
+    // dirty words move nothing. Words never filled are never written
+    // back — the sparse design's writeback elision.
+    std::uint64_t never_filled =
+        ~entry->wordValid & ~0ULL; // bits of absent words
+    _writebackBytesElided +=
+        std::popcount(never_filled) * wordBytes;
+    for (unsigned r = 0; r < tileLines; ++r) {
+        std::uint8_t mask = 0;
+        for (unsigned c = 0; c < lineWords; ++c)
+            if (entry->wordDirty & (1ULL << tileWordBit(r, c)))
+                mask |= static_cast<std::uint8_t>(1u << c);
+        if (!mask)
+            continue;
+        OrientedLine row(Orientation::Row, (entry->tile << 3) | r);
+        auto wb = Packet::makeWriteback(row, mask, curTick());
+        for (unsigned c = 0; c < lineWords; ++c)
+            if (mask & (1u << c))
+                wb->setWord(c, entry->word(tileWordBit(r, c)));
+        wb->wordMask = mask;
+        pushWriteback(std::move(wb));
+    }
+    entry->valid = false;
+    entry->wordValid = 0;
+    entry->wordDirty = 0;
+}
+
+void
+TileCache::copyOut(TileEntry *entry, Packet &pkt)
+{
+    if (!pkt.isLine()) {
+        unsigned bit = tileWordBit(tileRowOf(pkt.addr),
+                                   tileColOf(pkt.addr));
+        pkt.setWord(0, entry->word(bit));
+        pkt.wordMask = 0x01;
+        return;
+    }
+    OrientedLine line = pkt.line();
+    for (unsigned k = 0; k < lineWords; ++k) {
+        if (!(pkt.wordMask & (1u << k)))
+            continue;
+        unsigned bit = (line.orient == Orientation::Row)
+                           ? tileWordBit(line.index(), k)
+                           : tileWordBit(k, line.index());
+        pkt.setWord(k, entry->word(bit));
+    }
+}
+
+void
+TileCache::performWrite(TileEntry *entry, const Packet &pkt)
+{
+    if (!pkt.isLine()) {
+        unsigned bit = tileWordBit(tileRowOf(pkt.addr),
+                                   tileColOf(pkt.addr));
+        entry->setWord(bit, pkt.word(0));
+        std::uint64_t m = 1ULL << bit;
+        _writeValidates += std::popcount(m & ~entry->wordValid);
+        entry->wordValid |= m;
+        entry->wordDirty |= m;
+        return;
+    }
+    OrientedLine line = pkt.line();
+    for (unsigned k = 0; k < lineWords; ++k) {
+        if (!(pkt.wordMask & (1u << k)))
+            continue;
+        unsigned bit = (line.orient == Orientation::Row)
+                           ? tileWordBit(line.index(), k)
+                           : tileWordBit(k, line.index());
+        entry->setWord(bit, pkt.word(k));
+        std::uint64_t m = 1ULL << bit;
+        _writeValidates += std::popcount(m & ~entry->wordValid);
+        entry->wordValid |= m;
+        entry->wordDirty |= m;
+    }
+}
+
+void
+TileCache::handleDemand(PacketPtr pkt)
+{
+    bool is_write = (pkt->cmd == MemCmd::Write);
+    OrientedLine line = pkt->line();
+    std::uint64_t tile = line.tile();
+    std::uint64_t needed =
+        pkt->isLine()
+            ? tileMaskFor(line, pkt->wordMask)
+            : (1ULL << tileWordBit(tileRowOf(pkt->addr),
+                                   tileColOf(pkt->addr)));
+
+    TileEntry *entry = find(tile);
+
+    if (is_write) {
+        // Word-granular write-validate: no fetch is ever needed.
+        bool had_words =
+            entry && (entry->wordValid & needed) == needed;
+        if (!entry) {
+            entry = allocFrame(tile);
+            if (!entry) {
+                defer(std::move(pkt));
+                return;
+            }
+        }
+        (had_words ? _writeHits : _writeMisses) += 1;
+        (had_words ? _demandHits : _demandMisses) += 1;
+        if (pkt->isLine())
+            (had_words ? _vectorHits : _vectorMisses) += 1;
+        performWrite(entry, *pkt);
+        touch(entry);
+        Cycles delay =
+            _config.hitLatency() + _writePenalty + pkt->extraLatency;
+        respond(std::move(pkt), delay);
+        return;
+    }
+
+    // ---- read ----
+    if (entry && (entry->wordValid & needed) == needed) {
+        ++_demandHits;
+        ++_readHits;
+        if (pkt->isLine())
+            ++_vectorHits;
+        copyOut(entry, *pkt);
+        touch(entry);
+        Cycles delay = _config.hitLatency() + pkt->extraLatency;
+        respond(std::move(pkt), delay);
+        return;
+    }
+    if (entry && (entry->wordValid & needed) != 0)
+        ++_partialHits;
+
+    // Defer decisions precede miss accounting (count-once).
+    MshrEntry *inflight = _mshr.find(line);
+    if (!inflight) {
+        if (_mshr.full()) {
+            defer(std::move(pkt));
+            return;
+        }
+        // Reserve (and pin) the frame before requesting the fill.
+        entry = allocFrame(tile);
+        if (!entry) {
+            defer(std::move(pkt));
+            return;
+        }
+    } else if (!_mshr.canTarget(*inflight)) {
+        defer(std::move(pkt));
+        return;
+    }
+
+    ++_demandMisses;
+    ++_readMisses;
+    if (pkt->isLine())
+        ++_vectorMisses;
+
+    bool fresh_entry = (inflight == nullptr);
+    allocateMiss(std::move(pkt), line);
+    // Stream the rest of the block after the demand line has its
+    // entry; prefetches that no longer fit are dropped (best effort).
+    if (fresh_entry && _fill == TileFillPolicy::Dense)
+        streamBlock(line);
+}
+
+void
+TileCache::streamBlock(const OrientedLine &line)
+{
+    // Dense fill: the remaining same-orientation lines of the block
+    // follow the demand fill (critical row/column first). Modeled as
+    // prefetch fills; already-valid words are skipped at merge time.
+    ++_denseBlockStreams;
+    for (unsigned idx = 0; idx < tileLines; ++idx) {
+        if (idx == line.index())
+            continue;
+        OrientedLine sibling(line.orient, (line.tile() << 3) | idx);
+        issuePrefetch(sibling);
+    }
+}
+
+void
+TileCache::handleWriteback(PacketPtr pkt)
+{
+    OrientedLine line = pkt->line();
+    TileEntry *entry = allocFrame(line.tile());
+    if (!entry) {
+        defer(std::move(pkt));
+        return;
+    }
+    // Sparse merge: the writeback's words become valid + dirty with
+    // no read fill — the 2P2L sparse advantage for upper-level
+    // writebacks that miss (paper Section IV-C, Design 2). The dense
+    // policy instead pays to stream in the rest of the block.
+    bool was_absent = (entry->wordValid == 0);
+    performWrite(entry, *pkt);
+    touch(entry);
+    if (_fill == TileFillPolicy::Dense && was_absent)
+        streamBlock(pkt->line());
+}
+
+void
+TileCache::handleFill(PacketPtr pkt)
+{
+    OrientedLine line = pkt->line();
+    mda_assert(pkt->wordMask == 0xff, "partial line fill");
+    auto targets = _mshr.retire(line);
+
+    TileEntry *entry = find(line.tile());
+    mda_assert(entry, "fill arrived for an unpinned/absent frame");
+    ++_sparseLineFills;
+
+    // Only absent words take the fill data: any word validated by a
+    // write while the fill was in flight is newer than memory.
+    for (unsigned k = 0; k < lineWords; ++k) {
+        unsigned bit = (line.orient == Orientation::Row)
+                           ? tileWordBit(line.index(), k)
+                           : tileWordBit(k, line.index());
+        std::uint64_t m = 1ULL << bit;
+        if (entry->wordValid & m)
+            continue;
+        entry->setWord(bit, pkt->word(k));
+        entry->wordValid |= m;
+    }
+    touch(entry);
+
+    for (auto &target : targets) {
+        mda_assert(target->cmd == MemCmd::Read,
+                   "write target in a TileCache MSHR");
+        copyOut(entry, *target);
+        Cycles delay = _config.dataLatency + target->extraLatency;
+        respond(std::move(target), delay);
+    }
+    trySendQueues();
+}
+
+} // namespace mda

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * TileCache: the physically 2-D, logically 2-D (2P2L) sparse cache.
+ *
+ * Built on an on-chip MDA (crosspoint STT) array: the unit of
+ * allocation is an 8x8-line 2-D block (512 B tile), but blocks fill
+ * *sparsely* — one oriented line at a time, on demand — so the large
+ * allocation unit does not force large transfers (paper Section IV,
+ * "2P2L Sparse"). There is no data duplication and no orientation
+ * metadata: a word is simply present or absent in the tile.
+ *
+ * Presence/dirtiness is tracked per word (a refinement of the paper's
+ * 16 per-line valid bits, needed to absorb the partial writebacks the
+ * 1P2L levels generate from per-word dirty bits). Writes validate
+ * words directly — a writeback or store never forces a read fill, and
+ * never-filled words elide writeback entirely: the paper's sparse
+ * bandwidth advantages.
+ *
+ * Frames with in-flight fills are pinned (never chosen as victims) so
+ * a fill can never resurrect stale data over newer evicted words.
+ */
+
+#ifndef MDA_CORE_TILE_CACHE_HH
+#define MDA_CORE_TILE_CACHE_HH
+
+#include <array>
+#include <vector>
+
+#include "cache/cache_base.hh"
+
+namespace mda
+{
+
+/** One 512-byte 2-D block frame. */
+struct TileEntry
+{
+    std::uint64_t tile = 0;
+    bool valid = false;
+    std::uint64_t lruStamp = 0;
+
+    /** Bit (r*8 + c): word (r, c) of the tile is present. */
+    std::uint64_t wordValid = 0;
+
+    /** Bit (r*8 + c): word (r, c) is dirty. */
+    std::uint64_t wordDirty = 0;
+
+    std::array<std::uint8_t, tileBytes> data{};
+
+    std::uint64_t
+    word(unsigned bit) const
+    {
+        std::uint64_t v;
+        std::memcpy(&v, data.data() + bit * wordBytes, wordBytes);
+        return v;
+    }
+
+    void
+    setWord(unsigned bit, std::uint64_t v)
+    {
+        std::memcpy(data.data() + bit * wordBytes, &v, wordBytes);
+    }
+};
+
+/** Bit position of word (r, c) in a tile's 64-bit masks. */
+constexpr unsigned
+tileWordBit(unsigned row, unsigned col)
+{
+    return row * lineWords + col;
+}
+
+/** 64-bit tile mask covered by @p word_mask of @p line. */
+constexpr std::uint64_t
+tileMaskFor(const OrientedLine &line, std::uint8_t word_mask)
+{
+    std::uint64_t mask = 0;
+    for (unsigned k = 0; k < lineWords; ++k) {
+        if (!(word_mask & (1u << k)))
+            continue;
+        unsigned bit = (line.orient == Orientation::Row)
+                           ? tileWordBit(line.index(), k)
+                           : tileWordBit(k, line.index());
+        mask |= (1ULL << bit);
+    }
+    return mask;
+}
+
+/** Fill policy of a 2P2L cache (paper Section IV-A taxonomy). */
+enum class TileFillPolicy : std::uint8_t
+{
+    Sparse, ///< Fill one oriented line at a time, on demand.
+    Dense,  ///< A miss streams the whole 2-D block ("all rows/columns
+            ///  within the 2-D block will follow after the one
+            ///  generating the initial miss").
+};
+
+/** Sparse or dense 2P2L cache level (the paper's Design 2 LLC). */
+class TileCache : public CacheBase
+{
+  public:
+    TileCache(const std::string &name, EventQueue &eq,
+              stats::StatGroup &sg, const CacheConfig &config,
+              TileFillPolicy fill = TileFillPolicy::Sparse);
+
+    TileFillPolicy fillPolicy() const { return _fill; }
+
+    /** Extra write latency for asymmetric on-chip NVM (Fig. 16). */
+    void setWritePenalty(Cycles penalty) { _writePenalty = penalty; }
+    Cycles writePenalty() const { return _writePenalty; }
+
+    /** Frames (for tests). */
+    std::uint64_t numSets() const { return _sets; }
+
+    /** Set index of @p tile (hashed; exposed for tests). */
+    std::uint64_t setFor(std::uint64_t tile) const;
+
+  protected:
+    void handleDemand(PacketPtr pkt) override;
+    void handleWriteback(PacketPtr pkt) override;
+    void handleFill(PacketPtr pkt) override;
+
+  private:
+    TileEntry *find(std::uint64_t tile);
+    TileEntry *setBase(std::uint64_t set) { return &_frames[set * _config.ways]; }
+
+    /** True when any in-flight fill targets @p tile (frame pinned). */
+    bool pinned(std::uint64_t tile) const;
+
+    /**
+     * Find-or-allocate the frame for @p tile; evicts an unpinned
+     * victim if needed. Returns null when every way is pinned.
+     */
+    TileEntry *allocFrame(std::uint64_t tile);
+
+    /** Write back all dirty words (per-row partial writebacks) and
+     *  invalidate the frame. */
+    void evictFrame(TileEntry *entry);
+
+    void copyOut(TileEntry *entry, Packet &pkt);
+    void performWrite(TileEntry *entry, const Packet &pkt);
+    void touch(TileEntry *entry) { entry->lruStamp = ++_clock; }
+
+    /** Dense mode: stream the rest of @p line's block. */
+    void streamBlock(const OrientedLine &line);
+
+    std::uint64_t _sets;
+    TileFillPolicy _fill;
+    std::vector<TileEntry> _frames;
+    std::uint64_t _clock = 0;
+    Cycles _writePenalty = 0;
+
+    stats::Scalar _denseBlockStreams;
+    stats::Scalar _writeValidates;
+    stats::Scalar _sparseLineFills;
+    stats::Scalar _writebackBytesElided;
+    stats::Scalar _frameEvictions;
+};
+
+} // namespace mda
+
+#endif // MDA_CORE_TILE_CACHE_HH

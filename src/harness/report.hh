@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench binaries, which reprint
+ * the paper's figures as rows/series.
+ */
+
+#ifndef MDA_HARNESS_REPORT_HH
+#define MDA_HARNESS_REPORT_HH
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mda::report
+{
+
+/** Format a double with fixed precision. */
+inline std::string
+fmt(double value, int precision = 3)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+/** Format as a percentage ("42.0%"). */
+inline std::string
+pct(double fraction, int precision = 1)
+{
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+}
+
+/** Geometric mean (for normalized ratios). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : _headers(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        _rows.push_back(std::move(cells));
+    }
+
+    void
+    print(std::ostream &os = std::cout) const
+    {
+        std::vector<std::size_t> widths(_headers.size());
+        for (std::size_t c = 0; c < _headers.size(); ++c)
+            widths[c] = _headers[c].size();
+        for (const auto &row : _rows)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+
+        auto print_row = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c) {
+                os << std::left << std::setw(
+                       static_cast<int>(widths[c]) + 2)
+                   << cells[c];
+            }
+            os << '\n';
+        };
+        print_row(_headers);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+        for (const auto &row : _rows)
+            print_row(row);
+    }
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Section banner for bench output. */
+inline void
+banner(const std::string &title, std::ostream &os = std::cout)
+{
+    os << '\n' << "== " << title << " ==\n";
+}
+
+} // namespace mda::report
+
+#endif // MDA_HARNESS_REPORT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One-call experiment running: workload name + input size + system
+ * config -> compiled kernel, simulated system, distilled results.
+ */
+
+#ifndef MDA_HARNESS_RUNNER_HH
+#define MDA_HARNESS_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "system.hh"
+#include "workloads/kernels.hh"
+
+namespace mda
+{
+
+/** Everything needed for one simulation run. */
+struct RunSpec
+{
+    std::string workload = "sgemm";
+
+    /** Input dimension (paper: 256 or 512; benches default smaller). */
+    std::int64_t n = 128;
+
+    std::uint64_t seed = 0xc0ffee;
+
+    SystemConfig system;
+
+    /** Scale cache capacities with n to preserve the paper's
+     *  working-set : capacity ratios (see SystemConfig). */
+    bool autoScaleCaches = true;
+};
+
+/** A compiled kernel and the system built around it. */
+class PreparedRun
+{
+  public:
+    explicit PreparedRun(const RunSpec &spec)
+        : kernel(compiler::compileKernel(
+              workloads::makeWorkload(spec.workload,
+                                      workloadParams(spec)),
+              spec.system.compileOptions())),
+          system(spec.autoScaleCaches
+                     ? spec.system.scaledForInput(spec.n)
+                     : spec.system,
+                 kernel)
+    {}
+
+    static workloads::WorkloadParams
+    workloadParams(const RunSpec &spec)
+    {
+        workloads::WorkloadParams params;
+        params.n = spec.n;
+        params.seed = spec.seed;
+        return params;
+    }
+
+    compiler::CompiledKernel kernel;
+    System system;
+};
+
+/** Compile, build, run, distill. */
+inline RunResult
+runOne(const RunSpec &spec)
+{
+    PreparedRun run(spec);
+    return run.system.run();
+}
+
+} // namespace mda
+
+#endif // MDA_HARNESS_RUNNER_HH

@@ -1,0 +1,167 @@
+#include "system.hh"
+
+namespace mda
+{
+
+std::string
+System::levelName(std::size_t idx)
+{
+    return "l" + std::to_string(idx + 1);
+}
+
+System::System(const SystemConfig &config,
+               const compiler::CompiledKernel &kernel)
+    : _config(config)
+{
+    _gen = std::make_unique<compiler::TraceGenerator>(kernel);
+    _memory = std::make_unique<MdaMemory>(
+        "mem", _eq, _stats, config.memTiming, config.memTopo);
+    buildCaches(config);
+
+    // Wire the chain: levels[0] ... levels[n-1] -> memory.
+    for (std::size_t n = 0; n < _levels.size(); ++n) {
+        MemDevice *below =
+            (n + 1 < _levels.size())
+                ? static_cast<MemDevice *>(_levels[n + 1])
+                : static_cast<MemDevice *>(_memory.get());
+        _levels[n]->setDownstream(below);
+        below->setUpstream(_levels[n]);
+    }
+
+    CpuParams cpu_params;
+    cpu_params.maxOutstanding = config.maxOutstanding;
+    cpu_params.checkData = config.checkData;
+    _cpu = std::make_unique<TraceCpu>("cpu", _eq, _stats, *_gen,
+                                      *_levels.front(), cpu_params);
+    _levels.front()->setUpstream(_cpu.get());
+
+    // Fig. 15 occupancy series, one per LineCache level.
+    _occupancy.resize(_levels.size());
+    for (std::size_t n = 0; n < _levels.size(); ++n) {
+        _stats.regTimeSeries(levelName(n) + ".colOccupancy",
+                             &_occupancy[n],
+                             "column-line occupancy over time");
+    }
+}
+
+void
+System::buildCaches(const SystemConfig &config)
+{
+    unsigned levels = config.threeLevel ? 3 : 2;
+
+    CacheConfig l1 = CacheConfig::l1D();
+    l1.sizeBytes = config.l1Size;
+    CacheConfig l2 = CacheConfig::l2(config.l2Size);
+    CacheConfig l3 = CacheConfig::l3(config.l3Size);
+    if (config.disableMshrCoalescing) {
+        l1.targetsPerMshr = 1;
+        l2.targetsPerMshr = 1;
+        l3.targetsPerMshr = 1;
+    }
+
+    auto line_mapping = LineMapping::TwoDDiffSet;
+    bool tile_llc = false;
+    auto tile_fill = TileFillPolicy::Sparse;
+    bool prefetch = false;
+    switch (config.design) {
+      case DesignPoint::D0_1P1L:
+        line_mapping = LineMapping::OneD;
+        prefetch = (config.prefetchDegree > 0);
+        break;
+      case DesignPoint::D1_1P2L:
+        line_mapping = LineMapping::TwoDDiffSet;
+        break;
+      case DesignPoint::D1_1P2L_SameSet:
+        line_mapping = LineMapping::TwoDSameSet;
+        break;
+      case DesignPoint::D2_2P2L:
+        line_mapping = LineMapping::TwoDDiffSet;
+        tile_llc = true;
+        break;
+      case DesignPoint::D2_2P2L_Dense:
+        line_mapping = LineMapping::TwoDDiffSet;
+        tile_llc = true;
+        tile_fill = TileFillPolicy::Dense;
+        break;
+      case DesignPoint::D3_2P2L_L1:
+        fatal("Design 3 (2P2L L1) is deferred to future work in the "
+              "paper and not implemented; pick another design point");
+    }
+
+    std::vector<CacheConfig> cfgs;
+    cfgs.push_back(l1);
+    cfgs.push_back(l2);
+    if (levels == 3)
+        cfgs.push_back(l3);
+
+    for (unsigned n = 0; n < levels; ++n) {
+        CacheConfig cfg = cfgs[n];
+        bool is_llc = (n + 1 == levels);
+        if (prefetch && !is_llc) {
+            cfg.prefetch = true;
+            cfg.prefetchDegree = config.prefetchDegree;
+        }
+        if (config.gatherHits && n > 0)
+            cfg.gatherHits = true;
+        std::string name = levelName(n);
+        if (is_llc && tile_llc) {
+            auto tile = std::make_unique<TileCache>(name, _eq, _stats,
+                                                    cfg, tile_fill);
+            tile->setWritePenalty(config.tileWritePenalty);
+            _levels.push_back(tile.get());
+            _caches.push_back(std::move(tile));
+        } else {
+            auto cache = std::make_unique<LineCache>(
+                name, _eq, _stats, cfg, line_mapping);
+            _levels.push_back(cache.get());
+            _caches.push_back(std::move(cache));
+        }
+        if (is_llc)
+            _llcName = name;
+    }
+}
+
+void
+System::sampleOccupancy()
+{
+    for (std::size_t n = 0; n < _levels.size(); ++n) {
+        auto *line = dynamic_cast<LineCache *>(_levels[n]);
+        if (line)
+            _occupancy[n].sample(_eq.curTick(), line->colOccupancy());
+    }
+    if (!_cpu->done()) {
+        _eq.schedule(_eq.curTick() + _config.occupancySamplePeriod,
+                     [this] { sampleOccupancy(); },
+                     EventPriority::Stats);
+    }
+}
+
+RunResult
+System::run()
+{
+    _cpu->start();
+    if (_config.occupancySamplePeriod > 0)
+        sampleOccupancy();
+    _eq.run();
+    if (!_cpu->done())
+        panic("simulation deadlocked at tick %llu",
+              (unsigned long long)_eq.curTick());
+
+    RunResult result;
+    result.cycles = _cpu->finishTick();
+    result.ops =
+        static_cast<std::uint64_t>(_stats.scalar("cpu.ops"));
+    double l1_acc = _stats.scalar("l1.demandAccesses");
+    result.l1HitRate =
+        l1_acc > 0 ? _stats.scalar("l1.demandHits") / l1_acc : 0.0;
+    result.llcAccesses = static_cast<std::uint64_t>(
+        _stats.scalar(_llcName + ".demandAccesses") +
+        _stats.scalar(_llcName + ".writebacksIn"));
+    result.memBytes = static_cast<std::uint64_t>(
+        _stats.scalar("mem.bytesRead") +
+        _stats.scalar("mem.bytesWritten"));
+    result.checkFailures = _cpu->checkFailures();
+    return result;
+}
+
+} // namespace mda

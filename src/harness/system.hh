@@ -1,0 +1,84 @@
+/**
+ * @file
+ * System: assembles CPU + cache hierarchy + MDA memory for one run.
+ */
+
+#ifndef MDA_HARNESS_SYSTEM_HH
+#define MDA_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "compiler/trace_gen.hh"
+#include "core/line_cache.hh"
+#include "core/tile_cache.hh"
+#include "mem/mda_memory.hh"
+#include "system_config.hh"
+#include "trace_cpu.hh"
+
+namespace mda
+{
+
+/** Results distilled from one simulation. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t ops = 0;
+
+    double l1HitRate = 0.0;
+
+    /** Requests arriving at the LLC (reads + writebacks). */
+    std::uint64_t llcAccesses = 0;
+
+    /** Bytes moved between the LLC and main memory. */
+    std::uint64_t memBytes = 0;
+
+    std::uint64_t checkFailures = 0;
+};
+
+/** One simulated machine executing one compiled kernel. */
+class System
+{
+  public:
+    System(const SystemConfig &config,
+           const compiler::CompiledKernel &kernel);
+
+    /** Run to completion and distill the results. */
+    RunResult run();
+
+    /** All statistics (benches pull extra series/values from here). */
+    stats::StatGroup &statGroup() { return _stats; }
+    EventQueue &eventQueue() { return _eq; }
+    TraceCpu &cpu() { return *_cpu; }
+    MdaMemory &memory() { return *_memory; }
+
+    /** LineCache levels, CPU side first (empty slots for TileCache). */
+    const std::vector<CacheBase *> &cacheLevels() const
+    {
+        return _levels;
+    }
+
+    /** Fig. 15 occupancy series name for level @p idx ("l1", ...). */
+    static std::string levelName(std::size_t idx);
+
+  private:
+    void buildCaches(const SystemConfig &config);
+    void sampleOccupancy();
+
+    SystemConfig _config;
+    EventQueue _eq;
+    stats::StatGroup _stats;
+
+    std::unique_ptr<compiler::TraceGenerator> _gen;
+    std::vector<std::unique_ptr<CacheBase>> _caches;
+    std::vector<CacheBase *> _levels;
+    std::unique_ptr<MdaMemory> _memory;
+    std::unique_ptr<TraceCpu> _cpu;
+
+    std::vector<stats::TimeSeries> _occupancy;
+    std::string _llcName;
+};
+
+} // namespace mda
+
+#endif // MDA_HARNESS_SYSTEM_HH

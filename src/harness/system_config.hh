@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Whole-system configuration: the paper's design points (Table I and
+ * Section IV-C) plus scaling support for fast bench runs.
+ */
+
+#ifndef MDA_HARNESS_SYSTEM_CONFIG_HH
+#define MDA_HARNESS_SYSTEM_CONFIG_HH
+
+#include <optional>
+#include <string>
+
+#include "cache/cache_config.hh"
+#include "compiler/compile.hh"
+#include "mem/timing_params.hh"
+
+namespace mda
+{
+
+/** The cache-hierarchy design points evaluated in the paper. */
+enum class DesignPoint : std::uint8_t
+{
+    D0_1P1L,         ///< Baseline: 1P1L everywhere + prefetching.
+    D1_1P2L,         ///< 1P2L (Different-Set) at every level.
+    D1_1P2L_SameSet, ///< 1P2L with Same-Set mapping at every level.
+    D2_2P2L,         ///< 1P2L L1/L2 with a sparse 2P2L LLC.
+    D2_2P2L_Dense,   ///< Same, with the dense block-fill policy.
+    D3_2P2L_L1,      ///< 2P2L L1 (explicitly deferred by the paper).
+};
+
+/** Display name matching the paper's figures. */
+constexpr const char *
+designName(DesignPoint d)
+{
+    switch (d) {
+      case DesignPoint::D0_1P1L: return "1P1L";
+      case DesignPoint::D1_1P2L: return "1P2L";
+      case DesignPoint::D1_1P2L_SameSet: return "1P2L_SameSet";
+      case DesignPoint::D2_2P2L: return "2P2L";
+      case DesignPoint::D2_2P2L_Dense: return "2P2L_Dense";
+      case DesignPoint::D3_2P2L_L1: return "2P2L_L1";
+    }
+    return "?";
+}
+
+/** Whole-system parameters. */
+struct SystemConfig
+{
+    DesignPoint design = DesignPoint::D1_1P2L;
+
+    /** Cache sizes (Table I: 32K L1 / 256K L2 / 1M..4M L3). */
+    std::uint64_t l1Size = 32 * 1024;
+    std::uint64_t l2Size = 256 * 1024;
+    std::uint64_t l3Size = 1024 * 1024;
+
+    /** False = two-level hierarchy where the L2 is the LLC (the
+     *  cache-resident study of Fig. 13 uses a 2 MB L2 LLC). */
+    bool threeLevel = true;
+
+    MemTimingParams memTiming = MemTimingParams::sttDefault();
+    MemTopologyParams memTopo{};
+
+    /** Extra 2P2L write latency (Fig. 16's +20-cycle study). */
+    Cycles tileWritePenalty = 0;
+
+    /** CPU MLP window. */
+    unsigned maxOutstanding = 16;
+
+    /** Baseline prefetch degree (L1 and L2; 0 disables). */
+    unsigned prefetchDegree = 8;
+
+    /** Enable the gather-hit policy (assemble an oriented line from
+     *  crossing lines) at the non-L1 1P2L levels. */
+    bool gatherHits = false;
+
+    /** Verify all data movement against a reference model. */
+    bool checkData = false;
+
+    /** Sample column occupancy every N cycles (0 = off, Fig. 15). */
+    Tick occupancySamplePeriod = 0;
+
+    /** Layout override for the layout-mismatch ablation. */
+    std::optional<compiler::LayoutKind> layoutOverride;
+
+    /** Disable 2-D MSHR scalar-miss coalescing (ablation): misses
+     *  fetch their line but scalars to the same in-flight line are
+     *  held rather than coalesced. (Modeled as MSHR target cap 1.) */
+    bool disableMshrCoalescing = false;
+
+    /** Compiler options implied by the design point. */
+    compiler::CompileOptions
+    compileOptions() const
+    {
+        compiler::CompileOptions opts;
+        opts.mdaEnabled = (design != DesignPoint::D0_1P1L);
+        opts.vectorize = true;
+        opts.layoutOverride = layoutOverride;
+        return opts;
+    }
+
+    /**
+     * Scale every cache size by the square of (paper n / run n) so a
+     * scaled run preserves the paper's working-set : capacity ratios
+     * (e.g. n = 128 divides capacities by 16).
+     */
+    SystemConfig
+    scaledForInput(std::int64_t n, std::int64_t paper_n = 512) const
+    {
+        SystemConfig out = *this;
+        if (n >= paper_n)
+            return out;
+        std::uint64_t factor = static_cast<std::uint64_t>(
+            (paper_n / n) * (paper_n / n));
+        auto scale = [factor](std::uint64_t bytes) {
+            std::uint64_t scaled = bytes / factor;
+            // Round to a 4 KiB multiple so every associativity and
+            // the 512 B tile granularity divide evenly.
+            scaled = alignUp(std::max<std::uint64_t>(scaled, 4096),
+                             4096);
+            return scaled;
+        };
+        out.l1Size = scale(l1Size);
+        out.l2Size = scale(l2Size);
+        out.l3Size = scale(l3Size);
+        return out;
+    }
+};
+
+} // namespace mda
+
+#endif // MDA_HARNESS_SYSTEM_CONFIG_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tile-preserving MDA address decode (paper Fig. 8).
+ *
+ * Address bits, LSB to MSB:
+ *
+ *   [2:0]  byte within word
+ *   [5:3]  word within a row line (tile-local column, "row word off")
+ *   [8:6]  row line within the tile ("col word offset")
+ *   then   bank | rank | channel      (tile-granular interleaving)
+ *   then   colSel (c_hi) | rowSel (r_hi)
+ *
+ * Because the bank/rank/channel bits sit *above* the full 512 B tile,
+ * "a column aligned tile is the unit of interleaving": every word of a
+ * tile — hence every word of a row line AND of a column line — maps to
+ * the same bank, preserving column alignment within one bank while
+ * spreading consecutive tiles across banks/ranks/channels for
+ * parallelism. Within a bank, the word coordinate is
+ *
+ *   physRow = r_hi * 8 + r_lo        physCol = c_hi * 8 + c_lo
+ *
+ * so a row line occupies one physical mat row (a row-buffer hit
+ * candidate) and a column line one physical mat column.
+ */
+
+#ifndef MDA_MEM_ADDRESS_DECODE_HH
+#define MDA_MEM_ADDRESS_DECODE_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+#include "sim/orientation.hh"
+#include "sim/types.hh"
+#include "timing_params.hh"
+
+namespace mda
+{
+
+/** Decoded coordinates of an address. */
+struct DecodedAddr
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+
+    /** Physical mat row of the word (selects the row buffer tag). */
+    std::uint64_t physRow = 0;
+
+    /** Physical mat column of the word (column buffer tag). */
+    std::uint64_t physCol = 0;
+
+    /** Flat bank id: channel/rank/bank combined. */
+    unsigned flatBank = 0;
+};
+
+/** Fig. 8 decoder for a given topology. */
+class AddressDecoder
+{
+  public:
+    explicit AddressDecoder(const MemTopologyParams &topo)
+        : _bankBits(floorLog2(topo.banksPerRank)),
+          _rankBits(floorLog2(topo.ranksPerChannel)),
+          _channelBits(floorLog2(topo.channels)),
+          _colSelBits(topo.colSelBits),
+          _topo(topo)
+    {
+        mda_assert(isPowerOf2(topo.banksPerRank) &&
+                       isPowerOf2(topo.ranksPerChannel) &&
+                       isPowerOf2(topo.channels),
+                   "topology must be powers of two");
+    }
+
+    /** Decode @p addr into bank and mat coordinates. */
+    DecodedAddr
+    decode(Addr addr) const
+    {
+        DecodedAddr d;
+        unsigned shift = 9; // byte(3) + c_lo(3) + r_lo(3)
+        std::uint64_t r_lo = bits(addr, 8, 6);
+        std::uint64_t c_lo = bits(addr, 5, 3);
+
+        d.bank = static_cast<unsigned>(
+            bits(addr, shift + _bankBits - 1, shift));
+        shift += _bankBits;
+        if (_rankBits) {
+            d.rank = static_cast<unsigned>(
+                bits(addr, shift + _rankBits - 1, shift));
+            shift += _rankBits;
+        }
+        if (_channelBits) {
+            d.channel = static_cast<unsigned>(
+                bits(addr, shift + _channelBits - 1, shift));
+            shift += _channelBits;
+        }
+        std::uint64_t c_hi = bits(addr, shift + _colSelBits - 1, shift);
+        std::uint64_t r_hi = addr >> (shift + _colSelBits);
+
+        // Permutation-based interleaving: XOR the row/column select
+        // bits into the bank/rank/channel selection so strided walks
+        // (a column traversal advances whole rows of tiles at once)
+        // still spread across banks and channels. Pure bit-slice
+        // interleaving would serialize any stride that is a multiple
+        // of the interleave span on a single bank.
+        std::uint64_t fold = r_hi ^ (c_hi * 0x9e3779b9ULL);
+        d.bank = static_cast<unsigned>(
+            (d.bank ^ fold) & ((1u << _bankBits) - 1));
+        fold >>= _bankBits;
+        if (_rankBits) {
+            d.rank = static_cast<unsigned>(
+                (d.rank ^ fold) & ((1u << _rankBits) - 1));
+            fold >>= _rankBits;
+        }
+        if (_channelBits) {
+            d.channel = static_cast<unsigned>(
+                (d.channel ^ fold) & ((1u << _channelBits) - 1));
+        }
+
+        d.physRow = r_hi * tileLines + r_lo;
+        d.physCol = c_hi * lineWords + c_lo;
+        d.flatBank =
+            (d.channel * _topo.ranksPerChannel + d.rank) *
+                _topo.banksPerRank +
+            d.bank;
+        return d;
+    }
+
+    /**
+     * The buffer tag an oriented line access opens: its physical row
+     * (row mode) or physical column (column mode). All eight words of
+     * the line share it by construction.
+     */
+    std::uint64_t
+    bufferTag(Addr line_base, Orientation orient) const
+    {
+        DecodedAddr d = decode(line_base);
+        return orient == Orientation::Row ? d.physRow : d.physCol;
+    }
+
+    unsigned channelBits() const { return _channelBits; }
+
+  private:
+    unsigned _bankBits;
+    unsigned _rankBits;
+    unsigned _channelBits;
+    unsigned _colSelBits;
+    MemTopologyParams _topo;
+};
+
+} // namespace mda
+
+#endif // MDA_MEM_ADDRESS_DECODE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The MDA (crosspoint) main memory: banks with symmetric row and
+ * column buffers behind an FRFCFS-WQF memory controller.
+ *
+ * Functional semantics: requests are serialized in arrival order —
+ * reads capture their data and writes apply theirs at enqueue time;
+ * servicing only models timing. The ordering of overlapping accesses
+ * is the responsibility of the cache hierarchy (2-D MSHRs), exactly
+ * as in the paper.
+ *
+ * Timing: per-channel FR-FCFS scheduling (open-buffer hits first,
+ * then oldest) with a write queue drained between high/low watermarks
+ * (WQF). Banks expose busy times so activations overlap across banks;
+ * the per-channel data bus serializes bursts, which is what makes the
+ * baseline's 8x column over-fetch a bandwidth bottleneck.
+ */
+
+#ifndef MDA_MEM_MDA_MEMORY_HH
+#define MDA_MEM_MDA_MEMORY_HH
+
+#include <deque>
+#include <vector>
+
+#include "address_decode.hh"
+#include "backing_store.hh"
+#include "sim/port.hh"
+#include "sim/sim_object.hh"
+#include "timing_params.hh"
+
+namespace mda
+{
+
+/** MDA main memory device (NVMain-equivalent substrate). */
+class MdaMemory : public SimObject, public MemDevice
+{
+  public:
+    MdaMemory(const std::string &name, EventQueue &eq,
+              stats::StatGroup &sg, const MemTimingParams &timing,
+              const MemTopologyParams &topo);
+
+    // MemDevice
+    bool tryRequest(PacketPtr &pkt) override;
+    void setUpstream(MemClient *client) override { _upstream = client; }
+
+    /** Functional image (also used by checkers/tests). */
+    BackingStore &store() { return _store; }
+    const AddressDecoder &decoder() const { return _decoder; }
+
+  private:
+    struct Bank
+    {
+        /** Open row/column buffer tags, most recently used last
+         *  (size = MemTopologyParams::subRowBuffers). */
+        std::vector<std::int64_t> openRows;
+        std::vector<std::int64_t> openCols;
+        Tick busyUntil = 0;
+
+        /** True if @p tag is open; refreshes recency on hit. */
+        bool
+        probe(std::vector<std::int64_t> &bufs, std::int64_t tag,
+              bool touch)
+        {
+            for (std::size_t n = 0; n < bufs.size(); ++n) {
+                if (bufs[n] == tag) {
+                    if (touch && n + 1 != bufs.size()) {
+                        bufs.erase(bufs.begin() +
+                                   static_cast<std::ptrdiff_t>(n));
+                        bufs.push_back(tag);
+                    }
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        /** Open @p tag, evicting the least recent if at capacity. */
+        void
+        open(std::vector<std::int64_t> &bufs, std::int64_t tag,
+             unsigned capacity)
+        {
+            if (bufs.size() >= capacity)
+                bufs.erase(bufs.begin());
+            bufs.push_back(tag);
+        }
+    };
+
+    struct QueuedReq
+    {
+        PacketPtr pkt;
+        unsigned flatBank = 0;
+        std::uint64_t bufTag = 0;
+        Tick enqueueTick = 0;
+        bool needsResponse = false;
+    };
+
+    struct Channel
+    {
+        std::deque<QueuedReq> readQ;
+        std::deque<QueuedReq> writeQ;
+        Tick busUntil = 0;
+        bool draining = false;
+    };
+
+    void scheduleChannel(unsigned ch, Tick when);
+    void processChannel(unsigned ch);
+    void issue(Channel &channel, QueuedReq req);
+    Cycles burstCycles(const Packet &pkt) const;
+    void maybeUnblockUpstream();
+
+    MemTimingParams _timing;
+    MemTopologyParams _topo;
+    AddressDecoder _decoder;
+    BackingStore _store;
+    MemClient *_upstream = nullptr;
+
+    std::vector<Channel> _channels;
+    std::vector<Bank> _banks;
+    bool _upstreamBlocked = false;
+
+    // --- statistics ---
+    stats::Scalar _readReqs, _writeReqs;
+    stats::Scalar _rowAccesses, _colAccesses;
+    stats::Scalar _rowBufHits, _colBufHits, _bufMisses;
+    stats::Scalar _bytesRead, _bytesWritten;
+    stats::Scalar _busBusy;
+    stats::Distribution _queueLatency{0, 2000, 20};
+};
+
+} // namespace mda
+
+#endif // MDA_MEM_MDA_MEMORY_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * MDA main-memory timing parameters.
+ *
+ * Modeled on Everspin-class STT-MRAM devices (the paper's Table I
+ * NVMain configuration), expressed in CPU cycles at 3 GHz. The
+ * presets cover the paper's sensitivity axes: the default STT part,
+ * the 1.6x-faster part of Fig. 17, and write-asymmetric variants.
+ */
+
+#ifndef MDA_MEM_TIMING_PARAMS_HH
+#define MDA_MEM_TIMING_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace mda
+{
+
+/** Per-bank and per-channel timing knobs (CPU cycles @ 3 GHz). */
+struct MemTimingParams
+{
+    /** Open (activate) a row or column into its buffer, including the
+     *  implicit precharge of the previously open one. Crosspoint
+     *  NVMs sense non-destructively, so activation is much cheaper
+     *  than a DRAM row open. */
+    Cycles tActivate = 54;   // ~18 ns, STT-MRAM class
+
+    /** Buffer (CAS-equivalent) access on an open row/column. */
+    Cycles tCas = 36;        // ~12 ns
+
+    /** Channel bus occupancy for one 64-byte burst. */
+    Cycles tBurst = 15;      // ~5 ns  (~12.8 GB/s per channel)
+
+    /** Extra bank busy time after a write (write recovery). */
+    Cycles tWriteRecovery = 45; // ~15 ns; STT writes are slower
+
+    /** Extra decode latency for column-mode addressing (the paper
+     *  charges one additional cycle of address translation). */
+    Cycles tColDecode = 1;
+
+    /** Scale every latency by 1/factor (Fig. 17 uses factor = 1.6). */
+    MemTimingParams
+    scaled(double factor) const
+    {
+        auto s = [factor](Cycles c) {
+            auto v = static_cast<Cycles>(
+                static_cast<double>(c) / factor);
+            return v > 0 ? v : 1;
+        };
+        MemTimingParams p = *this;
+        p.tActivate = s(tActivate);
+        p.tCas = s(tCas);
+        p.tBurst = s(tBurst);
+        p.tWriteRecovery = s(tWriteRecovery);
+        return p;
+    }
+
+    /** The paper's default STT crosspoint part. */
+    static MemTimingParams sttDefault() { return MemTimingParams{}; }
+
+    /** The 1.6x faster main memory of Fig. 17. */
+    static MemTimingParams
+    sttFast()
+    {
+        return sttDefault().scaled(1.6);
+    }
+};
+
+/** Topology of the MDA main memory (Table I: 4 x 1 GB channels). */
+struct MemTopologyParams
+{
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 1;
+    unsigned banksPerRank = 8;
+
+    /** Word-columns per bank mat, in groups of 8 (sets how many high
+     *  address bits select the column group vs the row group). */
+    unsigned colSelBits = 6; // 64 tile-columns => 512 word cols/bank
+
+    /** Row/column buffers per bank. 1 is the paper's default; the
+     *  Section IX sub-row-buffer study (Gulur et al.) splits this
+     *  into multiple independently-tagged buffers, which the paper
+     *  found to matter <1% for single-threaded runs. */
+    unsigned subRowBuffers = 1;
+
+    /** Per-channel queue capacities. */
+    unsigned readQueueSize = 32;
+    unsigned writeQueueSize = 32;
+
+    /** WQF drain watermarks. */
+    unsigned writeHighWatermark = 24;
+    unsigned writeLowWatermark = 8;
+
+    unsigned totalBanks() const { return channels * ranksPerChannel *
+                                         banksPerRank; }
+};
+
+} // namespace mda
+
+#endif // MDA_MEM_TIMING_PARAMS_HH

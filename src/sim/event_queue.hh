@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global-per-simulation EventQueue orders callbacks by
+ * (tick, priority, insertion sequence). Components capture what they
+ * need in a std::function and schedule it; the queue guarantees
+ * deterministic ordering so simulations are exactly reproducible.
+ */
+
+#ifndef MDA_SIM_EVENT_QUEUE_HH
+#define MDA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace mda
+{
+
+/**
+ * Relative ordering of events that fire on the same tick. Lower values
+ * run first. Responses are drained before new requests are issued so a
+ * resource freed this tick can be claimed this tick.
+ */
+enum class EventPriority : std::uint8_t
+{
+    Response = 0,  ///< Deliver data/completions first.
+    Default  = 1,  ///< Most component activity.
+    Cpu      = 2,  ///< CPU issue, after the memory system settles.
+    Stats    = 3,  ///< Sampling/bookkeeping, observes settled state.
+};
+
+/**
+ * Deterministic discrete-event scheduler.
+ *
+ * Events are one-shot std::function callbacks. The queue is not
+ * thread-safe; the whole simulator is single-threaded by design.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @pre when >= curTick(); scheduling in the past is a bug.
+     */
+    void
+    schedule(Tick when, Callback cb,
+             EventPriority prio = EventPriority::Default)
+    {
+        mda_assert(when >= _curTick,
+                   "event scheduled in the past (%llu < %llu)",
+                   (unsigned long long)when,
+                   (unsigned long long)_curTick);
+        _events.push(Event{when, static_cast<std::uint8_t>(prio),
+                           _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleAfter(Tick delta, Callback cb,
+                  EventPriority prio = EventPriority::Default)
+    {
+        schedule(_curTick + delta, std::move(cb), prio);
+    }
+
+    /** Whether any events remain. */
+    bool empty() const { return _events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _events.size(); }
+
+    /** Tick of the next pending event (maxTick if none). */
+    Tick
+    nextTick() const
+    {
+        return _events.empty() ? maxTick : _events.top().when;
+    }
+
+    /**
+     * Run events until the queue drains or @p limit ticks is exceeded.
+     *
+     * @param limit Do not execute events scheduled after this tick.
+     * @return Number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t executed = 0;
+        while (!_events.empty() && _events.top().when <= limit) {
+            // Move the callback out before popping so the event can
+            // safely schedule further events.
+            Event ev = std::move(const_cast<Event &>(_events.top()));
+            _events.pop();
+            mda_assert(ev.when >= _curTick, "time went backwards");
+            _curTick = ev.when;
+            ev.cb();
+            ++executed;
+        }
+        return executed;
+    }
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        Event ev = std::move(const_cast<Event &>(_events.top()));
+        _events.pop();
+        _curTick = ev.when;
+        ev.cb();
+        return true;
+    }
+
+    /** Discard all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        _events = {};
+        _curTick = 0;
+        _nextSeq = 0;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint8_t prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,83 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mda
+{
+
+namespace logging_detail
+{
+
+bool quiet = false;
+
+void
+vreport(LogLevel level, const char *fmt, std::va_list args)
+{
+    const char *prefix = "";
+    switch (level) {
+      case LogLevel::Panic:  prefix = "panic: "; break;
+      case LogLevel::Fatal:  prefix = "fatal: "; break;
+      case LogLevel::Warn:   prefix = "warn: "; break;
+      case LogLevel::Inform: prefix = "info: "; break;
+    }
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+}
+
+} // namespace logging_detail
+
+bool
+setQuietLogging(bool quiet)
+{
+    bool prev = logging_detail::quiet;
+    logging_detail::quiet = quiet;
+    return prev;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    logging_detail::vreport(LogLevel::Panic, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    logging_detail::vreport(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (logging_detail::quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    logging_detail::vreport(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (logging_detail::quiet)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    logging_detail::vreport(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+} // namespace mda

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * MDA address geometry: orientations, tiles, and oriented lines.
+ *
+ * The physical address space is organized in 512-byte naturally-aligned
+ * *tiles* of 8x8 64-bit words (paper Fig. 8): bits [2:0] select the byte
+ * within a word, bits [5:3] the word within a row line (the tile-local
+ * column coordinate), and bits [8:6] the row line within the tile (the
+ * tile-local row coordinate). Everything above bit 8 is the tile id.
+ *
+ * A *row line* is the 8 words of one tile row: 64 contiguous bytes.
+ * A *column line* is the 8 words of one tile column: 8 words with a
+ * 64-byte stride inside one tile. MDA memories (and 2P2L caches) can
+ * transfer either at symmetric cost; 1P2L caches store either densely.
+ */
+
+#ifndef MDA_SIM_ORIENTATION_HH
+#define MDA_SIM_ORIENTATION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace mda
+{
+
+/** Access/line orientation. Undiscerned preferences default to Row. */
+enum class Orientation : std::uint8_t { Row = 0, Col = 1 };
+
+/** The other orientation. */
+constexpr Orientation
+flip(Orientation o)
+{
+    return o == Orientation::Row ? Orientation::Col : Orientation::Row;
+}
+
+/** Short human-readable orientation name. */
+constexpr const char *
+orientName(Orientation o)
+{
+    return o == Orientation::Row ? "row" : "col";
+}
+
+/** Tile id containing @p addr (tiles are 512 B aligned). */
+constexpr std::uint64_t
+tileOf(Addr addr)
+{
+    return addr >> 9;
+}
+
+/** Base byte address of tile @p tile. */
+constexpr Addr
+tileBase(std::uint64_t tile)
+{
+    return tile << 9;
+}
+
+/** Tile-local row coordinate (which row line) of @p addr. */
+constexpr unsigned
+tileRowOf(Addr addr)
+{
+    return static_cast<unsigned>(bits(addr, 8, 6));
+}
+
+/** Tile-local column coordinate (word within a row line) of @p addr. */
+constexpr unsigned
+tileColOf(Addr addr)
+{
+    return static_cast<unsigned>(bits(addr, 5, 3));
+}
+
+/**
+ * An oriented cache-line-sized unit of transfer: one row or one column
+ * of a tile. Identified by (orientation, id) where id = (tile << 3) |
+ * tile-local index. Note that a row and a column line may share the
+ * same numeric id; the orientation always disambiguates.
+ */
+struct OrientedLine
+{
+    Orientation orient = Orientation::Row;
+    std::uint64_t id = 0;
+
+    OrientedLine() = default;
+
+    OrientedLine(Orientation o, std::uint64_t line_id)
+        : orient(o), id(line_id)
+    {}
+
+    /** The oriented line of @p orient containing @p addr. */
+    static OrientedLine
+    containing(Addr addr, Orientation o)
+    {
+        std::uint64_t tile = tileOf(addr);
+        unsigned idx = (o == Orientation::Row) ? tileRowOf(addr)
+                                               : tileColOf(addr);
+        return OrientedLine(o, (tile << 3) | idx);
+    }
+
+    /** Tile this line belongs to. */
+    std::uint64_t tile() const { return id >> 3; }
+
+    /** Tile-local index: row coordinate for rows, column for columns. */
+    unsigned index() const { return static_cast<unsigned>(id & 7); }
+
+    /**
+     * Byte address of the k-th word of this line (k in [0,8)).
+     * For row lines words are contiguous; for column lines they are
+     * spaced one row line (64 B) apart.
+     */
+    Addr
+    wordAddr(unsigned k) const
+    {
+        mda_assert(k < lineWords, "word index out of range");
+        Addr base = tileBase(tile());
+        if (orient == Orientation::Row)
+            return base + index() * lineBytes + k * wordBytes;
+        return base + k * lineBytes + index() * wordBytes;
+    }
+
+    /** Address of word 0; the canonical address of this line. */
+    Addr baseAddr() const { return wordAddr(0); }
+
+    /** All eight word addresses covered by this line. */
+    std::array<Addr, lineWords>
+    wordAddrs() const
+    {
+        std::array<Addr, lineWords> out;
+        for (unsigned k = 0; k < lineWords; ++k)
+            out[k] = wordAddr(k);
+        return out;
+    }
+
+    /** Whether this line covers the word containing @p addr. */
+    bool
+    containsWord(Addr addr) const
+    {
+        if (tileOf(addr) != tile())
+            return false;
+        unsigned idx = (orient == Orientation::Row) ? tileRowOf(addr)
+                                                    : tileColOf(addr);
+        return idx == index();
+    }
+
+    /**
+     * Index (0..7) of the word containing @p addr within this line.
+     * @pre containsWord(addr)
+     */
+    unsigned
+    wordIndexOf(Addr addr) const
+    {
+        mda_assert(containsWord(addr), "address not covered by line");
+        return (orient == Orientation::Row) ? tileColOf(addr)
+                                            : tileRowOf(addr);
+    }
+
+    /**
+     * Whether this line shares a word with @p other. Same-orientation
+     * lines overlap only when identical; cross-orientation lines of the
+     * same tile always intersect in exactly one word.
+     */
+    bool
+    intersects(const OrientedLine &other) const
+    {
+        if (orient == other.orient)
+            return id == other.id;
+        return tile() == other.tile();
+    }
+
+    /**
+     * Address of the single word shared with a cross-orientation line
+     * of the same tile. @pre intersects(other) && orient != other.orient
+     */
+    Addr
+    intersectionWord(const OrientedLine &other) const
+    {
+        mda_assert(orient != other.orient && tile() == other.tile(),
+                   "lines do not cross");
+        unsigned row = (orient == Orientation::Row) ? index()
+                                                    : other.index();
+        unsigned col = (orient == Orientation::Row) ? other.index()
+                                                    : index();
+        return tileBase(tile()) + row * lineBytes + col * wordBytes;
+    }
+
+    /** The eight cross-orientation lines intersecting this one. */
+    std::array<OrientedLine, tileLines>
+    crossingLines() const
+    {
+        std::array<OrientedLine, tileLines> out;
+        Orientation o = flip(orient);
+        for (unsigned k = 0; k < tileLines; ++k)
+            out[k] = OrientedLine(o, (tile() << 3) | k);
+        return out;
+    }
+
+    bool
+    operator==(const OrientedLine &other) const
+    {
+        return orient == other.orient && id == other.id;
+    }
+};
+
+/** Hash functor so oriented lines can key unordered containers. */
+struct OrientedLineHash
+{
+    std::size_t
+    operator()(const OrientedLine &line) const
+    {
+        return static_cast<std::size_t>(
+            line.id * 2 + static_cast<std::size_t>(line.orient));
+    }
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_ORIENTATION_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The request/response protocol connecting hierarchy levels.
+ *
+ * The hierarchy is a linear chain (CPU -> L1 -> ... -> LLC -> memory
+ * controller). Each level implements MemDevice toward the level above
+ * and holds a MemClient pointer to deliver responses upward.
+ *
+ * Flow control is gem5-like: tryRequest() either consumes the packet
+ * (returns true) or rejects it (returns false), in which case the
+ * device *must* later call recvRetry() on its client exactly once when
+ * space frees; the client then re-sends. Writebacks receive no
+ * response but obey the same flow control.
+ */
+
+#ifndef MDA_SIM_PORT_HH
+#define MDA_SIM_PORT_HH
+
+#include "packet.hh"
+
+namespace mda
+{
+
+/** Upward-facing interface: receives responses and retry signals. */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** A response (same packet, isResponse set) arrives from below. */
+    virtual void recvResponse(PacketPtr pkt) = 0;
+
+    /** The device below has space again; re-send the blocked packet. */
+    virtual void recvRetry() = 0;
+};
+
+/** Downward-facing interface: accepts requests from the level above. */
+class MemDevice
+{
+  public:
+    virtual ~MemDevice() = default;
+
+    /**
+     * Offer @p pkt to this device.
+     *
+     * @param pkt Request; moved-from on success, untouched on failure.
+     * @return True if accepted; false if the device is full, in which
+     *         case a recvRetry() will follow.
+     */
+    virtual bool tryRequest(PacketPtr &pkt) = 0;
+
+    /** Connect the upstream client that receives responses/retries. */
+    virtual void setUpstream(MemClient *client) = 0;
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_PORT_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Simulations must be exactly reproducible, so every component that
+ * needs randomness owns a seeded Rng rather than sharing global state.
+ */
+
+#ifndef MDA_SIM_RANDOM_HH
+#define MDA_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace mda
+{
+
+/** Small, fast, seedable PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t _state[4];
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_RANDOM_HH

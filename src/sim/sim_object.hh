@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Common base for named, clocked simulator components.
+ *
+ * A SimObject knows its name, the event queue it schedules on, and the
+ * statistics group it registers stats in (under "<name>." prefixes).
+ */
+
+#ifndef MDA_SIM_SIM_OBJECT_HH
+#define MDA_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace mda
+{
+
+/** Base class for all timing components. */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq, stats::StatGroup &sg)
+        : _name(std::move(name)), _eventq(eq), _statGroup(sg)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    EventQueue &eventq() { return _eventq; }
+    Tick curTick() const { return _eventq.curTick(); }
+    stats::StatGroup &statGroup() { return _statGroup; }
+
+  protected:
+    /** Register a scalar stat as "<name>.<local>". */
+    void
+    regScalar(const std::string &local, stats::Scalar *stat,
+              const std::string &desc = "")
+    {
+        _statGroup.regScalar(_name + "." + local, stat, desc);
+    }
+
+    void
+    regDistribution(const std::string &local, stats::Distribution *stat,
+                    const std::string &desc = "")
+    {
+        _statGroup.regDistribution(_name + "." + local, stat, desc);
+    }
+
+    void
+    regTimeSeries(const std::string &local, stats::TimeSeries *stat,
+                  const std::string &desc = "")
+    {
+        _statGroup.regTimeSeries(_name + "." + local, stat, desc);
+    }
+
+  private:
+    std::string _name;
+    EventQueue &_eventq;
+    stats::StatGroup &_statGroup;
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_SIM_OBJECT_HH

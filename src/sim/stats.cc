@@ -1,0 +1,27 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace mda::stats
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : _scalars) {
+        os << std::left << std::setw(48) << kv.first << ' '
+           << std::setw(16) << kv.second.stat->value();
+        if (!kv.second.desc.empty())
+            os << " # " << kv.second.desc;
+        os << '\n';
+    }
+    for (const auto &kv : _dists) {
+        const Distribution &d = *kv.second.stat;
+        os << std::left << std::setw(48) << (kv.first + "::count") << ' '
+           << d.count() << '\n'
+           << std::left << std::setw(48) << (kv.first + "::mean") << ' '
+           << d.mean() << '\n';
+    }
+}
+
+} // namespace mda::stats

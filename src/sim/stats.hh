@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Lightweight statistics package, in the spirit of gem5's Stats.
+ *
+ * Components own Scalar / Distribution / TimeSeries instances and
+ * register them with a StatGroup under dotted names
+ * (e.g. "l1d.overallHits"). The registry can dump everything, look up
+ * values by name (used by the benches to build the paper's tables),
+ * and reset between runs.
+ */
+
+#ifndef MDA_SIM_STATS_HH
+#define MDA_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace mda::stats
+{
+
+/** A single accumulating counter (integral semantics, double storage). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { _value += 1.0; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+    void reset() { _value = 0.0; }
+
+  private:
+    double _value = 0.0;
+};
+
+/** A bucketed histogram over a fixed range; overflows clamp. */
+class Distribution
+{
+  public:
+    /**
+     * @param min Lowest representable sample.
+     * @param max Highest representable sample.
+     * @param num_buckets Number of equal-width buckets.
+     */
+    Distribution(double min = 0.0, double max = 1.0,
+                 unsigned num_buckets = 16)
+        : _min(min), _max(max), _buckets(num_buckets, 0)
+    {
+        mda_assert(max > min && num_buckets > 0, "bad distribution");
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++_count;
+        _sum += v;
+        if (v < _minSeen || _count == 1)
+            _minSeen = v;
+        if (v > _maxSeen || _count == 1)
+            _maxSeen = v;
+        double clamped = v;
+        if (clamped < _min)
+            clamped = _min;
+        if (clamped > _max)
+            clamped = _max;
+        auto idx = static_cast<std::size_t>(
+            (clamped - _min) / (_max - _min) * _buckets.size());
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        ++_buckets[idx];
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double minSeen() const { return _minSeen; }
+    double maxSeen() const { return _maxSeen; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    void
+    reset()
+    {
+        _count = 0;
+        _sum = 0.0;
+        _minSeen = 0.0;
+        _maxSeen = 0.0;
+        for (auto &b : _buckets)
+            b = 0;
+    }
+
+  private:
+    double _min, _max;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _minSeen = 0.0;
+    double _maxSeen = 0.0;
+};
+
+/** A sampled (tick, value) series; used for Fig. 15 occupancy plots. */
+class TimeSeries
+{
+  public:
+    void
+    sample(Tick when, double value)
+    {
+        _points.emplace_back(when, value);
+    }
+
+    const std::vector<std::pair<Tick, double>> &points() const
+    {
+        return _points;
+    }
+
+    void reset() { _points.clear(); }
+
+  private:
+    std::vector<std::pair<Tick, double>> _points;
+};
+
+/**
+ * A named collection of statistics. Components register their stats
+ * here; benches and tests read them back by dotted name.
+ */
+class StatGroup
+{
+  public:
+    /** Register a scalar under @p name (must be unique). */
+    void
+    regScalar(const std::string &name, Scalar *stat,
+              const std::string &desc = "")
+    {
+        addUnique(name);
+        _scalars[name] = {stat, desc};
+    }
+
+    void
+    regDistribution(const std::string &name, Distribution *stat,
+                    const std::string &desc = "")
+    {
+        addUnique(name);
+        _dists[name] = {stat, desc};
+    }
+
+    void
+    regTimeSeries(const std::string &name, TimeSeries *stat,
+                  const std::string &desc = "")
+    {
+        addUnique(name);
+        _series[name] = {stat, desc};
+    }
+
+    /** Look up a scalar's current value; fatal if missing. */
+    double
+    scalar(const std::string &name) const
+    {
+        auto it = _scalars.find(name);
+        if (it == _scalars.end())
+            fatal("no such scalar stat: %s", name.c_str());
+        return it->second.stat->value();
+    }
+
+    /** True if a scalar stat with this name exists. */
+    bool
+    hasScalar(const std::string &name) const
+    {
+        return _scalars.count(name) != 0;
+    }
+
+    const Distribution &
+    distribution(const std::string &name) const
+    {
+        auto it = _dists.find(name);
+        if (it == _dists.end())
+            fatal("no such distribution stat: %s", name.c_str());
+        return *it->second.stat;
+    }
+
+    const TimeSeries &
+    timeSeries(const std::string &name) const
+    {
+        auto it = _series.find(name);
+        if (it == _series.end())
+            fatal("no such time series stat: %s", name.c_str());
+        return *it->second.stat;
+    }
+
+    /** All registered scalar names, sorted. */
+    std::vector<std::string>
+    scalarNames() const
+    {
+        std::vector<std::string> names;
+        names.reserve(_scalars.size());
+        for (const auto &kv : _scalars)
+            names.push_back(kv.first);
+        return names;
+    }
+
+    /** Write "name value # desc" lines for every scalar. */
+    void dump(std::ostream &os) const;
+
+    /** Zero every registered statistic. */
+    void
+    reset()
+    {
+        for (auto &kv : _scalars)
+            kv.second.stat->reset();
+        for (auto &kv : _dists)
+            kv.second.stat->reset();
+        for (auto &kv : _series)
+            kv.second.stat->reset();
+    }
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        T *stat = nullptr;
+        std::string desc;
+    };
+
+    void
+    addUnique(const std::string &name)
+    {
+        if (_scalars.count(name) || _dists.count(name) ||
+            _series.count(name)) {
+            panic("duplicate stat name: %s", name.c_str());
+        }
+    }
+
+    std::map<std::string, Entry<Scalar>> _scalars;
+    std::map<std::string, Entry<Distribution>> _dists;
+    std::map<std::string, Entry<TimeSeries>> _series;
+};
+
+} // namespace mda::stats
+
+#endif // MDA_SIM_STATS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator component.
+ *
+ * The simulator measures time in @ref Tick units. One tick equals one
+ * CPU clock cycle at the (fixed) 3 GHz core frequency used throughout
+ * the paper's Table I configuration; memory-side latencies expressed in
+ * nanoseconds are converted to ticks by the timing-parameter presets.
+ */
+
+#ifndef MDA_SIM_TYPES_HH
+#define MDA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mda
+{
+
+/** Simulated time, in CPU cycles (3 GHz => 1 tick = 1/3 ns). */
+using Tick = std::uint64_t;
+
+/** Latencies and durations, also in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid address. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Bytes per data word. All paper workloads use 64-bit elements. */
+constexpr unsigned wordBytes = 8;
+
+/** Words per cache line (64-byte lines throughout, per Table I). */
+constexpr unsigned lineWords = 8;
+
+/** Bytes per cache line. */
+constexpr unsigned lineBytes = wordBytes * lineWords;
+
+/** Lines per side of a 2-D tile (8x8 lines-of-words => 512 B tiles). */
+constexpr unsigned tileLines = 8;
+
+/** Bytes per 2-D tile: the 2P2L allocation unit and the memory
+ *  interleaving unit (8 rows x 8 columns x 8 B). */
+constexpr unsigned tileBytes = lineBytes * tileLines;
+
+/** Core clock in Hz, fixed at the paper's 3 GHz. */
+constexpr double coreClockHz = 3.0e9;
+
+/** Convert a duration in nanoseconds to ticks (rounding up). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    double ticks = ns * coreClockHz / 1.0e9;
+    Tick t = static_cast<Tick>(ticks);
+    return (static_cast<double>(t) < ticks) ? t + 1 : t;
+}
+
+/**
+ * Extract a bit field from a value.
+ *
+ * @param val   The source value.
+ * @param first Index of the least-significant bit of the field.
+ * @param last  Index of the most-significant bit of the field (inclusive).
+ * @return The extracted field, right-justified.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    std::uint64_t mask =
+        (nbits >= 64) ? ~0ULL : ((1ULL << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+/** Round @p val down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr val, Addr align)
+{
+    return val & ~(align - 1);
+}
+
+/** Round @p val up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr val, Addr align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** True when @p val is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t val)
+{
+    unsigned l = 0;
+    while (val > 1) {
+        val >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace mda
+
+#endif // MDA_SIM_TYPES_HH

@@ -1,0 +1,288 @@
+#include "kernels.hh"
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mda::workloads
+{
+
+using compiler::AffineExpr;
+using compiler::Kernel;
+using compiler::KernelBuilder;
+using compiler::StmtPhase;
+
+Kernel
+makeSgemm(const WorkloadParams &params)
+{
+    std::int64_t n = params.n;
+    KernelBuilder b("sgemm");
+    auto arr_a = b.array("A", n, n);
+    auto arr_b = b.array("B", n, n);
+    auto arr_c = b.array("C", n, n);
+    auto nest = b.nest("mm");
+    auto i = nest.loop("i", 0, n);
+    auto j = nest.loop("j", 0, n);
+    auto k = nest.loop("k", 0, n);
+    // sum += A[i][k] * B[k][j]; A is row-traversed, B column-traversed.
+    auto &body = nest.stmt(2);
+    nest.read(body, arr_a, AffineExpr::var(i), AffineExpr::var(k));
+    nest.read(body, arr_b, AffineExpr::var(k), AffineExpr::var(j));
+    // C[i][j] = sum, once per (i, j).
+    auto &store = nest.stmtAt(1, StmtPhase::Post, 1);
+    nest.write(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+Kernel
+makeSsyr2k(const WorkloadParams &params)
+{
+    std::int64_t n = params.n;
+    KernelBuilder b("ssyr2k");
+    auto arr_a = b.array("A", n, n);
+    auto arr_b = b.array("B", n, n);
+    auto arr_c = b.array("C", n, n);
+
+    // Nest 1: C *= beta (row traversal).
+    auto scale = b.nest("scale");
+    auto si = scale.loop("i", 0, n);
+    auto sj = scale.loop("j", 0, n);
+    auto &ss = scale.stmt(1);
+    scale.read(ss, arr_c, AffineExpr::var(si), AffineExpr::var(sj));
+    scale.write(ss, arr_c, AffineExpr::var(si), AffineExpr::var(sj));
+
+    // Nest 2: C[i][j] += A[k][i]*B[k][j] + B[k][i]*A[k][j]
+    // (the BLAS 'T' form: all four operand streams column-traversed).
+    auto upd = b.nest("update");
+    auto i = upd.loop("i", 0, n);
+    auto j = upd.loop("j", 0, n);
+    auto k = upd.loop("k", 0, n);
+    auto &body = upd.stmt(4);
+    upd.read(body, arr_a, AffineExpr::var(k), AffineExpr::var(i));
+    upd.read(body, arr_b, AffineExpr::var(k), AffineExpr::var(j));
+    upd.read(body, arr_b, AffineExpr::var(k), AffineExpr::var(i));
+    upd.read(body, arr_a, AffineExpr::var(k), AffineExpr::var(j));
+    auto &store = upd.stmtAt(1, StmtPhase::Post, 1);
+    upd.read(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+    upd.write(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+Kernel
+makeSsyrk(const WorkloadParams &params)
+{
+    std::int64_t n = params.n;
+    KernelBuilder b("ssyrk");
+    auto arr_a = b.array("A", n, n);
+    auto arr_c = b.array("C", n, n);
+
+    // Nest 1: scale the lower triangle, row traversal.
+    auto scale = b.nest("scale");
+    auto si = scale.loop("i", 0, n);
+    auto sj = scale.loop("j", 0, AffineExpr::var(si).plusConst(1));
+    auto &ss = scale.stmt(1);
+    scale.read(ss, arr_c, AffineExpr::var(si), AffineExpr::var(sj));
+    scale.write(ss, arr_c, AffineExpr::var(si), AffineExpr::var(sj));
+
+    // Nest 2: C[i][j] += A[k][i] * A[k][j], lower triangle; both
+    // operand streams are column-traversed (A' * A).
+    auto upd = b.nest("update");
+    auto i = upd.loop("i", 0, n);
+    auto j = upd.loop("j", 0, AffineExpr::var(i).plusConst(1));
+    auto k = upd.loop("k", 0, n);
+    auto &body = upd.stmt(2);
+    upd.read(body, arr_a, AffineExpr::var(k), AffineExpr::var(i));
+    upd.read(body, arr_a, AffineExpr::var(k), AffineExpr::var(j));
+    auto &store = upd.stmtAt(1, StmtPhase::Post, 1);
+    upd.read(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+    upd.write(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+
+    // Nest 3: symmetrize, C[j][i] = C[i][j] (mixed row read /
+    // column write) — the trailing phase visible in Fig. 15.
+    auto sym = b.nest("symmetrize");
+    auto yi = sym.loop("i", 0, n);
+    auto yj = sym.loop("j", 0, AffineExpr::var(yi));
+    auto &sy = sym.stmt(1);
+    sym.read(sy, arr_c, AffineExpr::var(yi), AffineExpr::var(yj));
+    sym.write(sy, arr_c, AffineExpr::var(yj), AffineExpr::var(yi));
+    return b.build();
+}
+
+Kernel
+makeStrmm(const WorkloadParams &params)
+{
+    std::int64_t n = params.n;
+    KernelBuilder b("strmm");
+    auto arr_a = b.array("A", n, n); // lower triangular
+    auto arr_b = b.array("B", n, n);
+    auto arr_t = b.array("T", n, n); // result
+
+    // T[i][j] = sum_{k<=i} A[i][k] * B[k][j]: A row-traversed along
+    // the triangle, B column-traversed.
+    auto nest = b.nest("trmm");
+    auto i = nest.loop("i", 0, n);
+    auto j = nest.loop("j", 0, n);
+    auto k = nest.loop("k", 0, AffineExpr::var(i).plusConst(1));
+    auto &body = nest.stmt(2);
+    nest.read(body, arr_a, AffineExpr::var(i), AffineExpr::var(k));
+    nest.read(body, arr_b, AffineExpr::var(k), AffineExpr::var(j));
+    auto &store = nest.stmtAt(1, StmtPhase::Post, 1);
+    nest.write(store, arr_t, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+Kernel
+makeSobel(const WorkloadParams &params)
+{
+    std::int64_t n = params.n;
+    KernelBuilder b("sobel");
+    auto arr_in = b.array("in", n, n);
+    auto arr_out = b.array("out", n, n);
+
+    // Vertical traversal: the column loop is outer, rows innermost,
+    // so every tap walks down a column.
+    auto nest = b.nest("filter");
+    auto j = nest.loop("j", 1, n - 1);
+    auto i = nest.loop("i", 1, n - 1);
+    auto &body = nest.stmt(10); // |Gx| + |Gy| arithmetic
+    for (std::int64_t di = -1; di <= 1; ++di) {
+        for (std::int64_t dj = -1; dj <= 1; ++dj) {
+            if (di == 0 && dj == 0)
+                continue; // the Sobel taps skip the center
+            nest.read(body, arr_in,
+                      AffineExpr::var(i).plusConst(di),
+                      AffineExpr::var(j).plusConst(dj));
+        }
+    }
+    nest.write(body, arr_out, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+namespace
+{
+
+/** Random values in [0, bound), deterministic per seed/salt. */
+std::vector<std::int64_t>
+randomValues(std::size_t count, std::int64_t bound, std::uint64_t seed,
+             std::uint64_t salt)
+{
+    Rng rng(seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+    std::vector<std::int64_t> out;
+    out.reserve(count);
+    for (std::size_t n = 0; n < count; ++n)
+        out.push_back(static_cast<std::int64_t>(
+            rng.below(static_cast<std::uint64_t>(bound))));
+    return out;
+}
+
+/** Shared HTAP shape: a (4n x n) table, @p scans column
+ *  aggregations and @p txns random-row transactions. */
+Kernel
+makeHtap(const std::string &name, const WorkloadParams &params,
+         std::size_t scans, std::size_t txns)
+{
+    std::int64_t rows = 4 * params.n;
+    std::int64_t cols = params.n;
+    KernelBuilder b(name);
+    auto table = b.array("table", rows, cols);
+
+    // Analytical queries: sum one random column per query; the row
+    // loop is innermost, so each scan is a column stream. Half the
+    // queries carry a data-dependent predicate (SELECT ... WHERE) the
+    // vectorizer must reject, leaving scalar column walks that
+    // exercise the 2-D MSHR's column-miss coalescing.
+    if (scans > 0) {
+        std::size_t plain = scans / 2;
+        if (plain > 0) {
+            auto scan = b.nest("scan");
+            auto q = scan.loopOver(
+                "q", randomValues(plain, cols, params.seed, 1));
+            auto i = scan.loop("i", 0, rows);
+            auto &body = scan.stmt(1);
+            scan.read(body, table, AffineExpr::var(i),
+                      AffineExpr::var(q));
+        }
+        std::size_t pred = scans - plain;
+        if (pred > 0) {
+            auto scan = b.nest("scan_pred");
+            auto q = scan.loopOver(
+                "q", randomValues(pred, cols, params.seed, 3));
+            auto i = scan.loop("i", 0, rows);
+            auto &body = scan.stmt(2);
+            body.vectorizable = false;
+            scan.read(body, table, AffineExpr::var(i),
+                      AffineExpr::var(q));
+        }
+    }
+
+    // Transactions: read a 16-field projection of a random row and
+    // update the first 4 fields (row-direction accesses).
+    if (txns > 0) {
+        std::int64_t fields = std::min<std::int64_t>(16, cols);
+        auto txn = b.nest("txn");
+        auto t = txn.loopOver(
+            "t", randomValues(txns, rows, params.seed, 2));
+        auto f = txn.loop("f", 0, fields);
+        auto &rd = txn.stmt(1);
+        txn.read(rd, table, AffineExpr::var(t), AffineExpr::var(f));
+        auto upd = b.nest("txn_update");
+        auto t2 = upd.loopOver(
+            "t2", randomValues(txns, rows, params.seed, 2));
+        auto f2 = upd.loop("f2", 0, std::min<std::int64_t>(4, cols));
+        auto &wr = upd.stmt(1);
+        upd.read(wr, table, AffineExpr::var(t2), AffineExpr::var(f2));
+        upd.write(wr, table, AffineExpr::var(t2), AffineExpr::var(f2));
+    }
+    return b.build();
+}
+
+} // namespace
+
+Kernel
+makeHtap1(const WorkloadParams &params)
+{
+    // Analytics-heavy: many scans, a modest transaction mix.
+    auto scans = static_cast<std::size_t>(params.n / 4);
+    auto txns = static_cast<std::size_t>(params.n);
+    return makeHtap("htap1", params, scans, txns);
+}
+
+Kernel
+makeHtap2(const WorkloadParams &params)
+{
+    // Transaction-heavy: a large transaction stream, a few scans.
+    auto scans = static_cast<std::size_t>(params.n / 32);
+    auto txns = static_cast<std::size_t>(8 * params.n);
+    return makeHtap("htap2", params, scans, txns);
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names{
+        "sgemm", "ssyr2k", "ssyrk", "strmm",
+        "sobel", "htap1",  "htap2",
+    };
+    return names;
+}
+
+Kernel
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "sgemm")
+        return makeSgemm(params);
+    if (name == "ssyr2k")
+        return makeSsyr2k(params);
+    if (name == "ssyrk")
+        return makeSsyrk(params);
+    if (name == "strmm")
+        return makeStrmm(params);
+    if (name == "sobel")
+        return makeSobel(params);
+    if (name == "htap1")
+        return makeHtap1(params);
+    if (name == "htap2")
+        return makeHtap2(params);
+    fatal("unknown workload: %s", name.c_str());
+}
+
+} // namespace mda::workloads

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's benchmark kernels, expressed in the compiler IR.
+ *
+ * sgemm / ssyr2k / ssyrk / strmm are the LAPACK BLAS kernels from
+ * Table I (transpose variants chosen so each kernel mixes row- and
+ * column-traversed operands, as the paper's Fig. 10 access
+ * distribution shows). sobel is the vertically-traversed Sobel filter;
+ * htap1/htap2 are the analytical and transactional HTAP workloads
+ * from GS-DRAM (column aggregations over a row-major table plus
+ * random-row transactions).
+ *
+ * All elements are 64-bit words. Matrix inputs are n x n; HTAP tables
+ * are (4n) x n, matching the paper's 2048 x 512 shape at n = 512.
+ */
+
+#ifndef MDA_WORKLOADS_KERNELS_HH
+#define MDA_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+
+namespace mda::workloads
+{
+
+/** Parameters shared by all kernel builders. */
+struct WorkloadParams
+{
+    /** Matrix dimension (HTAP tables are 4n rows x n columns). */
+    std::int64_t n = 512;
+
+    /** Seed for the HTAP random row/column selections. */
+    std::uint64_t seed = 0xc0ffee;
+};
+
+/** C = A * B; A row-traversed, B column-traversed (paper Sec. V-A). */
+compiler::Kernel makeSgemm(const WorkloadParams &params);
+
+/** C = alpha*A'*B + alpha*B'*A + beta*C (transposed syr2k). */
+compiler::Kernel makeSsyr2k(const WorkloadParams &params);
+
+/** C = beta*C + A'*A on the lower triangle, then symmetrize. */
+compiler::Kernel makeSsyrk(const WorkloadParams &params);
+
+/** B = A * B with lower-triangular A (via a temporary). */
+compiler::Kernel makeStrmm(const WorkloadParams &params);
+
+/** 3x3 Sobel gradient magnitude with vertical traversal. */
+compiler::Kernel makeSobel(const WorkloadParams &params);
+
+/** HTAP, analytics-heavy: column aggregations + some transactions. */
+compiler::Kernel makeHtap1(const WorkloadParams &params);
+
+/** HTAP, transaction-heavy: random-row reads/updates + a few scans. */
+compiler::Kernel makeHtap2(const WorkloadParams &params);
+
+/** The paper's benchmark list, in its plotting order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build a kernel by name; fatal on unknown names. */
+compiler::Kernel makeWorkload(const std::string &name,
+                              const WorkloadParams &params);
+
+} // namespace mda::workloads
+
+#endif // MDA_WORKLOADS_KERNELS_HH

@@ -1,0 +1,46 @@
+/** @file Unit tests for cache configuration presets and geometry. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_config.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(CacheConfig, TableOnePresets)
+{
+    auto l1 = CacheConfig::l1D();
+    EXPECT_EQ(l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(l1.ways, 4u);
+    EXPECT_EQ(l1.hitLatency(), 2u); // parallel tag/data
+
+    auto l2 = CacheConfig::l2();
+    EXPECT_EQ(l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(l2.hitLatency(), 15u); // 6 + 9 sequential
+
+    auto l3 = CacheConfig::l3();
+    EXPECT_EQ(l3.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(l3.hitLatency(), 20u); // 8 + 12 sequential
+}
+
+TEST(CacheConfig, SetCounts)
+{
+    auto l1 = CacheConfig::l1D();
+    EXPECT_EQ(l1.numLines(), 512u);
+    EXPECT_EQ(l1.numSets(), 128u);
+    // The paper's 1.5 MB LLC has a non-power-of-two set count.
+    auto l3 = CacheConfig::l3(1536 * 1024);
+    EXPECT_EQ(l3.numSets(), 3072u);
+    EXPECT_EQ(l3.numTileSets(), 384u);
+}
+
+TEST(CacheConfig, TileSets)
+{
+    auto l3 = CacheConfig::l3();
+    EXPECT_EQ(l3.numTileSets(), 1024u * 1024 / 512 / 8);
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,113 @@
+/** @file Unit tests for the 2-D-aware MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace mda
+{
+namespace
+{
+
+PacketPtr
+dummyScalar(Addr addr)
+{
+    return Packet::makeScalar(MemCmd::Read, addr, Orientation::Row, 1,
+                              0);
+}
+
+TEST(MshrFile, AllocFindRetire)
+{
+    MshrFile mshr(4, 4);
+    OrientedLine line(Orientation::Col, 10);
+    EXPECT_EQ(mshr.find(line), nullptr);
+    MshrEntry &e = mshr.alloc(line, false, 5);
+    EXPECT_EQ(mshr.find(line), &e);
+    EXPECT_EQ(e.allocTick, 5u);
+    e.targets.push_back(dummyScalar(line.wordAddr(0)));
+    auto targets = mshr.retire(line);
+    EXPECT_EQ(targets.size(), 1u);
+    EXPECT_TRUE(mshr.empty());
+}
+
+TEST(MshrFile, CapacityAndTargets)
+{
+    MshrFile mshr(2, 2);
+    mshr.alloc(OrientedLine(Orientation::Row, 1), false, 0);
+    MshrEntry &e = mshr.alloc(OrientedLine(Orientation::Row, 2), false,
+                              0);
+    EXPECT_TRUE(mshr.full());
+    EXPECT_TRUE(mshr.canTarget(e));
+    e.targets.push_back(dummyScalar(0));
+    e.targets.push_back(dummyScalar(8));
+    EXPECT_FALSE(mshr.canTarget(e));
+}
+
+TEST(MshrFile, OrientationDistinguishesEntries)
+{
+    MshrFile mshr(4, 4);
+    mshr.alloc(OrientedLine(Orientation::Row, 7), false, 0);
+    EXPECT_EQ(mshr.find(OrientedLine(Orientation::Col, 7)), nullptr);
+}
+
+TEST(MshrFile, ConflictDetectsCrossingLines)
+{
+    MshrFile mshr(4, 4);
+    OrientedLine row(Orientation::Row, (3ull << 3) | 1);
+    mshr.alloc(row, false, 0);
+    // Crossing column in the same tile conflicts.
+    EXPECT_TRUE(mshr.conflictsWith(OrientedLine(Orientation::Col,
+                                                (3ull << 3) | 5)));
+    // Same line does not conflict with itself.
+    EXPECT_FALSE(mshr.conflictsWith(row));
+    // Another row of the same tile does not overlap.
+    EXPECT_FALSE(mshr.conflictsWith(OrientedLine(Orientation::Row,
+                                                 (3ull << 3) | 2)));
+    // Lines of other tiles never conflict.
+    EXPECT_FALSE(mshr.conflictsWith(OrientedLine(Orientation::Col,
+                                                 (4ull << 3) | 1)));
+}
+
+TEST(MshrFile, WordConflicts)
+{
+    MshrFile mshr(4, 4);
+    OrientedLine row(Orientation::Row, (3ull << 3) | 1);
+    mshr.alloc(row, false, 0);
+    OrientedLine own(Orientation::Col, (3ull << 3) | 2);
+    // Word (1,2) of tile 3 is covered by the row entry.
+    Addr shared = tileBase(3) + 1 * 64 + 2 * 8;
+    EXPECT_TRUE(mshr.wordConflicts(shared, own));
+    // Word (2,2) is not.
+    EXPECT_FALSE(mshr.wordConflicts(tileBase(3) + 2 * 64 + 2 * 8, own));
+}
+
+TEST(MshrFile, UnsentTracking)
+{
+    MshrFile mshr(4, 4);
+    MshrEntry &a = mshr.alloc(OrientedLine(Orientation::Row, 1), false,
+                              0);
+    mshr.alloc(OrientedLine(Orientation::Row, 2), true, 0);
+    a.sent = true;
+    auto unsent = mshr.unsent();
+    ASSERT_EQ(unsent.size(), 1u);
+    EXPECT_TRUE(unsent[0]->isPrefetch);
+}
+
+TEST(MshrFileDeathTest, DuplicateAlloc)
+{
+    MshrFile mshr(4, 4);
+    mshr.alloc(OrientedLine(Orientation::Row, 1), false, 0);
+    EXPECT_DEATH(mshr.alloc(OrientedLine(Orientation::Row, 1), false,
+                            0),
+                 "duplicate");
+}
+
+TEST(MshrFileDeathTest, RetireUnknown)
+{
+    MshrFile mshr(4, 4);
+    EXPECT_DEATH(mshr.retire(OrientedLine(Orientation::Row, 1)),
+                 "unknown");
+}
+
+} // namespace
+} // namespace mda

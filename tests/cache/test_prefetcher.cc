@@ -1,0 +1,82 @@
+/** @file Unit tests for the PC-stride prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "cache/prefetcher.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(StridePrefetcher, ColdAndTrainingProduceNothing)
+{
+    StridePrefetcher pf(4);
+    EXPECT_TRUE(pf.observe(1, 0x1000).empty()); // cold
+    EXPECT_TRUE(pf.observe(1, 0x1008).empty()); // first stride seen
+}
+
+TEST(StridePrefetcher, ConfidentUnitStridePrefetchesNextLines)
+{
+    StridePrefetcher pf(8);
+    pf.observe(1, 0x1000);
+    pf.observe(1, 0x1008);
+    auto out = pf.observe(1, 0x1010); // stride 8 confirmed twice
+    // Sub-line strides run ahead line by line: degree lines.
+    ASSERT_EQ(out.size(), 8u);
+    for (unsigned d = 0; d < out.size(); ++d) {
+        EXPECT_EQ(out[d] % lineBytes, 0u);
+        EXPECT_EQ(out[d], 0x1040u + d * lineBytes);
+    }
+}
+
+TEST(StridePrefetcher, LargeStridePrefetchesOneLinePerElement)
+{
+    StridePrefetcher pf(4);
+    pf.observe(2, 0x10000);
+    pf.observe(2, 0x11000); // 4 KiB stride (matrix column walk)
+    auto out = pf.observe(2, 0x12000);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 0x13000u);
+    EXPECT_EQ(out[3], 0x16000u);
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf(4);
+    pf.observe(3, 0x1000);
+    pf.observe(3, 0x1008);
+    pf.observe(3, 0x1010);
+    EXPECT_FALSE(pf.observe(3, 0x1018).empty());
+    EXPECT_TRUE(pf.observe(3, 0x5000).empty()); // new stride
+    EXPECT_TRUE(pf.observe(3, 0x5008).empty()); // retraining
+}
+
+TEST(StridePrefetcher, DistinctPcsTrackIndependently)
+{
+    StridePrefetcher pf(4);
+    pf.observe(10, 0x1000);
+    pf.observe(11, 0x9000);
+    pf.observe(10, 0x1008);
+    pf.observe(11, 0x9100);
+    EXPECT_FALSE(pf.observe(10, 0x1010).empty());
+    EXPECT_FALSE(pf.observe(11, 0x9200).empty());
+}
+
+TEST(StridePrefetcher, ZeroPcIgnored)
+{
+    StridePrefetcher pf(4);
+    pf.observe(0, 0x1000);
+    pf.observe(0, 0x1008);
+    EXPECT_TRUE(pf.observe(0, 0x1010).empty());
+}
+
+TEST(StridePrefetcher, ZeroStrideProducesNothing)
+{
+    StridePrefetcher pf(4);
+    for (int n = 0; n < 5; ++n)
+        EXPECT_TRUE(pf.observe(4, 0x2000).empty());
+}
+
+} // namespace
+} // namespace mda

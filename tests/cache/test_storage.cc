@@ -1,0 +1,85 @@
+/** @file Unit tests for set-associative line storage. */
+
+#include <gtest/gtest.h>
+
+#include "cache/storage.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(LineStorage, InstallFindInvalidate)
+{
+    LineStorage storage(4, 2);
+    OrientedLine line(Orientation::Col, 99);
+    EXPECT_EQ(storage.find(1, line), nullptr);
+    CacheEntry *victim = storage.victim(1);
+    storage.install(victim, line);
+    EXPECT_EQ(storage.find(1, line), victim);
+    // Same id, other orientation is a different line.
+    EXPECT_EQ(storage.find(1, OrientedLine(Orientation::Row, 99)),
+              nullptr);
+    storage.invalidate(victim);
+    EXPECT_EQ(storage.find(1, line), nullptr);
+}
+
+TEST(LineStorage, VictimPrefersInvalid)
+{
+    LineStorage storage(1, 2);
+    CacheEntry *a = storage.victim(0);
+    storage.install(a, OrientedLine(Orientation::Row, 1));
+    CacheEntry *b = storage.victim(0);
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(b->valid);
+}
+
+TEST(LineStorage, LruVictimIsOldest)
+{
+    LineStorage storage(1, 2);
+    CacheEntry *a = storage.victim(0);
+    storage.install(a, OrientedLine(Orientation::Row, 1));
+    CacheEntry *b = storage.victim(0);
+    storage.install(b, OrientedLine(Orientation::Row, 2));
+    storage.touch(a); // a is now most recent
+    EXPECT_EQ(storage.victim(0), b);
+}
+
+TEST(LineStorage, WordDataAndDirtyBits)
+{
+    LineStorage storage(1, 1);
+    CacheEntry *e = storage.victim(0);
+    storage.install(e, OrientedLine(Orientation::Row, 5));
+    e->setWord(3, 0x1234, false);
+    EXPECT_EQ(e->word(3), 0x1234u);
+    EXPECT_FALSE(e->dirty());
+    e->setWord(3, 0x5678, true);
+    EXPECT_EQ(e->dirtyMask, 1u << 3);
+    EXPECT_TRUE(e->dirty());
+}
+
+TEST(LineStorage, OrientationOccupancyCounters)
+{
+    LineStorage storage(4, 2);
+    EXPECT_EQ(storage.validColLines(), 0u);
+    CacheEntry *a = storage.victim(0);
+    storage.install(a, OrientedLine(Orientation::Col, 8));
+    CacheEntry *b = storage.victim(1);
+    storage.install(b, OrientedLine(Orientation::Row, 9));
+    EXPECT_EQ(storage.validColLines(), 1u);
+    EXPECT_EQ(storage.validRowLines(), 1u);
+    storage.invalidate(a);
+    EXPECT_EQ(storage.validColLines(), 0u);
+}
+
+TEST(LineStorageDeathTest, DoubleInstall)
+{
+    LineStorage storage(1, 1);
+    CacheEntry *e = storage.victim(0);
+    storage.install(e, OrientedLine(Orientation::Row, 1));
+    EXPECT_DEATH(storage.install(e, OrientedLine(Orientation::Row, 2)),
+                 "valid entry");
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,71 @@
+/** @file Unit tests for the Fig. 10 access-mix analysis. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/access_mix.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+TEST(AccessMix, RecordClassifies)
+{
+    AccessMix mix;
+    TraceOp op;
+    op.orient = Orientation::Row;
+    op.isVector = false;
+    mix.record(op);
+    op.isVector = true;
+    op.wordMask = 0xff;
+    mix.record(op);
+    op.orient = Orientation::Col;
+    mix.record(op);
+    op.isVector = false;
+    op.wordMask = 0x01;
+    mix.record(op);
+    EXPECT_EQ(mix.rowScalar, 8u);
+    EXPECT_EQ(mix.rowVector, 64u);
+    EXPECT_EQ(mix.colVector, 64u);
+    EXPECT_EQ(mix.colScalar, 8u);
+    EXPECT_EQ(mix.total(), 144u);
+    EXPECT_DOUBLE_EQ(mix.fraction(mix.rowVector), 64.0 / 144.0);
+}
+
+TEST(AccessMix, PartialVectorCountsCoveredWordsOnly)
+{
+    AccessMix mix;
+    TraceOp op;
+    op.isVector = true;
+    op.wordMask = 0x0f;
+    mix.record(op);
+    EXPECT_EQ(mix.rowVector, 32u);
+}
+
+TEST(AccessMix, BaselineHasNoColumnAccesses)
+{
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    auto ck = compileKernel(testing::miniGemm(16), opts);
+    auto mix = measureAccessMix(ck);
+    EXPECT_EQ(mix.colScalar + mix.colVector, 0u);
+    EXPECT_GT(mix.total(), 0u);
+}
+
+TEST(AccessMix, ColSumIsAllColumnVector)
+{
+    auto ck = compileKernel(testing::miniColSum(64, 64), CompileOptions{});
+    auto mix = measureAccessMix(ck);
+    EXPECT_EQ(mix.total(), mix.colVector);
+    EXPECT_EQ(mix.colVector, 64u * 64 * 8);
+}
+
+TEST(AccessMix, EmptyMixFractionIsZero)
+{
+    AccessMix mix;
+    EXPECT_DOUBLE_EQ(mix.fraction(0), 0.0);
+}
+
+} // namespace
+} // namespace mda::compiler

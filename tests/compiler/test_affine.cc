@@ -1,0 +1,59 @@
+/** @file Unit tests for affine expressions. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/ir.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+TEST(AffineExpr, ConstantOnly)
+{
+    AffineExpr e(7);
+    EXPECT_EQ(e.constant(), 7);
+    EXPECT_EQ(e.eval({}), 7);
+    EXPECT_FALSE(e.uses(0));
+}
+
+TEST(AffineExpr, VarAndCoefficients)
+{
+    auto e = AffineExpr::var(2);
+    EXPECT_EQ(e.coeffOf(2), 1);
+    EXPECT_EQ(e.coeffOf(1), 0);
+    e.plusVar(1, 3).plusConst(-4);
+    std::vector<std::int64_t> vals{0, 10, 5};
+    // 5 + 3*10 - 4 = 31
+    EXPECT_EQ(e.eval(vals), 31);
+}
+
+TEST(AffineExpr, CoefficientMergeAndCancel)
+{
+    auto e = AffineExpr::var(0);
+    e.plusVar(0, 2);
+    EXPECT_EQ(e.coeffOf(0), 3);
+    e.plusVar(0, -3);
+    EXPECT_EQ(e.coeffOf(0), 0);
+    EXPECT_FALSE(e.uses(0));
+    EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(AffineExpr, ZeroCoeffIgnored)
+{
+    AffineExpr e;
+    e.plusVar(5, 0);
+    EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(AffineExpr, Str)
+{
+    auto e = AffineExpr::var(0);
+    e.plusVar(1, -2).plusConst(3);
+    EXPECT_EQ(e.str(), "L0 - 2*L1 + 3");
+    EXPECT_EQ(AffineExpr(0).str(), "0");
+    EXPECT_EQ(AffineExpr(-5).str(), "-5");
+}
+
+} // namespace
+} // namespace mda::compiler

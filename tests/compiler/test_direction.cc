@@ -1,0 +1,98 @@
+/** @file Unit tests for access-direction analysis. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/direction.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+TEST(Direction, ClassifyRefBasics)
+{
+    LoopId inner = 3;
+    ArrayRef ref;
+
+    // X[i][k] with k innermost: row-wise.
+    ref.rowExpr = AffineExpr::var(1);
+    ref.colExpr = AffineExpr::var(inner);
+    EXPECT_EQ(classifyRef(ref, inner), AccessDirection::RowWise);
+
+    // X[k][j]: column-wise.
+    ref.rowExpr = AffineExpr::var(inner);
+    ref.colExpr = AffineExpr::var(2);
+    EXPECT_EQ(classifyRef(ref, inner), AccessDirection::ColWise);
+
+    // X[i][j]: invariant.
+    ref.rowExpr = AffineExpr::var(1);
+    ref.colExpr = AffineExpr::var(2);
+    EXPECT_EQ(classifyRef(ref, inner), AccessDirection::Invariant);
+
+    // X[k+j][k+2]: mixed (paper's Z[i+j][i+2] example).
+    ref.rowExpr = AffineExpr::var(inner).plusVar(2, 1);
+    ref.colExpr = AffineExpr::var(inner).plusConst(2);
+    EXPECT_EQ(classifyRef(ref, inner), AccessDirection::Mixed);
+}
+
+TEST(Direction, PreferenceMapping)
+{
+    // Only column-wise accesses carry column preference.
+    EXPECT_EQ(preferenceOf(AccessDirection::RowWise), Orientation::Row);
+    EXPECT_EQ(preferenceOf(AccessDirection::ColWise), Orientation::Col);
+    EXPECT_EQ(preferenceOf(AccessDirection::Invariant), Orientation::Row);
+    EXPECT_EQ(preferenceOf(AccessDirection::Mixed), Orientation::Row);
+}
+
+TEST(Direction, GemmAnalysis)
+{
+    Kernel k = testing::miniGemm(8);
+    auto info = analyzeDirections(k);
+    const auto &body = k.nests[0].stmts[0];  // inner stmt (Pre at k)
+    const auto &store = k.nests[0].stmts[1]; // C store (Post at j)
+    // A[i][k]: row-wise; B[k][j]: column-wise.
+    EXPECT_EQ(info.of(body.refs[0].refId), AccessDirection::RowWise);
+    EXPECT_EQ(info.of(body.refs[1].refId), AccessDirection::ColWise);
+    // C[i][j] at depth 1 (innermost enclosing loop j): row-wise.
+    EXPECT_EQ(info.of(store.refs[0].refId), AccessDirection::RowWise);
+}
+
+TEST(Direction, ColSumAnalysis)
+{
+    Kernel k = testing::miniColSum(16, 16);
+    auto info = analyzeDirections(k);
+    auto ref_id = k.nests[0].stmts[0].refs[0].refId;
+    EXPECT_EQ(info.of(ref_id), AccessDirection::ColWise);
+    EXPECT_EQ(info.preference(ref_id), Orientation::Col);
+}
+
+TEST(Direction, StmtAboveInnermostUsesItsOwnDepth)
+{
+    // for i { S1: A[i][0] ; for j { ... } }
+    KernelBuilder b("outer_stmt");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    auto j = nest.loop("j", 0, 8);
+    auto &s1 = nest.stmtAt(0, StmtPhase::Pre);
+    nest.read(s1, arr, AffineExpr::var(i), 0);
+    auto &s2 = nest.stmt();
+    nest.read(s2, arr, AffineExpr::var(i), AffineExpr::var(j));
+    Kernel k = b.build();
+    auto info = analyzeDirections(k);
+    // S1 moves with i in the row subscript => column-wise w.r.t. i.
+    EXPECT_EQ(info.of(k.nests[0].stmts[0].refs[0].refId),
+              AccessDirection::ColWise);
+    EXPECT_EQ(info.of(k.nests[0].stmts[1].refs[0].refId),
+              AccessDirection::RowWise);
+}
+
+TEST(DirectionDeathTest, UnknownRefPanics)
+{
+    DirectionInfo info;
+    EXPECT_DEATH(info.of(99), "unknown ref");
+}
+
+} // namespace
+} // namespace mda::compiler

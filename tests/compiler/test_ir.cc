@@ -1,0 +1,153 @@
+/** @file Unit tests for the kernel IR and builder. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/ir.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+/** A minimal well-formed kernel: for i: for j: B[i][j] = A[i][j]. */
+Kernel
+makeCopyKernel(std::int64_t n)
+{
+    KernelBuilder b("copy");
+    auto arr_a = b.array("A", n, n);
+    auto arr_b = b.array("B", n, n);
+    auto nest = b.nest("copy");
+    auto i = nest.loop("i", 0, n);
+    auto j = nest.loop("j", 0, n);
+    auto &s = nest.stmt();
+    nest.read(s, arr_a, AffineExpr::var(i), AffineExpr::var(j));
+    nest.write(s, arr_b, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+TEST(KernelBuilder, BuildsValidKernel)
+{
+    Kernel k = makeCopyKernel(16);
+    EXPECT_EQ(k.name, "copy");
+    ASSERT_EQ(k.arrays.size(), 2u);
+    EXPECT_EQ(k.arrays[0].name, "A");
+    EXPECT_EQ(k.arrays[1].id, 1u);
+    ASSERT_EQ(k.nests.size(), 1u);
+    EXPECT_EQ(k.loopCount, 2u);
+    const auto &nest = k.nests[0];
+    ASSERT_EQ(nest.loops.size(), 2u);
+    EXPECT_EQ(nest.innermost().varName, "j");
+    ASSERT_EQ(nest.stmts.size(), 1u);
+    ASSERT_EQ(nest.stmts[0].refs.size(), 2u);
+    EXPECT_FALSE(nest.stmts[0].refs[0].isWrite);
+    EXPECT_TRUE(nest.stmts[0].refs[1].isWrite);
+    // Ref ids unique and non-zero.
+    EXPECT_NE(nest.stmts[0].refs[0].refId, nest.stmts[0].refs[1].refId);
+    EXPECT_NE(nest.stmts[0].refs[0].refId, 0u);
+}
+
+TEST(KernelBuilder, MultipleNestsGetDistinctLoopIds)
+{
+    KernelBuilder b("two");
+    auto arr = b.array("A", 8, 8);
+    auto n1 = b.nest("first");
+    auto i1 = n1.loop("i", 0, 8);
+    auto &s1 = n1.stmt();
+    n1.read(s1, arr, AffineExpr::var(i1), 0);
+    auto n2 = b.nest("second");
+    auto i2 = n2.loop("i", 0, 8);
+    auto &s2 = n2.stmt();
+    n2.read(s2, arr, 0, AffineExpr::var(i2));
+    Kernel k = b.build();
+    EXPECT_EQ(k.loopCount, 2u);
+    EXPECT_NE(i1, i2);
+}
+
+TEST(KernelBuilder, ValuesLoop)
+{
+    KernelBuilder b("vals");
+    auto arr = b.array("A", 100, 8);
+    auto nest = b.nest("txn");
+    auto t = nest.loopOver("t", {5, 17, 3});
+    auto j = nest.loop("j", 0, 8);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(t), AffineExpr::var(j));
+    Kernel k = b.build();
+    ASSERT_TRUE(k.nests[0].loops[0].values.has_value());
+    EXPECT_EQ(k.nests[0].loops[0].values->size(), 3u);
+}
+
+TEST(KernelBuilder, StmtAtDepthAndPhase)
+{
+    KernelBuilder b("depths");
+    auto arr = b.array("C", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    nest.loop("k", 0, 8);
+    auto &store = nest.stmtAt(0, StmtPhase::Post);
+    nest.write(store, arr, AffineExpr::var(i), 0);
+    auto &body = nest.stmt();
+    nest.read(body, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    EXPECT_EQ(k.nests[0].stmts[0].depth, 0u);
+    EXPECT_EQ(k.nests[0].stmts[0].phase, StmtPhase::Post);
+    EXPECT_EQ(k.nests[0].stmts[1].depth, 1u);
+}
+
+TEST(KernelValidateDeathTest, RejectsDeepStmt)
+{
+    KernelBuilder b("bad");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    // Corrupt: stmt depth beyond the nest.
+    k.nests[0].stmts[0].depth = 5;
+    EXPECT_DEATH(k.validate(), "too deep");
+}
+
+TEST(KernelValidateDeathTest, RejectsForeignLoopInSubscript)
+{
+    KernelBuilder b("bad2");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    auto &s = nest.stmt();
+    // Subscript uses loop id 42 which does not exist / enclose.
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(42));
+    KernelBuilder b2("dummy"); // silence unused warnings
+    (void)b2;
+    EXPECT_DEATH(b.build(), "does not");
+}
+
+TEST(KernelValidateDeathTest, RejectsTriangularBoundOnNonOuter)
+{
+    KernelBuilder b("bad3");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    // Inner loop bound referencing itself is invalid.
+    auto j = nest.loop("j", 0, AffineExpr::var(1).plusConst(1));
+    (void)j;
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    EXPECT_DEATH(b.build(), "non-outer");
+}
+
+TEST(KernelValidate, AcceptsTriangularBoundOnOuter)
+{
+    KernelBuilder b("tri");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 8);
+    auto j = nest.loop("j", 0, AffineExpr::var(i).plusConst(1));
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(j));
+    Kernel k = b.build();
+    EXPECT_EQ(k.nests[0].loops[1].upper.coeffOf(i), 1);
+}
+
+} // namespace
+} // namespace mda::compiler

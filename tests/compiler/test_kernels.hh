@@ -1,0 +1,67 @@
+/** @file Shared miniature kernels for compiler tests. */
+
+#ifndef MDA_TESTS_COMPILER_TEST_KERNELS_HH
+#define MDA_TESTS_COMPILER_TEST_KERNELS_HH
+
+#include "compiler/ir.hh"
+
+namespace mda::compiler::testing
+{
+
+/**
+ * A naive matrix multiply C = A * B, structured like the paper's
+ * running example: A row-traversed, B column-traversed, C written
+ * once per (i, j) after the k loop.
+ */
+inline Kernel
+miniGemm(std::int64_t n)
+{
+    KernelBuilder b("mini_gemm");
+    auto arr_a = b.array("A", n, n);
+    auto arr_b = b.array("B", n, n);
+    auto arr_c = b.array("C", n, n);
+    auto nest = b.nest("mm");
+    auto i = nest.loop("i", 0, n);
+    auto j = nest.loop("j", 0, n);
+    auto k = nest.loop("k", 0, n);
+    auto &body = nest.stmt(2);
+    nest.read(body, arr_a, AffineExpr::var(i), AffineExpr::var(k));
+    nest.read(body, arr_b, AffineExpr::var(k), AffineExpr::var(j));
+    auto &store = nest.stmtAt(1, StmtPhase::Post, 1);
+    nest.write(store, arr_c, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+/** Row-order copy: for i: for j: B[i][j] = A[i][j]. */
+inline Kernel
+miniCopy(std::int64_t rows, std::int64_t cols)
+{
+    KernelBuilder b("mini_copy");
+    auto arr_a = b.array("A", rows, cols);
+    auto arr_b = b.array("B", rows, cols);
+    auto nest = b.nest("copy");
+    auto i = nest.loop("i", 0, rows);
+    auto j = nest.loop("j", 0, cols);
+    auto &s = nest.stmt();
+    nest.read(s, arr_a, AffineExpr::var(i), AffineExpr::var(j));
+    nest.write(s, arr_b, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+/** Column-order sum: for j: for i: s += A[i][j]. */
+inline Kernel
+miniColSum(std::int64_t rows, std::int64_t cols)
+{
+    KernelBuilder b("mini_colsum");
+    auto arr_a = b.array("A", rows, cols);
+    auto nest = b.nest("colsum");
+    auto j = nest.loop("j", 0, cols);
+    auto i = nest.loop("i", 0, rows);
+    auto &s = nest.stmt();
+    nest.read(s, arr_a, AffineExpr::var(i), AffineExpr::var(j));
+    return b.build();
+}
+
+} // namespace mda::compiler::testing
+
+#endif // MDA_TESTS_COMPILER_TEST_KERNELS_HH

@@ -1,0 +1,116 @@
+/** @file Unit + property tests for memory layouts. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/layout.hh"
+#include "sim/random.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+TEST(RowMajorLayout, PitchPaddedToLines)
+{
+    RowMajorLayout l(0x10000, 10, 10); // 80 B rows -> 128 B pitch
+    EXPECT_EQ(l.pitch(), 128u);
+    EXPECT_EQ(l.elementAddr(0, 0), 0x10000u);
+    EXPECT_EQ(l.elementAddr(0, 9), 0x10000u + 72);
+    EXPECT_EQ(l.elementAddr(1, 0), 0x10000u + 128);
+    EXPECT_EQ(l.footprintBytes(), 10u * 128);
+    EXPECT_EQ(l.kind(), LayoutKind::RowMajor1D);
+}
+
+TEST(RowMajorLayout, ExactMultipleNoPadding)
+{
+    RowMajorLayout l(0, 512, 512);
+    EXPECT_EQ(l.pitch(), 4096u);
+    EXPECT_EQ(l.footprintBytes(), 512u * 4096);
+}
+
+TEST(TiledLayout, ElementAddresses)
+{
+    TiledLayout l(0, 16, 16); // 2x2 tiles
+    // (0,0) at tile 0 start.
+    EXPECT_EQ(l.elementAddr(0, 0), 0u);
+    // (0,8): tile (0,1) = tile index 1.
+    EXPECT_EQ(l.elementAddr(0, 8), 512u);
+    // (8,0): tile (1,0) = tile index 2.
+    EXPECT_EQ(l.elementAddr(8, 0), 2u * 512);
+    // (3,5) inside tile 0: 3*64 + 5*8.
+    EXPECT_EQ(l.elementAddr(3, 5), 3u * 64 + 5 * 8);
+    EXPECT_EQ(l.footprintBytes(), 4u * 512);
+}
+
+TEST(TiledLayout, PadsBothDimensions)
+{
+    TiledLayout l(0, 10, 3); // 2x1 tiles after padding
+    EXPECT_EQ(l.tileRows(), 2);
+    EXPECT_EQ(l.tileCols(), 1);
+    EXPECT_EQ(l.footprintBytes(), 2u * 512);
+}
+
+/** The MDA-compliance property the padding transform establishes:
+ *  an aligned run of 8 column-adjacent elements is exactly one
+ *  physical column line, and an aligned run of 8 row-adjacent
+ *  elements is exactly one row line. */
+TEST(TiledLayout, AlignedColumnsAreColumnLines)
+{
+    TiledLayout l(0x40000, 64, 64);
+    for (std::int64_t j = 0; j < 64; ++j) {
+        for (std::int64_t i0 = 0; i0 < 64; i0 += 8) {
+            auto line = OrientedLine::containing(l.elementAddr(i0, j),
+                                                 Orientation::Col);
+            for (unsigned k = 0; k < 8; ++k)
+                EXPECT_EQ(l.elementAddr(i0 + k, j), line.wordAddr(k));
+        }
+    }
+}
+
+TEST(TiledLayout, AlignedRowsAreRowLines)
+{
+    TiledLayout l(0x40000, 64, 64);
+    for (std::int64_t i = 0; i < 64; ++i) {
+        for (std::int64_t j0 = 0; j0 < 64; j0 += 8) {
+            auto line = OrientedLine::containing(l.elementAddr(i, j0),
+                                                 Orientation::Row);
+            for (unsigned k = 0; k < 8; ++k)
+                EXPECT_EQ(l.elementAddr(i, j0 + k), line.wordAddr(k));
+        }
+    }
+}
+
+/** Property: layouts are injective (no two elements share a word). */
+TEST(LayoutProperty, Injective)
+{
+    Rng rng(11);
+    for (auto kind : {LayoutKind::RowMajor1D, LayoutKind::Tiled2D}) {
+        auto l = makeLayout(kind, 0x200000, 37, 23);
+        std::set<Addr> seen;
+        for (std::int64_t i = 0; i < 37; ++i) {
+            for (std::int64_t j = 0; j < 23; ++j) {
+                auto a = l->elementAddr(i, j);
+                EXPECT_TRUE(seen.insert(a).second);
+                EXPECT_LT(a - l->base(), l->footprintBytes());
+                EXPECT_EQ(a % wordBytes, 0u);
+            }
+        }
+    }
+}
+
+TEST(LayoutDeathTest, OutOfBounds)
+{
+    TiledLayout l(0, 8, 8);
+    EXPECT_DEATH(l.elementAddr(8, 0), "out of bounds");
+    EXPECT_DEATH(l.elementAddr(0, -1), "out of bounds");
+}
+
+TEST(LayoutDeathTest, UnalignedBase)
+{
+    EXPECT_DEATH(TiledLayout(0x100, 8, 8), "tile aligned");
+}
+
+} // namespace
+} // namespace mda::compiler

@@ -1,0 +1,127 @@
+/** @file Tests for profile-guided direction annotation. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/profiler.hh"
+#include "compiler/trace_gen.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+/**
+ * The paper's profiling use case: a reference whose movement is
+ * invisible to the innermost-loop analysis. Here X[j][0] is invariant
+ * in the inner i loop but walks straight down column 0 as the outer
+ * j loop advances.
+ */
+Kernel
+hiddenColumnWalk(std::int64_t n)
+{
+    KernelBuilder b("hidden_col");
+    auto arr = b.array("X", n, n);
+    auto dummy = b.array("Y", n, n);
+    auto nest = b.nest("walk");
+    auto j = nest.loop("j", 0, n);
+    auto i = nest.loop("i", 0, n);
+    auto &s = nest.stmt();
+    s.vectorizable = false; // keep the stream scalar
+    nest.read(s, arr, AffineExpr::var(j), 0); // invariant w.r.t. i
+    nest.read(s, dummy, AffineExpr::var(j), AffineExpr::var(i));
+    return b.build();
+}
+
+/** A diagonal (Mixed) walk: neither direction dominates. */
+Kernel
+diagonalWalk(std::int64_t n)
+{
+    KernelBuilder b("diag");
+    auto arr = b.array("X", 2 * n, 2 * n);
+    auto nest = b.nest("walk");
+    auto i = nest.loop("i", 0, n);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(i));
+    return b.build();
+}
+
+TEST(RefProfile, PreferenceThreshold)
+{
+    RefProfile rp;
+    rp.colSteps = 70;
+    rp.rowSteps = 30;
+    EXPECT_EQ(rp.preference(0.6), Orientation::Col);
+    EXPECT_EQ(rp.preference(0.8), Orientation::Row);
+    RefProfile empty;
+    EXPECT_EQ(empty.preference(), Orientation::Row);
+}
+
+TEST(Profiler, DetectsHiddenColumnWalk)
+{
+    Kernel k = hiddenColumnWalk(32);
+    std::uint32_t ref_id = k.nests[0].stmts[0].refs[0].refId;
+    auto profile = profileKernel(k);
+    const auto &rp = profile.of(ref_id);
+    EXPECT_GT(rp.total(), 0u);
+    EXPECT_GT(rp.colSteps, rp.rowSteps);
+    EXPECT_EQ(rp.preference(), Orientation::Col);
+}
+
+TEST(Profiler, ApplyOverridesOnlyUndiscernedRefs)
+{
+    auto ck = compileKernel(hiddenColumnWalk(32), CompileOptions{});
+    std::uint32_t hidden = ck.kernel.nests[0].stmts[0].refs[0].refId;
+    // Statically: invariant -> row default.
+    EXPECT_EQ(ck.orientationOf(hidden), Orientation::Row);
+    auto profile = profileKernel(ck.kernel);
+    unsigned changed = applyProfile(ck, profile);
+    EXPECT_EQ(changed, 1u);
+    EXPECT_EQ(ck.orientationOf(hidden), Orientation::Col);
+    // The row-streaming dummy ref is statically resolved: untouched.
+    std::uint32_t dummy = ck.kernel.nests[0].stmts[0].refs[1].refId;
+    EXPECT_EQ(ck.orientationOf(dummy), Orientation::Row);
+}
+
+TEST(Profiler, DiagonalStaysRow)
+{
+    auto ck = compileKernel(diagonalWalk(64), CompileOptions{});
+    auto profile = profileKernel(ck.kernel);
+    EXPECT_EQ(applyProfile(ck, profile), 0u);
+}
+
+TEST(Profiler, BaselineNeverAnnotated)
+{
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    auto ck = compileKernel(hiddenColumnWalk(16), opts);
+    auto profile = profileKernel(ck.kernel);
+    EXPECT_EQ(applyProfile(ck, profile), 0u);
+}
+
+TEST(Profiler, SampleBoundRespected)
+{
+    Kernel k = testing::miniGemm(32);
+    auto profile = profileKernel(k, 1000);
+    std::uint64_t total = 0;
+    for (const auto &kv : profile.byRef)
+        total += kv.second.total();
+    EXPECT_LE(total, 1000u);
+}
+
+TEST(Profiler, AnnotationChangesEmittedOrientations)
+{
+    auto ck = compileKernel(hiddenColumnWalk(32), CompileOptions{});
+    std::uint32_t hidden = ck.kernel.nests[0].stmts[0].refs[0].refId;
+    applyProfile(ck, profileKernel(ck.kernel));
+    TraceGenerator gen(ck);
+    TraceOp op;
+    bool saw_col = false;
+    while (gen.next(op))
+        if (op.pc == hidden)
+            saw_col |= (op.orient == Orientation::Col);
+    EXPECT_TRUE(saw_col);
+}
+
+} // namespace
+} // namespace mda::compiler

@@ -1,0 +1,316 @@
+/** @file Unit + property tests for streaming trace generation. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/access_mix.hh"
+#include "compiler/trace_gen.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+std::vector<TraceOp>
+drain(const CompiledKernel &ck)
+{
+    TraceGenerator gen(ck);
+    std::vector<TraceOp> ops;
+    TraceOp op;
+    while (gen.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+CompileOptions
+scalarBaseline()
+{
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    opts.vectorize = false;
+    return opts;
+}
+
+CompileOptions
+mdaVector()
+{
+    CompileOptions opts;
+    opts.mdaEnabled = true;
+    opts.vectorize = true;
+    return opts;
+}
+
+TEST(TraceGen, ScalarCopyExactSequence)
+{
+    auto ck = compileKernel(testing::miniCopy(4, 4), scalarBaseline());
+    auto ops = drain(ck);
+    ASSERT_EQ(ops.size(), 32u); // 16 iterations x (read + write)
+    const auto &la = ck.layoutOf(0);
+    const auto &lb = ck.layoutOf(1);
+    std::size_t n = 0;
+    for (std::int64_t i = 0; i < 4; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j) {
+            EXPECT_EQ(ops[n].addr, la.elementAddr(i, j));
+            EXPECT_FALSE(ops[n].isWrite);
+            EXPECT_FALSE(ops[n].isVector);
+            EXPECT_EQ(ops[n].orient, Orientation::Row);
+            EXPECT_EQ(ops[n].computeCycles, 1u); // stmt compute
+            ++n;
+            EXPECT_EQ(ops[n].addr, lb.elementAddr(i, j));
+            EXPECT_TRUE(ops[n].isWrite);
+            EXPECT_EQ(ops[n].computeCycles, 0u); // attached to first ref
+            ++n;
+        }
+    }
+}
+
+TEST(TraceGen, VectorizedCopyRowVectors)
+{
+    auto ck = compileKernel(testing::miniCopy(16, 16), mdaVector());
+    auto ops = drain(ck);
+    // 16 rows x 2 vector groups x (read + write).
+    ASSERT_EQ(ops.size(), 64u);
+    for (const auto &op : ops) {
+        EXPECT_TRUE(op.isVector);
+        EXPECT_EQ(op.wordMask, 0xff);
+        EXPECT_EQ(op.orient, Orientation::Row);
+        EXPECT_EQ(op.bytes(), 64u);
+        EXPECT_EQ(op.addr % lineBytes, 0u);
+    }
+}
+
+TEST(TraceGen, ColumnSumEmitsColumnVectors)
+{
+    auto ck = compileKernel(testing::miniColSum(16, 16), mdaVector());
+    auto ops = drain(ck);
+    // 16 columns x 2 groups of 8 rows.
+    ASSERT_EQ(ops.size(), 32u);
+    const auto &layout = ck.layoutOf(0);
+    std::size_t n = 0;
+    for (std::int64_t j = 0; j < 16; ++j) {
+        for (std::int64_t i0 = 0; i0 < 16; i0 += 8) {
+            EXPECT_EQ(ops[n].orient, Orientation::Col);
+            EXPECT_TRUE(ops[n].isVector);
+            EXPECT_EQ(ops[n].wordMask, 0xff);
+            auto line = OrientedLine::containing(
+                layout.elementAddr(i0, j), Orientation::Col);
+            EXPECT_EQ(ops[n].addr, line.baseAddr());
+            ++n;
+        }
+    }
+}
+
+TEST(TraceGen, RemainderFallsBackToScalar)
+{
+    auto ck = compileKernel(testing::miniCopy(4, 10), mdaVector());
+    auto ops = drain(ck);
+    // Per row: 1 vector group (j=0..7) x 2 ops + 2 scalar j x 2 ops.
+    ASSERT_EQ(ops.size(), 4u * (2 + 4));
+    unsigned vec = 0, scalar = 0;
+    for (const auto &op : ops)
+        (op.isVector ? vec : scalar)++;
+    EXPECT_EQ(vec, 8u);
+    EXPECT_EQ(scalar, 16u);
+}
+
+TEST(TraceGen, UnalignedVectorSplitsAcrossLines)
+{
+    // for j in [0,8): read A[0][j+4] -- lanes cover columns 4..11.
+    KernelBuilder b("unaligned");
+    auto arr = b.array("A", 16, 16);
+    auto nest = b.nest("n");
+    auto j = nest.loop("j", 0, 8);
+    auto &s = nest.stmt();
+    nest.read(s, arr, 0, AffineExpr::var(j).plusConst(4));
+    auto ck = compileKernel(b.build(), mdaVector());
+    auto ops = drain(ck);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].wordMask, 0xf0); // words 4..7 of first line
+    EXPECT_EQ(ops[1].wordMask, 0x0f); // words 0..3 of second line
+    EXPECT_EQ(ops[0].bytes() + ops[1].bytes(), 64u);
+    EXPECT_NE(ops[0].addr, ops[1].addr);
+}
+
+TEST(TraceGen, TriangularBounds)
+{
+    // for i in [0,4): for j in [0,i+1): read A[i][j].
+    KernelBuilder b("tri");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 4);
+    auto j = nest.loop("j", 0, AffineExpr::var(i).plusConst(1));
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(j));
+    auto ck = compileKernel(b.build(), scalarBaseline());
+    auto ops = drain(ck);
+    EXPECT_EQ(ops.size(), 10u); // 1+2+3+4
+}
+
+TEST(TraceGen, ZeroTripInnerLoopSkipsBody)
+{
+    // for i in [0,3): for j in [0,i): read A[i][j]  => 0+1+2 = 3 ops.
+    KernelBuilder b("zt");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 3);
+    auto j = nest.loop("j", 0, AffineExpr::var(i));
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(j));
+    auto ck = compileKernel(b.build(), scalarBaseline());
+    EXPECT_EQ(drain(ck).size(), 3u);
+}
+
+TEST(TraceGen, ValuesLoopIteratesInOrder)
+{
+    KernelBuilder b("vals");
+    auto arr = b.array("A", 32, 8);
+    auto nest = b.nest("n");
+    auto t = nest.loopOver("t", {5, 2, 7});
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(t), 0);
+    auto ck = compileKernel(b.build(), scalarBaseline());
+    auto ops = drain(ck);
+    ASSERT_EQ(ops.size(), 3u);
+    const auto &layout = ck.layoutOf(0);
+    EXPECT_EQ(ops[0].addr, layout.elementAddr(5, 0));
+    EXPECT_EQ(ops[1].addr, layout.elementAddr(2, 0));
+    EXPECT_EQ(ops[2].addr, layout.elementAddr(7, 0));
+}
+
+TEST(TraceGen, GemmPrePostOrdering)
+{
+    auto ck = compileKernel(testing::miniGemm(8), scalarBaseline());
+    auto ops = drain(ck);
+    // Per (i,j): 8 x (A read, B read) then one C write.
+    ASSERT_EQ(ops.size(), 8u * 8 * (8 * 2 + 1));
+    // First 16 ops are reads, the 17th is the C store.
+    for (unsigned n = 0; n < 16; ++n)
+        EXPECT_FALSE(ops[n].isWrite);
+    EXPECT_TRUE(ops[16].isWrite);
+    EXPECT_EQ(ops[16].addr, ck.layoutOf(2).elementAddr(0, 0));
+    // Baseline marks everything row.
+    for (const auto &op : ops)
+        EXPECT_EQ(op.orient, Orientation::Row);
+}
+
+TEST(TraceGen, GemmMdaVectorized)
+{
+    auto ck = compileKernel(testing::miniGemm(8), mdaVector());
+    auto ops = drain(ck);
+    // Per (i,j): one A row-vector + one B col-vector + scalar C store.
+    ASSERT_EQ(ops.size(), 8u * 8 * 3);
+    EXPECT_TRUE(ops[0].isVector);
+    EXPECT_EQ(ops[0].orient, Orientation::Row);
+    EXPECT_TRUE(ops[1].isVector);
+    EXPECT_EQ(ops[1].orient, Orientation::Col);
+    EXPECT_FALSE(ops[2].isVector);
+    EXPECT_TRUE(ops[2].isWrite);
+}
+
+TEST(TraceGen, ComputeOnlyStmtCarriesToNextOp)
+{
+    // for i: {compute(5)} then {read}.
+    KernelBuilder b("compute");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 2);
+    nest.stmt(5); // no refs: pure compute
+    auto &s = nest.stmt(2);
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    auto ck = compileKernel(b.build(), scalarBaseline());
+    auto ops = drain(ck);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].computeCycles, 7u); // 5 + 2 accumulated
+    EXPECT_EQ(ops[1].computeCycles, 7u);
+}
+
+TEST(TraceGen, ResetReproducesIdenticalStream)
+{
+    auto ck = compileKernel(testing::miniGemm(6), mdaVector());
+    TraceGenerator gen(ck);
+    std::vector<TraceOp> first, second;
+    TraceOp op;
+    while (gen.next(op))
+        first.push_back(op);
+    gen.reset();
+    EXPECT_EQ(gen.opsEmitted(), 0u);
+    while (gen.next(op))
+        second.push_back(op);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t n = 0; n < first.size(); ++n) {
+        EXPECT_EQ(first[n].addr, second[n].addr);
+        EXPECT_EQ(first[n].wordMask, second[n].wordMask);
+        EXPECT_EQ(first[n].isWrite, second[n].isWrite);
+    }
+}
+
+TEST(TraceGen, MultipleNestsRunInSequence)
+{
+    KernelBuilder b("seq");
+    auto arr = b.array("A", 8, 8);
+    auto n1 = b.nest("first");
+    auto i1 = n1.loop("i", 0, 2);
+    auto &s1 = n1.stmt();
+    n1.read(s1, arr, AffineExpr::var(i1), 0);
+    auto n2 = b.nest("second");
+    auto i2 = n2.loop("i", 0, 3);
+    auto &s2 = n2.stmt();
+    n2.write(s2, arr, AffineExpr::var(i2), 1);
+    auto ck = compileKernel(b.build(), scalarBaseline());
+    auto ops = drain(ck);
+    ASSERT_EQ(ops.size(), 5u);
+    EXPECT_FALSE(ops[0].isWrite);
+    EXPECT_FALSE(ops[1].isWrite);
+    EXPECT_TRUE(ops[2].isWrite);
+}
+
+/** Property: scalar and vector compilations touch the same words the
+ *  same number of times (vectorization only changes packaging). */
+TEST(TraceGen, PropertyVectorizationPreservesTouchedWords)
+{
+    Kernel k1 = testing::miniGemm(16);
+    Kernel k2 = testing::miniGemm(16);
+    CompileOptions scalar_mda = mdaVector();
+    scalar_mda.vectorize = false;
+    auto ck_scalar = compileKernel(std::move(k1), scalar_mda);
+    auto ck_vector = compileKernel(std::move(k2), mdaVector());
+
+    auto count_words = [](const CompiledKernel &ck) {
+        std::map<Addr, std::uint64_t> words;
+        TraceGenerator gen(ck);
+        TraceOp op;
+        while (gen.next(op)) {
+            if (!op.isVector) {
+                words[op.addr]++;
+            } else {
+                auto line = OrientedLine::containing(op.addr, op.orient);
+                for (unsigned w = 0; w < lineWords; ++w)
+                    if (op.wordMask & (1u << w))
+                        words[line.wordAddr(w)]++;
+            }
+        }
+        return words;
+    };
+    EXPECT_EQ(count_words(ck_scalar), count_words(ck_vector));
+}
+
+TEST(TraceGen, AccessMixGemm)
+{
+    auto ck = compileKernel(testing::miniGemm(32), mdaVector());
+    auto mix = measureAccessMix(ck);
+    // A: row vector; B: col vector; C store: row scalar.
+    EXPECT_GT(mix.rowVector, 0u);
+    EXPECT_GT(mix.colVector, 0u);
+    EXPECT_GT(mix.rowScalar, 0u);
+    EXPECT_EQ(mix.colScalar, 0u);
+    // A and B move the same volume.
+    EXPECT_EQ(mix.rowVector, mix.colVector);
+    // Total volume: 32^3 * 8 bytes * 2 reads + 32^2 * 8 stores.
+    EXPECT_EQ(mix.total(),
+              2u * 32 * 32 * 32 * 8 + 32u * 32 * 8);
+}
+
+} // namespace
+} // namespace mda::compiler

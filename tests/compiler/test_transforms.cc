@@ -1,0 +1,132 @@
+/** @file Unit tests for the loop-tiling transform. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/access_mix.hh"
+#include "compiler/transforms.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+/** Count the touched-word multiset of a compiled kernel's trace. */
+std::map<Addr, std::uint64_t>
+touchedWords(const CompiledKernel &ck)
+{
+    std::map<Addr, std::uint64_t> words;
+    TraceGenerator gen(ck);
+    TraceOp op;
+    while (gen.next(op)) {
+        if (!op.isVector) {
+            words[op.addr]++;
+        } else {
+            auto line = OrientedLine::containing(op.addr, op.orient);
+            for (unsigned w = 0; w < lineWords; ++w)
+                if (op.wordMask & (1u << w))
+                    words[line.wordAddr(w)]++;
+        }
+    }
+    return words;
+}
+
+TEST(TileLoop, StripMinesSimpleLoop)
+{
+    // for i in [0,32): read A[i][0]  ->  strip 4 x point 8.
+    KernelBuilder b("strip");
+    auto arr = b.array("A", 32, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 32);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    LoopId point = tileLoop(k, 0, 0, 1, 8);
+    ASSERT_EQ(k.nests[0].loops.size(), 2u);
+    EXPECT_EQ(k.nests[0].loops[0].upper.constant(), 4);
+    EXPECT_EQ(k.nests[0].loops[1].upper.constant(), 8);
+    EXPECT_EQ(k.nests[0].loops[1].id, point);
+    // Subscript rewritten: row = 8*i + i'.
+    const auto &ref = k.nests[0].stmts[0].refs[0];
+    EXPECT_EQ(ref.rowExpr.coeffOf(i), 8);
+    EXPECT_EQ(ref.rowExpr.coeffOf(point), 1);
+}
+
+TEST(TileLoop, PreservesTouchedWords)
+{
+    Kernel plain = testing::miniGemm(16);
+    Kernel tiled = testing::miniGemm(16);
+    // Tile i below j: (iT, j, iP, k).
+    tileLoop(tiled, 0, 0, 2, 8);
+    auto ck_plain = compileKernel(std::move(plain), CompileOptions{});
+    auto ck_tiled = compileKernel(std::move(tiled), CompileOptions{});
+    EXPECT_EQ(touchedWords(ck_plain), touchedWords(ck_tiled));
+}
+
+TEST(TileLoop, NonZeroLowerBound)
+{
+    KernelBuilder b("lb");
+    auto arr = b.array("A", 64, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 8, 40);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    tileLoop(k, 0, 0, 1, 8);
+    // Touches rows 8..39 exactly once each.
+    auto ck = compileKernel(std::move(k), CompileOptions{});
+    auto words = touchedWords(ck);
+    EXPECT_EQ(words.size(), 32u);
+}
+
+TEST(TileLoop, VectorizationSurvivesTiling)
+{
+    Kernel k = testing::miniGemm(16);
+    tileLoop(k, 0, 0, 2, 8);
+    auto ck = compileKernel(std::move(k), CompileOptions{});
+    // The (innermost) k-loop statement still vectorizes.
+    EXPECT_TRUE(ck.vplan.isVectorized(0, 0));
+}
+
+TEST(TileLoopDeathTest, RejectsIndivisibleTrip)
+{
+    KernelBuilder b("bad");
+    auto arr = b.array("A", 30, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 30);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    EXPECT_EXIT(tileLoop(k, 0, 0, 1, 8),
+                ::testing::ExitedWithCode(1), "not divisible");
+}
+
+TEST(TileLoopDeathTest, RejectsTriangularDependence)
+{
+    KernelBuilder b("tri");
+    auto arr = b.array("A", 16, 16);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 16);
+    auto j = nest.loop("j", 0, AffineExpr::var(i).plusConst(1));
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(j));
+    Kernel k = b.build();
+    EXPECT_EXIT(tileLoop(k, 0, 0, 1, 8),
+                ::testing::ExitedWithCode(1), "depend");
+}
+
+TEST(TileLoopDeathTest, RejectsValuesLoop)
+{
+    KernelBuilder b("vals");
+    auto arr = b.array("A", 16, 8);
+    auto nest = b.nest("n");
+    auto t = nest.loopOver("t", {1, 2, 3, 4, 5, 6, 7, 8});
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(t), 0);
+    Kernel k = b.build();
+    EXPECT_EXIT(tileLoop(k, 0, 0, 1, 4),
+                ::testing::ExitedWithCode(1), "explicit values");
+}
+
+} // namespace
+} // namespace mda::compiler

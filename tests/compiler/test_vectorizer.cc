@@ -1,0 +1,149 @@
+/** @file Unit tests for row/column vectorization planning. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/vectorizer.hh"
+#include "test_kernels.hh"
+
+namespace mda::compiler
+{
+namespace
+{
+
+VectorizeOptions
+mdaOpts()
+{
+    return VectorizeOptions{true, true};
+}
+
+VectorizeOptions
+baselineOpts()
+{
+    return VectorizeOptions{true, false};
+}
+
+TEST(Vectorizer, GemmVectorizesUnderMda)
+{
+    Kernel k = testing::miniGemm(16);
+    auto plan = planVectorization(k, mdaOpts());
+    // Inner stmt (A row + B column) vectorizes; the C store at depth 1
+    // does not (not the deepest level).
+    EXPECT_TRUE(plan.isVectorized(0, 0));
+    EXPECT_FALSE(plan.isVectorized(0, 1));
+}
+
+TEST(Vectorizer, GemmScalarInBaseline)
+{
+    // B[k][j] moves with k in the row subscript: a column access the
+    // baseline cannot vectorize, so the whole stmt stays scalar.
+    Kernel k = testing::miniGemm(16);
+    auto plan = planVectorization(k, baselineOpts());
+    EXPECT_FALSE(plan.isVectorized(0, 0));
+}
+
+TEST(Vectorizer, RowOnlyStmtVectorizesInBaseline)
+{
+    Kernel k = testing::miniCopy(16, 16);
+    auto plan = planVectorization(k, baselineOpts());
+    EXPECT_TRUE(plan.isVectorized(0, 0));
+}
+
+TEST(Vectorizer, ColumnSumVectorizesOnlyUnderMda)
+{
+    Kernel k = testing::miniColSum(16, 16);
+    EXPECT_TRUE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+    EXPECT_FALSE(planVectorization(k, baselineOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, DisabledLeavesEverythingScalar)
+{
+    Kernel k = testing::miniCopy(16, 16);
+    VectorizeOptions opts{false, true};
+    EXPECT_FALSE(planVectorization(k, opts).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, NonUnitStrideBlocks)
+{
+    KernelBuilder b("strided");
+    auto arr = b.array("A", 32, 32);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 16);
+    auto &s = nest.stmt();
+    // A[0][2*i]: row-wise but stride 2.
+    AffineExpr col;
+    col.plusVar(i, 2);
+    nest.read(s, arr, 0, col);
+    Kernel k = b.build();
+    EXPECT_FALSE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, MixedSubscriptBlocks)
+{
+    KernelBuilder b("diag");
+    auto arr = b.array("A", 32, 32);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 16);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i), AffineExpr::var(i));
+    Kernel k = b.build();
+    EXPECT_FALSE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, ValuesLoopBlocks)
+{
+    KernelBuilder b("vals");
+    auto arr = b.array("A", 32, 32);
+    auto nest = b.nest("n");
+    auto t = nest.loopOver("t", {1, 2, 3});
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(t), 0);
+    Kernel k = b.build();
+    EXPECT_FALSE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, InvariantRefsDoNotBlock)
+{
+    // for i: for j: B[i][j] = A[i][j] + A[i][0]  (A[i][0] broadcast)
+    KernelBuilder b("bcast");
+    auto arr_a = b.array("A", 16, 16);
+    auto arr_b = b.array("B", 16, 16);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 16);
+    auto j = nest.loop("j", 0, 16);
+    auto &s = nest.stmt();
+    nest.read(s, arr_a, AffineExpr::var(i), AffineExpr::var(j));
+    nest.read(s, arr_a, AffineExpr::var(i), 0);
+    nest.write(s, arr_b, AffineExpr::var(i), AffineExpr::var(j));
+    Kernel k = b.build();
+    EXPECT_TRUE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, OffsetUnitStrideStillVectorizes)
+{
+    // Sobel-like: A[i-1][j] with i innermost, unit coefficient.
+    KernelBuilder b("sobelish");
+    auto arr = b.array("A", 32, 32);
+    auto nest = b.nest("n");
+    nest.loop("j", 1, 31);
+    auto i = nest.loop("i", 1, 31);
+    auto &s = nest.stmt();
+    nest.read(s, arr, AffineExpr::var(i).plusConst(-1), 5);
+    Kernel k = b.build();
+    EXPECT_TRUE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+TEST(Vectorizer, NonVectorizableFlagBlocks)
+{
+    KernelBuilder b("pred");
+    auto arr = b.array("A", 16, 16);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 16);
+    auto &s = nest.stmt();
+    s.vectorizable = false; // models a data-dependent predicate
+    nest.read(s, arr, AffineExpr::var(i), 0);
+    Kernel k = b.build();
+    EXPECT_FALSE(planVectorization(k, mdaOpts()).isVectorized(0, 0));
+}
+
+} // namespace
+} // namespace mda::compiler

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Determinism: the same specification must produce bit-identical
+ * results across runs — the property every simulation study depends
+ * on for reproducibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+
+namespace mda
+{
+namespace
+{
+
+class DeterminismSweep : public ::testing::TestWithParam<DesignPoint>
+{};
+
+TEST_P(DeterminismSweep, RepeatedRunsAreIdentical)
+{
+    RunSpec spec;
+    spec.workload = "htap1"; // includes randomized (seeded) indices
+    spec.n = 32;
+    spec.system.design = GetParam();
+
+    PreparedRun first(spec);
+    auto r1 = first.system.run();
+    PreparedRun second(spec);
+    auto r2 = second.system.run();
+
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.ops, r2.ops);
+    EXPECT_EQ(r1.llcAccesses, r2.llcAccesses);
+    EXPECT_EQ(r1.memBytes, r2.memBytes);
+
+    // Every scalar statistic matches exactly.
+    auto names = first.system.statGroup().scalarNames();
+    for (const auto &name : names) {
+        EXPECT_DOUBLE_EQ(first.system.statGroup().scalar(name),
+                         second.system.statGroup().scalar(name))
+            << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, DeterminismSweep,
+    ::testing::Values(DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
+                      DesignPoint::D1_1P2L_SameSet,
+                      DesignPoint::D2_2P2L,
+                      DesignPoint::D2_2P2L_Dense),
+    [](const auto &info) {
+        return std::string(designName(info.param));
+    });
+
+TEST(Determinism, DifferentSeedsChangeHtapButNotBlas)
+{
+    RunSpec a, b;
+    a.workload = b.workload = "htap2";
+    a.n = b.n = 32;
+    b.seed = 12345;
+    EXPECT_NE(runOne(a).memBytes, runOne(b).memBytes);
+
+    a.workload = b.workload = "sgemm";
+    EXPECT_EQ(runOne(a).cycles, runOne(b).cycles);
+}
+
+} // namespace
+} // namespace mda

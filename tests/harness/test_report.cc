@@ -1,0 +1,53 @@
+/** @file Unit tests for report formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/report.hh"
+
+namespace mda::report
+{
+namespace
+{
+
+TEST(Report, Fmt)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(pct(0.725), "72.5%");
+}
+
+TEST(Report, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Report, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"bench", "value"});
+    t.addRow({"sgemm", "0.28"});
+    t.addRow({"a-very-long-name", "1"});
+    std::ostringstream os;
+    t.print(os);
+    auto text = os.str();
+    EXPECT_NE(text.find("bench"), std::string::npos);
+    EXPECT_NE(text.find("a-very-long-name"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // Header and rows share column offsets.
+    auto header_pos = text.find("value");
+    auto row_line = text.find("sgemm");
+    auto value_pos = text.find("0.28");
+    EXPECT_EQ(header_pos - text.find("bench"),
+              value_pos - row_line);
+}
+
+} // namespace
+} // namespace mda::report

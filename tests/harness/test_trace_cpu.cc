@@ -1,0 +1,153 @@
+/** @file Tests for the trace-driven CPU model. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "harness/trace_cpu.hh"
+#include "mem/mda_memory.hh"
+
+namespace mda
+{
+namespace
+{
+
+using compiler::AffineExpr;
+using compiler::CompileOptions;
+using compiler::compileKernel;
+using compiler::CompiledKernel;
+using compiler::KernelBuilder;
+
+/** for i in [0,count): read A[0][i] scalar (no vectorization). */
+CompiledKernel
+scalarStream(std::int64_t count, bool write = false)
+{
+    KernelBuilder b("stream");
+    auto arr = b.array("A", 8, std::max<std::int64_t>(count, 8));
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, count);
+    auto &s = nest.stmt(0);
+    if (write)
+        nest.write(s, arr, 0, AffineExpr::var(i));
+    else
+        nest.read(s, arr, 0, AffineExpr::var(i));
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    opts.vectorize = false;
+    return compileKernel(b.build(), opts);
+}
+
+struct CpuRig
+{
+    explicit CpuRig(const CompiledKernel &ck, CpuParams params = {})
+        : gen(ck),
+          mem("mem", eq, sg, MemTimingParams::sttDefault(),
+              MemTopologyParams{}),
+          cpu("cpu", eq, sg, gen, mem, params)
+    {
+        mem.setUpstream(&cpu);
+    }
+
+    EventQueue eq;
+    stats::StatGroup sg;
+    compiler::TraceGenerator gen;
+    MdaMemory mem;
+    TraceCpu cpu;
+};
+
+TEST(TraceCpu, RunsTraceToCompletion)
+{
+    auto ck = scalarStream(100);
+    CpuRig rig(ck);
+    rig.cpu.start();
+    rig.eq.run();
+    EXPECT_TRUE(rig.cpu.done());
+    EXPECT_EQ(rig.sg.scalar("cpu.ops"), 100.0);
+    EXPECT_EQ(rig.sg.scalar("cpu.readOps"), 100.0);
+    EXPECT_GT(rig.cpu.finishTick(), 0u);
+}
+
+TEST(TraceCpu, WindowLimitsOutstanding)
+{
+    // With a window of 1, every access serializes: total time is at
+    // least ops x full memory latency. With 16, they overlap.
+    auto ck1 = scalarStream(64);
+    CpuParams serial;
+    serial.maxOutstanding = 1;
+    CpuRig rig1(ck1, serial);
+    rig1.cpu.start();
+    rig1.eq.run();
+
+    auto ck2 = scalarStream(64);
+    CpuParams parallel;
+    parallel.maxOutstanding = 16;
+    CpuRig rig2(ck2, parallel);
+    rig2.cpu.start();
+    rig2.eq.run();
+
+    EXPECT_LT(rig2.cpu.finishTick(), rig1.cpu.finishTick());
+    EXPECT_GT(rig1.sg.scalar("cpu.stallWindowFull"), 0.0);
+}
+
+TEST(TraceCpu, ComputeCyclesDelayIssue)
+{
+    // One read with no compute vs one read preceded by 500 cycles.
+    KernelBuilder b("c");
+    auto arr = b.array("A", 8, 8);
+    auto nest = b.nest("n");
+    auto i = nest.loop("i", 0, 1);
+    auto &s = nest.stmt(500);
+    nest.read(s, arr, 0, AffineExpr::var(i));
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    auto ck = compileKernel(b.build(), opts);
+    CpuRig rig(ck);
+    rig.cpu.start();
+    rig.eq.run();
+    EXPECT_GE(rig.cpu.finishTick(), 500u);
+    EXPECT_EQ(rig.sg.scalar("cpu.computeCycles"), 500.0);
+}
+
+TEST(TraceCpu, CheckerPassesOnDirectMemory)
+{
+    // Writes then reads of the same elements through bare memory.
+    KernelBuilder b("wr");
+    auto arr = b.array("A", 8, 64);
+    auto w = b.nest("w");
+    auto i = w.loop("i", 0, 64);
+    auto &sw = w.stmt(0);
+    w.write(sw, arr, 0, AffineExpr::var(i));
+    auto r = b.nest("r");
+    auto j = r.loop("j", 0, 64);
+    auto &sr = r.stmt(0);
+    r.read(sr, arr, 0, AffineExpr::var(j));
+    CompileOptions opts;
+    opts.mdaEnabled = false;
+    opts.vectorize = false;
+    auto ck = compileKernel(b.build(), opts);
+    CpuParams params;
+    params.checkData = true;
+    CpuRig rig(ck, params);
+    rig.cpu.start();
+    rig.eq.run();
+    EXPECT_TRUE(rig.cpu.done());
+    EXPECT_EQ(rig.cpu.checkFailures(), 0u);
+    EXPECT_EQ(rig.sg.scalar("cpu.writeOps"), 64.0);
+}
+
+TEST(TraceCpu, BackpressureRetryPreservesChecker)
+{
+    // A long write stream against tiny queues exercises rejects.
+    auto ck = scalarStream(2000, /*write=*/true);
+    CpuParams params;
+    params.checkData = true;
+    params.maxOutstanding = 64;
+    CpuRig rig(ck, params);
+    rig.cpu.start();
+    rig.eq.run();
+    EXPECT_TRUE(rig.cpu.done());
+    EXPECT_EQ(rig.cpu.checkFailures(), 0u);
+    EXPECT_EQ(rig.sg.scalar("cpu.ops"), 2000.0);
+}
+
+} // namespace
+} // namespace mda

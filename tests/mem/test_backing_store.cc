@@ -1,0 +1,99 @@
+/** @file Unit tests for the sparse functional backing store. */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(BackingStore, UntouchedReadsZero)
+{
+    BackingStore store;
+    EXPECT_EQ(store.readWord(0), 0u);
+    EXPECT_EQ(store.readWord(0x7fffffff8), 0u);
+    EXPECT_EQ(store.framesAllocated(), 0u);
+}
+
+TEST(BackingStore, WordRoundTrip)
+{
+    BackingStore store;
+    store.writeWord(0x1000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(store.readWord(0x1000), 0xdeadbeefcafef00dULL);
+    // Unaligned address maps to the containing word.
+    EXPECT_EQ(store.readWord(0x1003), 0xdeadbeefcafef00dULL);
+    // Neighboring words untouched.
+    EXPECT_EQ(store.readWord(0x1008), 0u);
+    EXPECT_EQ(store.readWord(0x0ff8), 0u);
+}
+
+TEST(BackingStore, SparseAllocation)
+{
+    BackingStore store;
+    store.writeWord(0, 1);
+    store.writeWord(100, 2); // same 4K frame
+    EXPECT_EQ(store.framesAllocated(), 1u);
+    store.writeWord(1 << 30, 3);
+    EXPECT_EQ(store.framesAllocated(), 2u);
+}
+
+TEST(BackingStore, FillPacketRowLine)
+{
+    BackingStore store;
+    OrientedLine line(Orientation::Row, (4ull << 3) | 2);
+    for (unsigned w = 0; w < lineWords; ++w)
+        store.writeWord(line.wordAddr(w), 100 + w);
+    auto pkt = Packet::makeLineFill(line, false, 0);
+    store.fillPacket(*pkt);
+    for (unsigned w = 0; w < lineWords; ++w)
+        EXPECT_EQ(pkt->word(w), 100u + w);
+}
+
+TEST(BackingStore, FillPacketColumnLineUsesStridedWords)
+{
+    BackingStore store;
+    OrientedLine line(Orientation::Col, (4ull << 3) | 5);
+    for (unsigned w = 0; w < lineWords; ++w)
+        store.writeWord(line.wordAddr(w), 200 + w);
+    auto pkt = Packet::makeLineFill(line, false, 0);
+    store.fillPacket(*pkt);
+    for (unsigned w = 0; w < lineWords; ++w)
+        EXPECT_EQ(pkt->word(w), 200u + w);
+    // The column line's words really are 64 B apart.
+    EXPECT_EQ(line.wordAddr(1) - line.wordAddr(0), 64u);
+}
+
+TEST(BackingStore, ApplyPacketPartialMask)
+{
+    BackingStore store;
+    OrientedLine line(Orientation::Row, 8);
+    for (unsigned w = 0; w < lineWords; ++w)
+        store.writeWord(line.wordAddr(w), 7);
+    auto pkt = Packet::makeWriteback(line, 0b00000110, 0);
+    pkt->setWord(1, 111);
+    pkt->setWord(2, 222);
+    pkt->wordMask = 0b00000110; // setWord widened it; restore
+    store.applyPacket(*pkt);
+    EXPECT_EQ(store.readWord(line.wordAddr(0)), 7u);
+    EXPECT_EQ(store.readWord(line.wordAddr(1)), 111u);
+    EXPECT_EQ(store.readWord(line.wordAddr(2)), 222u);
+    EXPECT_EQ(store.readWord(line.wordAddr(3)), 7u);
+}
+
+TEST(BackingStore, ScalarPackets)
+{
+    BackingStore store;
+    auto wr = Packet::makeScalar(MemCmd::Write, 0x2000, Orientation::Row,
+                                 0, 0);
+    wr->setWord(0, 42);
+    store.applyPacket(*wr);
+    auto rd = Packet::makeScalar(MemCmd::Read, 0x2000, Orientation::Col,
+                                 0, 0);
+    store.fillPacket(*rd);
+    EXPECT_EQ(rd->word(0), 42u);
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,257 @@
+/** @file Timing + functional tests for the MDA main memory. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/mda_memory.hh"
+
+namespace mda
+{
+namespace
+{
+
+/** Records responses and retries. */
+class MockClient : public MemClient
+{
+  public:
+    void
+    recvResponse(PacketPtr pkt) override
+    {
+        responses.push_back(std::move(pkt));
+        responseTicks.push_back(lastTick ? *lastTick : 0);
+    }
+
+    void recvRetry() override { ++retries; }
+
+    std::vector<PacketPtr> responses;
+    std::vector<Tick> responseTicks;
+    int retries = 0;
+    const Tick *lastTick = nullptr; // unused; ticks read via eventq
+};
+
+struct MemFixture : public ::testing::Test
+{
+    MemFixture()
+        : mem("mem", eq, sg, MemTimingParams::sttDefault(),
+              MemTopologyParams{})
+    {
+        mem.setUpstream(&client);
+    }
+
+    /** Send a line read and run to completion; returns response tick. */
+    Tick
+    readLine(const OrientedLine &line)
+    {
+        auto pkt = Packet::makeLineFill(line, false, eq.curTick());
+        EXPECT_TRUE(mem.tryRequest(pkt));
+        std::size_t had = client.responses.size();
+        eq.run();
+        EXPECT_EQ(client.responses.size(), had + 1);
+        return eq.curTick();
+    }
+
+    EventQueue eq;
+    stats::StatGroup sg;
+    MockClient client;
+    MdaMemory mem;
+};
+
+TEST_F(MemFixture, ColdRowReadLatency)
+{
+    OrientedLine line(Orientation::Row, 0x100);
+    Tick start = eq.curTick();
+    Tick done = readLine(line);
+    MemTimingParams t;
+    // Activate + CAS + one burst.
+    EXPECT_EQ(done - start, t.tActivate + t.tCas + t.tBurst);
+    EXPECT_TRUE(client.responses[0]->isResponse);
+}
+
+TEST_F(MemFixture, RowBufferHitIsFaster)
+{
+    OrientedLine line(Orientation::Row, 0x100);
+    readLine(line);
+    Tick start = eq.curTick();
+    // Second access to the same physical row (different tile column
+    // group would also hit; same line trivially hits).
+    Tick done = readLine(line);
+    MemTimingParams t;
+    EXPECT_EQ(done - start, t.tCas + t.tBurst);
+}
+
+TEST_F(MemFixture, ColumnReadSymmetricPlusDecode)
+{
+    OrientedLine line(Orientation::Col, 0x100);
+    Tick start = eq.curTick();
+    Tick done = readLine(line);
+    MemTimingParams t;
+    EXPECT_EQ(done - start,
+              t.tActivate + t.tCas + t.tColDecode + t.tBurst);
+    // And a column-buffer hit afterwards:
+    start = eq.curTick();
+    done = readLine(line);
+    EXPECT_EQ(done - start, t.tCas + t.tColDecode + t.tBurst);
+    EXPECT_EQ(sg.scalar("mem.colBufHits"), 1.0);
+}
+
+TEST_F(MemFixture, RowAndColumnBuffersCoexistOnReads)
+{
+    // Open a row, then a column, then re-access the row: still a hit.
+    OrientedLine row(Orientation::Row, (7ull << 3) | 1);
+    OrientedLine col(Orientation::Col, (7ull << 3) | 2);
+    readLine(row);
+    readLine(col);
+    Tick start = eq.curTick();
+    Tick done = readLine(row);
+    MemTimingParams t;
+    EXPECT_EQ(done - start, t.tCas + t.tBurst);
+}
+
+TEST_F(MemFixture, WriteInvalidatesCrossBuffer)
+{
+    OrientedLine row(Orientation::Row, (7ull << 3) | 1);
+    OrientedLine col(Orientation::Col, (7ull << 3) | 2);
+    readLine(col); // open column buffer
+    auto wb = Packet::makeWriteback(row, 0xff, eq.curTick());
+    ASSERT_TRUE(mem.tryRequest(wb));
+    eq.run();
+    // The column buffer was invalidated by the row write: re-reading
+    // the column misses (activates) instead of hitting.
+    double misses_before = sg.scalar("mem.bufMisses");
+    readLine(col);
+    EXPECT_EQ(sg.scalar("mem.bufMisses"), misses_before + 1);
+    EXPECT_EQ(sg.scalar("mem.colBufHits"), 0.0);
+}
+
+TEST_F(MemFixture, FunctionalReadAfterWriteback)
+{
+    OrientedLine line(Orientation::Col, (3ull << 3) | 4);
+    auto wb = Packet::makeWriteback(line, 0xff, 0);
+    for (unsigned w = 0; w < lineWords; ++w)
+        wb->setWord(w, 1000 + w);
+    wb->wordMask = 0xff;
+    ASSERT_TRUE(mem.tryRequest(wb));
+
+    auto rd = Packet::makeLineFill(line, false, 0);
+    ASSERT_TRUE(mem.tryRequest(rd));
+    eq.run();
+    ASSERT_EQ(client.responses.size(), 1u);
+    for (unsigned w = 0; w < lineWords; ++w)
+        EXPECT_EQ(client.responses[0]->word(w), 1000u + w);
+}
+
+TEST_F(MemFixture, WritebackGetsNoResponse)
+{
+    auto wb = Packet::makeWriteback(OrientedLine(Orientation::Row, 5),
+                                    0xff, 0);
+    ASSERT_TRUE(mem.tryRequest(wb));
+    eq.run();
+    EXPECT_TRUE(client.responses.empty());
+    EXPECT_EQ(sg.scalar("mem.writeReqs"), 1.0);
+}
+
+TEST_F(MemFixture, BankParallelismOverlapsActivations)
+{
+    // Two cold reads to different banks (adjacent tiles) overlap;
+    // two cold reads to the same bank serialize on the bank.
+    OrientedLine a(Orientation::Row, (0ull << 3) | 0);
+    OrientedLine b(Orientation::Row, (1ull << 3) | 0); // next tile
+    auto p1 = Packet::makeLineFill(a, false, 0);
+    auto p2 = Packet::makeLineFill(b, false, 0);
+    ASSERT_TRUE(mem.tryRequest(p1));
+    ASSERT_TRUE(mem.tryRequest(p2));
+    eq.run();
+    ASSERT_EQ(client.responses.size(), 2u);
+    MemTimingParams t;
+    Tick serial = 2 * (t.tActivate + t.tCas + t.tBurst);
+    // Both done well before a serial execution would finish.
+    EXPECT_LT(eq.curTick(), serial);
+}
+
+TEST_F(MemFixture, SameBankSerializes)
+{
+    // Same tile, two different rows: same bank, both cold (second
+    // access misses because the first left a different open row).
+    OrientedLine a(Orientation::Row, (0ull << 3) | 0);
+    OrientedLine b(Orientation::Row, (0ull << 3) | 7);
+    // Different physRow? Same tile => same r_hi, different r_lo =>
+    // different physical rows.
+    auto p1 = Packet::makeLineFill(a, false, 0);
+    auto p2 = Packet::makeLineFill(b, false, 0);
+    ASSERT_TRUE(mem.tryRequest(p1));
+    ASSERT_TRUE(mem.tryRequest(p2));
+    eq.run();
+    MemTimingParams t;
+    EXPECT_GE(eq.curTick(), 2 * (t.tActivate + t.tCas));
+    EXPECT_EQ(sg.scalar("mem.bufMisses"), 2.0);
+}
+
+TEST_F(MemFixture, FrFcfsPrefersOpenBufferHit)
+{
+    // Prime bank with row A open. Then enqueue (cold row B, hit row A)
+    // while the bank is busy; the hit should be served first.
+    OrientedLine a(Orientation::Row, (0ull << 3) | 0);
+    OrientedLine b(Orientation::Row, (0ull << 3) | 7);
+    readLine(a);
+    auto pb = Packet::makeLineFill(b, false, 0);
+    auto pa = Packet::makeLineFill(a, false, 0);
+    std::uint64_t id_b = pb->id, id_a = pa->id;
+    ASSERT_TRUE(mem.tryRequest(pb));
+    ASSERT_TRUE(mem.tryRequest(pa));
+    std::size_t base_count = client.responses.size();
+    eq.run();
+    ASSERT_EQ(client.responses.size(), base_count + 2);
+    // Hmm: both were enqueued while the bank was idle, so the first
+    // processChannel pass runs FR-FCFS over both: the hit (a) wins.
+    EXPECT_EQ(client.responses[base_count]->id, id_a);
+    EXPECT_EQ(client.responses[base_count + 1]->id, id_b);
+}
+
+TEST_F(MemFixture, ReadQueueFullTriggersRetry)
+{
+    MemTopologyParams topo;
+    // Saturate one channel's read queue (all to the same channel).
+    std::vector<PacketPtr> overflow;
+    unsigned accepted = 0;
+    for (unsigned n = 0; n <= topo.readQueueSize; ++n) {
+        // All requests in the same tile group stride to hit channel 0:
+        // use tile index multiples of total interleave span.
+        std::uint64_t tile =
+            static_cast<std::uint64_t>(n) * topo.totalBanks();
+        auto pkt = Packet::makeLineFill(
+            OrientedLine(Orientation::Row, tile << 3), false, 0);
+        PacketPtr keep;
+        if (mem.tryRequest(pkt)) {
+            ++accepted;
+        } else {
+            overflow.push_back(std::move(pkt));
+            break;
+        }
+    }
+    // Queue size bounds acceptance; at least one rejection happened
+    // only if we sent more than the queue size before any service.
+    EXPECT_LE(accepted, topo.readQueueSize + 1);
+    if (!overflow.empty()) {
+        eq.run();
+        EXPECT_GT(client.retries, 0);
+    }
+}
+
+TEST_F(MemFixture, StatsTallyBytesAndOrientations)
+{
+    readLine(OrientedLine(Orientation::Row, 0));
+    readLine(OrientedLine(Orientation::Col, 0));
+    auto wb = Packet::makeWriteback(OrientedLine(Orientation::Row, 1),
+                                    0x0f, 0);
+    ASSERT_TRUE(mem.tryRequest(wb));
+    eq.run();
+    EXPECT_EQ(sg.scalar("mem.readReqs"), 2.0);
+    EXPECT_EQ(sg.scalar("mem.rowAccesses"), 2.0);
+    EXPECT_EQ(sg.scalar("mem.colAccesses"), 1.0);
+    EXPECT_EQ(sg.scalar("mem.bytesRead"), 128.0);
+    EXPECT_EQ(sg.scalar("mem.bytesWritten"), 32.0); // 4-word partial
+}
+
+} // namespace
+} // namespace mda

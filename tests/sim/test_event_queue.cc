@@ -1,0 +1,104 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Cpu);
+    eq.schedule(5, [&] { order.push_back(0); }, EventPriority::Response);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(3); }, EventPriority::Cpu);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 40u);
+}
+
+TEST(EventQueue, RunWithLimitStops)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Tick t = 0; t < 100; t += 10)
+        eq.schedule(t, [&] { ++fired; });
+    auto executed = eq.run(45);
+    EXPECT_EQ(executed, 5u); // ticks 0,10,20,30,40
+    EXPECT_EQ(fired, 5);
+    EXPECT_FALSE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), 50u);
+    eq.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run(50);
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.nextTick(), maxTick);
+}
+
+TEST(EventQueue, SameTickSamePriorityFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+} // namespace
+} // namespace mda

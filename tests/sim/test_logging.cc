@@ -1,0 +1,56 @@
+/** @file Tests for the logging/error-reporting facilities. */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config: %s", "oops"),
+                ::testing::ExitedWithCode(1), "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertMacroNamesCondition)
+{
+    int x = 3;
+    EXPECT_DEATH(mda_assert(x == 4, "x was %d", x), "x == 4");
+}
+
+TEST(Logging, QuietSuppressesWarnAndInform)
+{
+    bool prev = setQuietLogging(true);
+    // Must not crash; output is suppressed (can't capture stderr
+    // portably here, but the calls exercise the quiet path).
+    warn("should not appear %d", 1);
+    inform("should not appear %d", 2);
+    setQuietLogging(prev);
+}
+
+TEST(Logging, SetQuietReturnsPrevious)
+{
+    bool orig = setQuietLogging(true);
+    EXPECT_TRUE(setQuietLogging(false));
+    EXPECT_FALSE(setQuietLogging(orig));
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduled in the past");
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,156 @@
+/** @file Unit + property tests for MDA tile/line geometry. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/orientation.hh"
+#include "sim/random.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(Orientation, Flip)
+{
+    EXPECT_EQ(flip(Orientation::Row), Orientation::Col);
+    EXPECT_EQ(flip(Orientation::Col), Orientation::Row);
+}
+
+TEST(Orientation, TileCoordinates)
+{
+    // Word (r=3, c=5) of tile 7: addr = 7*512 + 3*64 + 5*8.
+    Addr addr = 7 * 512 + 3 * 64 + 5 * 8;
+    EXPECT_EQ(tileOf(addr), 7u);
+    EXPECT_EQ(tileRowOf(addr), 3u);
+    EXPECT_EQ(tileColOf(addr), 5u);
+    EXPECT_EQ(tileBase(7), 7u * 512);
+}
+
+TEST(OrientedLine, RowLineWordsAreContiguous)
+{
+    Addr addr = 4 * 512 + 2 * 64 + 6 * 8;
+    auto line = OrientedLine::containing(addr, Orientation::Row);
+    EXPECT_EQ(line.tile(), 4u);
+    EXPECT_EQ(line.index(), 2u); // row coordinate
+    for (unsigned k = 0; k < lineWords; ++k)
+        EXPECT_EQ(line.wordAddr(k), 4 * 512 + 2 * 64 + k * 8);
+    EXPECT_EQ(line.baseAddr(), 4u * 512 + 2 * 64);
+}
+
+TEST(OrientedLine, ColLineWordsAreStrided)
+{
+    Addr addr = 4 * 512 + 2 * 64 + 6 * 8;
+    auto line = OrientedLine::containing(addr, Orientation::Col);
+    EXPECT_EQ(line.tile(), 4u);
+    EXPECT_EQ(line.index(), 6u); // column coordinate
+    for (unsigned k = 0; k < lineWords; ++k)
+        EXPECT_EQ(line.wordAddr(k), 4 * 512 + k * 64 + 6 * 8);
+}
+
+TEST(OrientedLine, ContainsExactlyItsWords)
+{
+    auto row = OrientedLine::containing(1000, Orientation::Row);
+    auto col = OrientedLine::containing(1000, Orientation::Col);
+    unsigned row_hits = 0, col_hits = 0;
+    // Sweep every word of the containing tile.
+    Addr base = tileBase(tileOf(1000));
+    for (unsigned w = 0; w < tileLines * lineWords; ++w) {
+        Addr a = base + w * wordBytes;
+        if (row.containsWord(a))
+            ++row_hits;
+        if (col.containsWord(a))
+            ++col_hits;
+    }
+    EXPECT_EQ(row_hits, lineWords);
+    EXPECT_EQ(col_hits, lineWords);
+    EXPECT_FALSE(row.containsWord(base + tileBytes)); // next tile
+}
+
+TEST(OrientedLine, CrossOrientationIntersection)
+{
+    OrientedLine row(Orientation::Row, (9ull << 3) | 2); // tile 9, row 2
+    OrientedLine col(Orientation::Col, (9ull << 3) | 5); // tile 9, col 5
+    EXPECT_TRUE(row.intersects(col));
+    EXPECT_TRUE(col.intersects(row));
+    Addr w = row.intersectionWord(col);
+    EXPECT_EQ(w, tileBase(9) + 2 * 64 + 5 * 8);
+    EXPECT_EQ(col.intersectionWord(row), w);
+    EXPECT_TRUE(row.containsWord(w));
+    EXPECT_TRUE(col.containsWord(w));
+
+    OrientedLine other_tile(Orientation::Col, (10ull << 3) | 5);
+    EXPECT_FALSE(row.intersects(other_tile));
+}
+
+TEST(OrientedLine, SameOrientationIntersectionIsIdentity)
+{
+    OrientedLine a(Orientation::Row, 100);
+    OrientedLine b(Orientation::Row, 100);
+    OrientedLine c(Orientation::Row, 101);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(OrientedLine, CrossingLinesCoverTile)
+{
+    OrientedLine row(Orientation::Row, (3ull << 3) | 1);
+    auto crossing = row.crossingLines();
+    std::set<Addr> words;
+    for (const auto &col : crossing) {
+        EXPECT_EQ(col.orient, Orientation::Col);
+        EXPECT_EQ(col.tile(), 3u);
+        EXPECT_TRUE(row.intersects(col));
+        words.insert(row.intersectionWord(col));
+    }
+    // The eight crossings hit the eight distinct words of the row.
+    EXPECT_EQ(words.size(), lineWords);
+}
+
+TEST(OrientedLine, WordIndexRoundTrip)
+{
+    for (auto orient : {Orientation::Row, Orientation::Col}) {
+        OrientedLine line(orient, (17ull << 3) | 4);
+        for (unsigned k = 0; k < lineWords; ++k)
+            EXPECT_EQ(line.wordIndexOf(line.wordAddr(k)), k);
+    }
+}
+
+/** Property: containing() and wordAddr() are inverse over random addrs. */
+TEST(OrientedLine, PropertyContainingRoundTrip)
+{
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        Addr addr = alignDown(rng.next() & 0xffffffffffULL, wordBytes);
+        for (auto orient : {Orientation::Row, Orientation::Col}) {
+            auto line = OrientedLine::containing(addr, orient);
+            EXPECT_TRUE(line.containsWord(addr));
+            unsigned k = line.wordIndexOf(addr);
+            EXPECT_EQ(alignDown(line.wordAddr(k), wordBytes), addr);
+        }
+    }
+}
+
+/** Property: a row and a column in the same tile always intersect in
+ *  exactly one word, which both report consistently. */
+TEST(OrientedLine, PropertyCrossIntersectionUnique)
+{
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t tile = rng.below(1 << 20);
+        OrientedLine row(Orientation::Row, (tile << 3) | rng.below(8));
+        OrientedLine col(Orientation::Col, (tile << 3) | rng.below(8));
+        Addr w = row.intersectionWord(col);
+        unsigned count = 0;
+        for (Addr a : row.wordAddrs())
+            if (col.containsWord(a)) {
+                ++count;
+                EXPECT_EQ(a, w);
+            }
+        EXPECT_EQ(count, 1u);
+    }
+}
+
+} // namespace
+} // namespace mda

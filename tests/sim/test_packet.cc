@@ -1,0 +1,80 @@
+/** @file Unit tests for Packet construction and payload handling. */
+
+#include <gtest/gtest.h>
+
+#include "sim/packet.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(Packet, ScalarFactory)
+{
+    auto pkt = Packet::makeScalar(MemCmd::Read, 0x1234, Orientation::Col,
+                                  17, 100);
+    EXPECT_EQ(pkt->cmd, MemCmd::Read);
+    EXPECT_EQ(pkt->addr, 0x1230u); // word aligned
+    EXPECT_EQ(pkt->size, wordBytes);
+    EXPECT_EQ(pkt->orient, Orientation::Col);
+    EXPECT_FALSE(pkt->isVector);
+    EXPECT_FALSE(pkt->isLine());
+    EXPECT_EQ(pkt->pc, 17u);
+    EXPECT_EQ(pkt->issueTick, 100u);
+    EXPECT_EQ(pkt->wordMask, 0x01);
+}
+
+TEST(Packet, VectorFactoryCoversLine)
+{
+    OrientedLine line(Orientation::Col, (5ull << 3) | 3);
+    auto pkt = Packet::makeVector(MemCmd::Write, line, 9, 50);
+    EXPECT_TRUE(pkt->isVector);
+    EXPECT_TRUE(pkt->isLine());
+    EXPECT_EQ(pkt->addr, line.baseAddr());
+    EXPECT_EQ(pkt->wordMask, 0xff);
+    EXPECT_EQ(pkt->line(), line);
+}
+
+TEST(Packet, LineFillAndWriteback)
+{
+    OrientedLine line(Orientation::Row, 77);
+    auto fill = Packet::makeLineFill(line, /*prefetch=*/true, 0);
+    EXPECT_TRUE(fill->isLineFill);
+    EXPECT_TRUE(fill->isPrefetch);
+    EXPECT_EQ(fill->cmd, MemCmd::Read);
+    EXPECT_EQ(fill->line(), line);
+
+    auto wb = Packet::makeWriteback(line, 0b10100000, 0);
+    EXPECT_EQ(wb->cmd, MemCmd::Writeback);
+    EXPECT_EQ(wb->wordMask, 0b10100000);
+}
+
+TEST(Packet, PayloadWordRoundTrip)
+{
+    auto pkt = Packet::makeLineFill(OrientedLine(Orientation::Row, 1),
+                                    false, 0);
+    pkt->wordMask = 0;
+    for (unsigned k = 0; k < lineWords; ++k)
+        pkt->setWord(k, 0xdead0000ull + k);
+    EXPECT_EQ(pkt->wordMask, 0xff);
+    for (unsigned k = 0; k < lineWords; ++k)
+        EXPECT_EQ(pkt->word(k), 0xdead0000ull + k);
+}
+
+TEST(Packet, MakeResponseFlips)
+{
+    auto pkt = Packet::makeScalar(MemCmd::Read, 0, Orientation::Row, 0, 0);
+    EXPECT_FALSE(pkt->isResponse);
+    pkt->makeResponse();
+    EXPECT_TRUE(pkt->isResponse);
+}
+
+TEST(Packet, IdsAreUnique)
+{
+    auto a = Packet::makeScalar(MemCmd::Read, 0, Orientation::Row, 0, 0);
+    auto b = Packet::makeScalar(MemCmd::Read, 0, Orientation::Row, 0, 0);
+    EXPECT_NE(a->id, b->id);
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,101 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace mda::stats
+{
+namespace
+{
+
+TEST(Stats, ScalarAccumulates)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionBucketsAndMoments)
+{
+    Distribution d(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(i * 10.0 + 5.0); // one per bucket
+    EXPECT_EQ(d.count(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.0);
+    EXPECT_DOUBLE_EQ(d.minSeen(), 5.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 95.0);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 1u);
+}
+
+TEST(Stats, DistributionClampsOutOfRange)
+{
+    Distribution d(0.0, 10.0, 2);
+    d.sample(-5.0);
+    d.sample(100.0);
+    EXPECT_EQ(d.buckets().front(), 1u);
+    EXPECT_EQ(d.buckets().back(), 1u);
+    EXPECT_DOUBLE_EQ(d.minSeen(), -5.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 100.0);
+}
+
+TEST(Stats, TimeSeriesRecordsPoints)
+{
+    TimeSeries ts;
+    ts.sample(10, 0.5);
+    ts.sample(20, 0.7);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[1].first, 20u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].second, 0.7);
+    ts.reset();
+    EXPECT_TRUE(ts.points().empty());
+}
+
+TEST(Stats, GroupLookupAndReset)
+{
+    StatGroup g;
+    Scalar hits, misses;
+    g.regScalar("l1.hits", &hits, "L1 hits");
+    g.regScalar("l1.misses", &misses);
+    hits += 7;
+    EXPECT_DOUBLE_EQ(g.scalar("l1.hits"), 7.0);
+    EXPECT_TRUE(g.hasScalar("l1.misses"));
+    EXPECT_FALSE(g.hasScalar("l1.nope"));
+    auto names = g.scalarNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "l1.hits");
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.scalar("l1.hits"), 0.0);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    StatGroup g;
+    Scalar s;
+    s += 42;
+    g.regScalar("cpu.cycles", &s, "total cycles");
+    std::ostringstream os;
+    g.dump(os);
+    auto text = os.str();
+    EXPECT_NE(text.find("cpu.cycles"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+    EXPECT_NE(text.find("total cycles"), std::string::npos);
+}
+
+TEST(StatsDeathTest, DuplicateNamePanics)
+{
+    StatGroup g;
+    Scalar a, b;
+    g.regScalar("x", &a);
+    EXPECT_DEATH(g.regScalar("x", &b), "duplicate");
+}
+
+} // namespace
+} // namespace mda::stats

@@ -1,0 +1,72 @@
+/** @file Unit tests for the fundamental type helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(Types, BitsExtractsInclusiveRanges)
+{
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xf0, 7, 4), 0xfu);
+    EXPECT_EQ(bits(0b101100, 3, 2), 0b11u);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bits(0x123456789abcdef0ULL, 63, 60), 0x1u);
+}
+
+TEST(Types, BitsSingleBit)
+{
+    EXPECT_EQ(bits(0b100, 2, 2), 1u);
+    EXPECT_EQ(bits(0b100, 1, 1), 0u);
+}
+
+TEST(Types, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x47, 64), 0x40u);
+    EXPECT_EQ(alignDown(0x40, 64), 0x40u);
+    EXPECT_EQ(alignUp(0x41, 64), 0x80u);
+    EXPECT_EQ(alignUp(0x40, 64), 0x40u);
+    EXPECT_EQ(alignUp(0, 512), 0u);
+}
+
+TEST(Types, PowerOf2Predicates)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(96));
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(1ULL << 33), 33u);
+}
+
+TEST(Types, NsToTicksAt3GHz)
+{
+    // 1 ns at 3 GHz = 3 ticks.
+    EXPECT_EQ(nsToTicks(1.0), 3u);
+    EXPECT_EQ(nsToTicks(10.0), 30u);
+    // Rounds up: 0.5 ns = 1.5 cycles -> 2 ticks.
+    EXPECT_EQ(nsToTicks(0.5), 2u);
+    EXPECT_EQ(nsToTicks(0.0), 0u);
+}
+
+TEST(Types, GeometryConstants)
+{
+    EXPECT_EQ(lineBytes, 64u);
+    EXPECT_EQ(tileBytes, 512u);
+    EXPECT_EQ(lineWords, 8u);
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,174 @@
+/** @file Tests for the paper's workload kernels. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/access_mix.hh"
+#include "compiler/trace_gen.hh"
+#include "workloads/kernels.hh"
+
+namespace mda::workloads
+{
+namespace
+{
+
+using compiler::AccessDirection;
+using compiler::CompileOptions;
+using compiler::compileKernel;
+using compiler::TraceGenerator;
+using compiler::TraceOp;
+
+WorkloadParams
+small()
+{
+    WorkloadParams p;
+    p.n = 32;
+    return p;
+}
+
+TEST(Kernels, AllBuildAndValidate)
+{
+    for (const auto &name : workloadNames()) {
+        auto kernel = makeWorkload(name, small());
+        EXPECT_EQ(kernel.name, name);
+        EXPECT_FALSE(kernel.nests.empty());
+        kernel.validate(); // fatal on violation
+    }
+}
+
+TEST(Kernels, SgemmDirections)
+{
+    auto kernel = makeSgemm(small());
+    auto info = compiler::analyzeDirections(kernel);
+    const auto &body = kernel.nests[0].stmts[0];
+    EXPECT_EQ(info.of(body.refs[0].refId), AccessDirection::RowWise);
+    EXPECT_EQ(info.of(body.refs[1].refId), AccessDirection::ColWise);
+}
+
+TEST(Kernels, SgemmOpCount)
+{
+    auto ck = compileKernel(makeSgemm(small()), CompileOptions{});
+    TraceGenerator gen(ck);
+    TraceOp op;
+    std::uint64_t count = 0;
+    while (gen.next(op))
+        ++count;
+    // Vectorized: per (i,j): n/8 x 2 vector reads + 1 scalar store.
+    std::uint64_t n = 32;
+    EXPECT_EQ(count, n * n * (n / 8 * 2 + 1));
+}
+
+TEST(Kernels, SobelIsAllColumnUnderMda)
+{
+    auto ck = compileKernel(makeSobel(small()), CompileOptions{});
+    auto mix = compiler::measureAccessMix(ck);
+    EXPECT_EQ(mix.rowScalar + mix.rowVector, 0u);
+    EXPECT_GT(mix.colVector, 0u);
+}
+
+TEST(Kernels, EveryWorkloadHasColumnAccessesUnderMda)
+{
+    // Fig. 10's key observation: all benchmarks exercise column
+    // preference under the MDA compilation.
+    for (const auto &name : workloadNames()) {
+        auto ck = compileKernel(makeWorkload(name, small()),
+                                CompileOptions{});
+        auto mix = compiler::measureAccessMix(ck);
+        EXPECT_GT(mix.colScalar + mix.colVector, 0u)
+            << name << " has no column accesses";
+        EXPECT_GT(mix.total(), 0u);
+    }
+}
+
+TEST(Kernels, ColumnShareIsSubstantialOnAverage)
+{
+    // Paper Fig. 10: column preferences are ~40% of data volume on
+    // average. Accept a generous band.
+    double sum = 0;
+    for (const auto &name : workloadNames()) {
+        auto ck = compileKernel(makeWorkload(name, small()),
+                                CompileOptions{});
+        auto mix = compiler::measureAccessMix(ck);
+        sum += mix.fraction(mix.colScalar + mix.colVector);
+    }
+    double avg = sum / workloadNames().size();
+    EXPECT_GT(avg, 0.25);
+    EXPECT_LT(avg, 0.75);
+}
+
+TEST(Kernels, BaselineCompilationIsRowOnly)
+{
+    for (const auto &name : workloadNames()) {
+        CompileOptions opts;
+        opts.mdaEnabled = false;
+        auto ck = compileKernel(makeWorkload(name, small()), opts);
+        auto mix = compiler::measureAccessMix(ck);
+        EXPECT_EQ(mix.colScalar + mix.colVector, 0u) << name;
+    }
+}
+
+TEST(Kernels, TriangularKernelsTouchFewerWords)
+{
+    auto full = compileKernel(makeSgemm(small()), CompileOptions{});
+    auto tri = compileKernel(makeSsyrk(small()), CompileOptions{});
+    auto mix_full = compiler::measureAccessMix(full);
+    auto mix_tri = compiler::measureAccessMix(tri);
+    EXPECT_LT(mix_tri.total(), mix_full.total());
+}
+
+TEST(Kernels, HtapDeterministicPerSeed)
+{
+    auto a = compileKernel(makeHtap2(small()), CompileOptions{});
+    auto b = compileKernel(makeHtap2(small()), CompileOptions{});
+    TraceGenerator ga(a), gb(b);
+    TraceOp oa, ob;
+    for (int n = 0; n < 5000; ++n) {
+        bool ha = ga.next(oa), hb = gb.next(ob);
+        ASSERT_EQ(ha, hb);
+        if (!ha)
+            break;
+        ASSERT_EQ(oa.addr, ob.addr);
+    }
+}
+
+TEST(Kernels, HtapSeedChangesRowSelection)
+{
+    WorkloadParams p1 = small(), p2 = small();
+    p2.seed = 999;
+    auto a = compileKernel(makeHtap2(p1), CompileOptions{});
+    auto b = compileKernel(makeHtap2(p2), CompileOptions{});
+    TraceGenerator ga(a), gb(b);
+    TraceOp oa, ob;
+    bool differ = false;
+    for (int n = 0; n < 5000 && !differ; ++n) {
+        if (!ga.next(oa) || !gb.next(ob))
+            break;
+        differ = (oa.addr != ob.addr);
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(Kernels, Htap1IsScanHeavyHtap2IsTxnHeavy)
+{
+    auto a1 = compileKernel(makeHtap1(small()), CompileOptions{});
+    auto a2 = compileKernel(makeHtap2(small()), CompileOptions{});
+    auto m1 = compiler::measureAccessMix(a1);
+    auto m2 = compiler::measureAccessMix(a2);
+    double col1 = m1.fraction(m1.colScalar + m1.colVector);
+    double col2 = m2.fraction(m2.colScalar + m2.colVector);
+    EXPECT_GT(col1, col2);
+}
+
+TEST(Kernels, HtapTableShape)
+{
+    auto kernel = makeHtap1(small());
+    EXPECT_EQ(kernel.arrays[0].rows, 4 * 32);
+    EXPECT_EQ(kernel.arrays[0].cols, 32);
+}
+
+TEST(KernelsDeathTest, UnknownName)
+{
+    EXPECT_DEATH(makeWorkload("nope", small()), "unknown workload");
+}
+
+} // namespace
+} // namespace mda::workloads
