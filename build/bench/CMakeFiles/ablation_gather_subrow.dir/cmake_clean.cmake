@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gather_subrow.dir/ablation_gather_subrow.cc.o"
+  "CMakeFiles/ablation_gather_subrow.dir/ablation_gather_subrow.cc.o.d"
+  "ablation_gather_subrow"
+  "ablation_gather_subrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gather_subrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw_sw_tiling.dir/ablation_hw_sw_tiling.cc.o"
+  "CMakeFiles/ablation_hw_sw_tiling.dir/ablation_hw_sw_tiling.cc.o.d"
+  "ablation_hw_sw_tiling"
+  "ablation_hw_sw_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_sw_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_hw_sw_tiling.
+# This may be replaced when dependencies are built.

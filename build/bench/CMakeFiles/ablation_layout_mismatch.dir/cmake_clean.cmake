@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layout_mismatch.dir/ablation_layout_mismatch.cc.o"
+  "CMakeFiles/ablation_layout_mismatch.dir/ablation_layout_mismatch.cc.o.d"
+  "ablation_layout_mismatch"
+  "ablation_layout_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layout_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mshr_coalescing.dir/ablation_mshr_coalescing.cc.o"
+  "CMakeFiles/ablation_mshr_coalescing.dir/ablation_mshr_coalescing.cc.o.d"
+  "ablation_mshr_coalescing"
+  "ablation_mshr_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mshr_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l1_hitrate.dir/fig11_l1_hitrate.cc.o"
+  "CMakeFiles/fig11_l1_hitrate.dir/fig11_l1_hitrate.cc.o.d"
+  "fig11_l1_hitrate"
+  "fig11_l1_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l1_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

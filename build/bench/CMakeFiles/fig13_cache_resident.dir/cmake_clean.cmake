@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cache_resident.dir/fig13_cache_resident.cc.o"
+  "CMakeFiles/fig13_cache_resident.dir/fig13_cache_resident.cc.o.d"
+  "fig13_cache_resident"
+  "fig13_cache_resident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cache_resident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_cache_resident.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_occupancy.dir/fig15_occupancy.cc.o"
+  "CMakeFiles/fig15_occupancy.dir/fig15_occupancy.cc.o.d"
+  "fig15_occupancy"
+  "fig15_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_write_asymmetry.dir/fig16_write_asymmetry.cc.o"
+  "CMakeFiles/fig16_write_asymmetry.dir/fig16_write_asymmetry.cc.o.d"
+  "fig16_write_asymmetry"
+  "fig16_write_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_write_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_fast_memory.dir/fig17_fast_memory.cc.o"
+  "CMakeFiles/fig17_fast_memory.dir/fig17_fast_memory.cc.o.d"
+  "fig17_fast_memory"
+  "fig17_fast_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_fast_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

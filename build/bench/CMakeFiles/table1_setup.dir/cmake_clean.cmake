@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_setup.dir/table1_setup.cc.o"
+  "CMakeFiles/table1_setup.dir/table1_setup.cc.o.d"
+  "table1_setup"
+  "table1_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_analytics.dir/htap_analytics.cpp.o"
+  "CMakeFiles/htap_analytics.dir/htap_analytics.cpp.o.d"
+  "htap_analytics"
+  "htap_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_multiply_tour.dir/matrix_multiply_tour.cpp.o"
+  "CMakeFiles/matrix_multiply_tour.dir/matrix_multiply_tour.cpp.o.d"
+  "matrix_multiply_tour"
+  "matrix_multiply_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_multiply_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdacache_sim.dir/mdacache_sim.cc.o"
+  "CMakeFiles/mdacache_sim.dir/mdacache_sim.cc.o.d"
+  "mdacache_sim"
+  "mdacache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdacache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

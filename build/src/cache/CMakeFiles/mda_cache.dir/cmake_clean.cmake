@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_cache.dir/cache_base.cc.o"
+  "CMakeFiles/mda_cache.dir/cache_base.cc.o.d"
+  "libmda_cache.a"
+  "libmda_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

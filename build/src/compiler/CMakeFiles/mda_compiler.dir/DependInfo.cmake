@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/mda_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/mda_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/ir.cc" "src/compiler/CMakeFiles/mda_compiler.dir/ir.cc.o" "gcc" "src/compiler/CMakeFiles/mda_compiler.dir/ir.cc.o.d"
+  "/root/repo/src/compiler/profiler.cc" "src/compiler/CMakeFiles/mda_compiler.dir/profiler.cc.o" "gcc" "src/compiler/CMakeFiles/mda_compiler.dir/profiler.cc.o.d"
+  "/root/repo/src/compiler/trace_gen.cc" "src/compiler/CMakeFiles/mda_compiler.dir/trace_gen.cc.o" "gcc" "src/compiler/CMakeFiles/mda_compiler.dir/trace_gen.cc.o.d"
+  "/root/repo/src/compiler/transforms.cc" "src/compiler/CMakeFiles/mda_compiler.dir/transforms.cc.o" "gcc" "src/compiler/CMakeFiles/mda_compiler.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_compiler.dir/compile.cc.o"
+  "CMakeFiles/mda_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/mda_compiler.dir/ir.cc.o"
+  "CMakeFiles/mda_compiler.dir/ir.cc.o.d"
+  "CMakeFiles/mda_compiler.dir/profiler.cc.o"
+  "CMakeFiles/mda_compiler.dir/profiler.cc.o.d"
+  "CMakeFiles/mda_compiler.dir/trace_gen.cc.o"
+  "CMakeFiles/mda_compiler.dir/trace_gen.cc.o.d"
+  "CMakeFiles/mda_compiler.dir/transforms.cc.o"
+  "CMakeFiles/mda_compiler.dir/transforms.cc.o.d"
+  "libmda_compiler.a"
+  "libmda_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

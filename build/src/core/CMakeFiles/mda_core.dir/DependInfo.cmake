@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/line_cache.cc" "src/core/CMakeFiles/mda_core.dir/line_cache.cc.o" "gcc" "src/core/CMakeFiles/mda_core.dir/line_cache.cc.o.d"
+  "/root/repo/src/core/tile_cache.cc" "src/core/CMakeFiles/mda_core.dir/tile_cache.cc.o" "gcc" "src/core/CMakeFiles/mda_core.dir/tile_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mda_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

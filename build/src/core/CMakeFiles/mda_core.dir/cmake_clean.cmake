@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_core.dir/line_cache.cc.o"
+  "CMakeFiles/mda_core.dir/line_cache.cc.o.d"
+  "CMakeFiles/mda_core.dir/tile_cache.cc.o"
+  "CMakeFiles/mda_core.dir/tile_cache.cc.o.d"
+  "libmda_core.a"
+  "libmda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

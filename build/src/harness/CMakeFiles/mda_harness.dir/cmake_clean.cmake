@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_harness.dir/system.cc.o"
+  "CMakeFiles/mda_harness.dir/system.cc.o.d"
+  "CMakeFiles/mda_harness.dir/trace_cpu.cc.o"
+  "CMakeFiles/mda_harness.dir/trace_cpu.cc.o.d"
+  "libmda_harness.a"
+  "libmda_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_mem.dir/mda_memory.cc.o"
+  "CMakeFiles/mda_mem.dir/mda_memory.cc.o.d"
+  "libmda_mem.a"
+  "libmda_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_sim.dir/logging.cc.o"
+  "CMakeFiles/mda_sim.dir/logging.cc.o.d"
+  "CMakeFiles/mda_sim.dir/stats.cc.o"
+  "CMakeFiles/mda_sim.dir/stats.cc.o.d"
+  "libmda_sim.a"
+  "libmda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mda_workloads.dir/kernels.cc.o"
+  "CMakeFiles/mda_workloads.dir/kernels.cc.o.d"
+  "libmda_workloads.a"
+  "libmda_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mda_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_cache_config.cc" "tests/cache/CMakeFiles/test_cache_config.dir/test_cache_config.cc.o" "gcc" "tests/cache/CMakeFiles/test_cache_config.dir/test_cache_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/mda_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mda_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mda_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mda_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/mda_compiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

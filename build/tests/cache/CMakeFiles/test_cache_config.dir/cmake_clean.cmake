@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_config.dir/test_cache_config.cc.o"
+  "CMakeFiles/test_cache_config.dir/test_cache_config.cc.o.d"
+  "test_cache_config"
+  "test_cache_config.pdb"
+  "test_cache_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

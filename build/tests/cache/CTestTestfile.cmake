@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cache
+# Build directory: /root/repo/build/tests/cache
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cache/test_cache_config[1]_include.cmake")
+include("/root/repo/build/tests/cache/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/cache/test_mshr[1]_include.cmake")
+include("/root/repo/build/tests/cache/test_prefetcher[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_mix.dir/test_access_mix.cc.o"
+  "CMakeFiles/test_access_mix.dir/test_access_mix.cc.o.d"
+  "test_access_mix"
+  "test_access_mix.pdb"
+  "test_access_mix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direction.dir/test_direction.cc.o"
+  "CMakeFiles/test_direction.dir/test_direction.cc.o.d"
+  "test_direction"
+  "test_direction.pdb"
+  "test_direction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

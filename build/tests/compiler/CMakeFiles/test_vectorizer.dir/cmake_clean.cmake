@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vectorizer.dir/test_vectorizer.cc.o"
+  "CMakeFiles/test_vectorizer.dir/test_vectorizer.cc.o.d"
+  "test_vectorizer"
+  "test_vectorizer.pdb"
+  "test_vectorizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vectorizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/compiler
+# Build directory: /root/repo/build/tests/compiler
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/compiler/test_affine[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_direction[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_vectorizer[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_trace_gen[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_access_mix[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_compile[1]_include.cmake")
+include("/root/repo/build/tests/compiler/test_profiler[1]_include.cmake")

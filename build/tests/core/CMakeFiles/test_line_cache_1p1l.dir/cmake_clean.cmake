@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_cache_1p1l.dir/test_line_cache_1p1l.cc.o"
+  "CMakeFiles/test_line_cache_1p1l.dir/test_line_cache_1p1l.cc.o.d"
+  "test_line_cache_1p1l"
+  "test_line_cache_1p1l.pdb"
+  "test_line_cache_1p1l[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_cache_1p1l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

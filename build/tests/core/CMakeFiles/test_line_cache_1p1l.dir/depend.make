@@ -1,0 +1,2 @@
+# Empty dependencies file for test_line_cache_1p1l.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_cache_1p2l.dir/test_line_cache_1p2l.cc.o"
+  "CMakeFiles/test_line_cache_1p2l.dir/test_line_cache_1p2l.cc.o.d"
+  "test_line_cache_1p2l"
+  "test_line_cache_1p2l.pdb"
+  "test_line_cache_1p2l[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_cache_1p2l.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ordering_regressions.dir/test_ordering_regressions.cc.o"
+  "CMakeFiles/test_ordering_regressions.dir/test_ordering_regressions.cc.o.d"
+  "test_ordering_regressions"
+  "test_ordering_regressions.pdb"
+  "test_ordering_regressions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ordering_regressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

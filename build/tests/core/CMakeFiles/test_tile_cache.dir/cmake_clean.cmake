@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_cache.dir/test_tile_cache.cc.o"
+  "CMakeFiles/test_tile_cache.dir/test_tile_cache.cc.o.d"
+  "test_tile_cache"
+  "test_tile_cache.pdb"
+  "test_tile_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

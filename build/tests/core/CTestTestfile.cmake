@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/test_line_cache_1p1l[1]_include.cmake")
+include("/root/repo/build/tests/core/test_line_cache_1p2l[1]_include.cmake")
+include("/root/repo/build/tests/core/test_tile_cache[1]_include.cmake")
+include("/root/repo/build/tests/core/test_coherence_property[1]_include.cmake")
+include("/root/repo/build/tests/core/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/core/test_param_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/core/test_ordering_regressions[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_guided.dir/test_profile_guided.cc.o"
+  "CMakeFiles/test_profile_guided.dir/test_profile_guided.cc.o.d"
+  "test_profile_guided"
+  "test_profile_guided.pdb"
+  "test_profile_guided[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/harness
+# Build directory: /root/repo/build/tests/harness
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/harness/test_trace_cpu[1]_include.cmake")
+include("/root/repo/build/tests/harness/test_system[1]_include.cmake")
+include("/root/repo/build/tests/harness/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/harness/test_report[1]_include.cmake")
+include("/root/repo/build/tests/harness/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/harness/test_profile_guided[1]_include.cmake")

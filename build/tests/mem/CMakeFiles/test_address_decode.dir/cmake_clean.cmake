@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_address_decode.dir/test_address_decode.cc.o"
+  "CMakeFiles/test_address_decode.dir/test_address_decode.cc.o.d"
+  "test_address_decode"
+  "test_address_decode.pdb"
+  "test_address_decode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_address_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mda_memory.dir/test_mda_memory.cc.o"
+  "CMakeFiles/test_mda_memory.dir/test_mda_memory.cc.o.d"
+  "test_mda_memory"
+  "test_mda_memory.pdb"
+  "test_mda_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mda_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

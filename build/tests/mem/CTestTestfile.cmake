@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mem
+# Build directory: /root/repo/build/tests/mem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mem/test_backing_store[1]_include.cmake")
+include("/root/repo/build/tests/mem/test_address_decode[1]_include.cmake")
+include("/root/repo/build/tests/mem/test_mda_memory[1]_include.cmake")
+include("/root/repo/build/tests/mem/test_mem_property[1]_include.cmake")

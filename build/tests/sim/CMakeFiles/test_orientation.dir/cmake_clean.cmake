@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orientation.dir/test_orientation.cc.o"
+  "CMakeFiles/test_orientation.dir/test_orientation.cc.o.d"
+  "test_orientation"
+  "test_orientation.pdb"
+  "test_orientation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_types[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_orientation[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_random[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_logging[1]_include.cmake")
