@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache 2P2L dense-vs-sparse ablation ("
               << opts.describe() << ")\n";

@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache gather-hit / sub-row-buffer studies ("
               << opts.describe() << ")\n";

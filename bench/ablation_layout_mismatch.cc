@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache layout-mismatch ablation ("
               << opts.describe() << ")\n";

@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache 2-D MSHR coalescing ablation ("
               << opts.describe() << ")\n";

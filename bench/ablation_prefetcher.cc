@@ -15,7 +15,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache prefetcher ablation (" << opts.describe()
               << ")\nAll cycles normalized to 1P1L+prefetch.\n";

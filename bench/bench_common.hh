@@ -18,6 +18,7 @@
 #define MDA_BENCH_BENCH_COMMON_HH
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -26,6 +27,7 @@
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "sim/debug.hh"
 
 namespace mda::bench
 {
@@ -36,6 +38,10 @@ struct BenchOptions
     std::int64_t n = 128;
     bool paper = false;
     std::vector<std::string> workloads = workloads::workloadNames();
+
+    /** When set, every executed cell's RunResult and full statistics
+     *  are archived as JSON here (CI bench trajectories). */
+    std::string statsJsonPath;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -50,6 +56,10 @@ struct BenchOptions
                 opts.n = 64;
             } else if (arg == "--n" && a + 1 < argc) {
                 opts.n = std::atoll(argv[++a]);
+            } else if (arg == "--stats-json" && a + 1 < argc) {
+                opts.statsJsonPath = argv[++a];
+            } else if (arg == "--debug-flags" && a + 1 < argc) {
+                debug::setFlags(argv[++a]);
             } else if (arg == "--workloads" && a + 1 < argc) {
                 opts.workloads.clear();
                 std::stringstream ss(argv[++a]);
@@ -58,7 +68,9 @@ struct BenchOptions
                     opts.workloads.push_back(item);
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "options: --paper | --quick | --n <dim> |"
-                             " --workloads a,b,c\n";
+                             " --workloads a,b,c |"
+                             " --stats-json <path> |"
+                             " --debug-flags <f,g>\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown option: " << arg << '\n';
@@ -97,10 +109,41 @@ struct BenchOptions
     }
 };
 
-/** Cycles for one (workload, design) cell, with small result cache. */
+/** Cycles for one (workload, design) cell, with small result cache.
+ *
+ *  When constructed with options naming a --stats-json path, every
+ *  executed (non-cached) cell is archived on destruction as a JSON
+ *  object keyed by the cell's configuration string: the distilled
+ *  RunResult plus the system's full StatGroup::dumpJson output. */
 class CellRunner
 {
   public:
+    CellRunner() = default;
+
+    explicit CellRunner(const BenchOptions &opts)
+        : _statsJsonPath(opts.statsJsonPath)
+    {}
+
+    ~CellRunner()
+    {
+        if (_statsJsonPath.empty())
+            return;
+        std::ofstream os(_statsJsonPath);
+        if (!os) {
+            std::cerr << "cannot write stats JSON: " << _statsJsonPath
+                      << '\n';
+            return;
+        }
+        os << "{";
+        bool first = true;
+        for (const auto &[key, json] : _cellJson) {
+            os << (first ? "\n" : ",\n") << "\"" << key
+               << "\": " << json;
+            first = false;
+        }
+        os << "}\n";
+    }
+
     RunResult
     operator()(const RunSpec &spec)
     {
@@ -130,13 +173,33 @@ class CellRunner
         auto it = _cache.find(key);
         if (it != _cache.end())
             return it->second;
-        RunResult result = runOne(spec);
+        RunResult result;
+        if (_statsJsonPath.empty()) {
+            result = runOne(spec);
+        } else {
+            PreparedRun run(spec);
+            result = run.system.run();
+            std::ostringstream cell;
+            cell << "{\"result\": {"
+                 << "\"cycles\": " << result.cycles
+                 << ", \"ops\": " << result.ops
+                 << ", \"l1HitRate\": " << result.l1HitRate
+                 << ", \"llcAccesses\": " << result.llcAccesses
+                 << ", \"memBytes\": " << result.memBytes
+                 << ", \"checkFailures\": " << result.checkFailures
+                 << "}, \"stats\": ";
+            run.system.statGroup().dumpJson(cell);
+            cell << "}";
+            _cellJson.emplace_back(key, cell.str());
+        }
         _cache.emplace(key, result);
         return result;
     }
 
   private:
     std::map<std::string, RunResult> _cache;
+    std::string _statsJsonPath;
+    std::vector<std::pair<std::string, std::string>> _cellJson;
 };
 
 } // namespace mda::bench

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     const std::vector<std::pair<std::string, std::uint64_t>> llcs{
         {"1MB", 1024ull * 1024},

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     // Half the headline dimension, like the paper's 256 vs 512.
     std::int64_t resident_n = std::max<std::int64_t>(opts.n / 2, 16);

@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
 
     std::cout << "MDACache Fig. 16 reproduction (" << opts.describe()
               << ")\nNormalized cycles vs 1P1L+prefetch, 1MB-class "

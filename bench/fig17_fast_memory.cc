@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     auto opts = BenchOptions::parse(argc, argv);
-    CellRunner run;
+    CellRunner run(opts);
     const std::vector<DesignPoint> designs{
         DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
         DesignPoint::D1_1P2L_SameSet, DesignPoint::D2_2P2L};

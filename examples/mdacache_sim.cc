@@ -14,10 +14,13 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "sim/debug.hh"
+#include "sim/trace_event.hh"
 
 using namespace mda;
 
@@ -43,7 +46,18 @@ usage()
         "  --write-penalty <c> extra 2P2L write cycles (Fig. 16)\n"
         "  --no-scale          do not scale caches with n\n"
         "  --check             verify all data against a reference\n"
-        "  --stats             dump every statistic after the run\n";
+        "  --stats             dump every statistic after the run\n"
+        "\n"
+        "observability:\n"
+        "  --stats-json <path> write every statistic (scalars,\n"
+        "                      distributions, time series) as JSON,\n"
+        "                      keyed by workload\n"
+        "  --trace-out <path>  record a Chrome trace-event JSON file\n"
+        "                      (load in ui.perfetto.dev)\n"
+        "  --trace-max-events <n>  trace buffer bound (default 1M)\n"
+        "  --debug-flags <f,g> enable debug tracing (also via the\n"
+        "                      MDA_DEBUG_FLAGS environment variable)\n"
+        "  --list-debug-flags  print known debug flags and exit\n";
 }
 
 std::uint64_t
@@ -87,6 +101,9 @@ main(int argc, char **argv)
     RunSpec spec;
     bool all = false;
     bool dump_stats = false;
+    std::string stats_json_path;
+    std::string trace_out_path;
+    std::size_t trace_max_events = trace::EventLog::defaultCapacity;
 
     for (int a = 1; a < argc; ++a) {
         std::string arg = argv[a];
@@ -121,6 +138,20 @@ main(int argc, char **argv)
             spec.system.checkData = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--trace-out") {
+            trace_out_path = next();
+        } else if (arg == "--trace-max-events") {
+            trace_max_events = std::stoull(next());
+        } else if (arg == "--debug-flags") {
+            debug::setFlags(next());
+        } else if (arg == "--list-debug-flags") {
+            for (const auto *flag : debug::allFlags()) {
+                std::cout << std::left << std::setw(12) << flag->name()
+                          << flag->desc() << "\n";
+            }
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -135,8 +166,21 @@ main(int argc, char **argv)
         all ? workloads::workloadNames()
             : std::vector<std::string>{spec.workload};
 
+    if (!trace_out_path.empty())
+        trace::log().open(trace_out_path, trace_max_events);
+
+    std::ofstream stats_json;
+    if (!stats_json_path.empty()) {
+        stats_json.open(stats_json_path);
+        if (!stats_json)
+            fatal("cannot write stats JSON: %s",
+                  stats_json_path.c_str());
+        stats_json << "{";
+    }
+
     report::Table table({"workload", "design", "cycles", "L1 hit",
                          "LLC accesses", "mem bytes", "check"});
+    bool first_json = true;
     for (const auto &name : list) {
         RunSpec one = spec;
         one.workload = name;
@@ -154,7 +198,17 @@ main(int argc, char **argv)
             report::banner(name + " statistics");
             run.system.statGroup().dump(std::cout);
         }
+        if (stats_json.is_open()) {
+            stats_json << (first_json ? "\n" : ",\n") << "\"" << name
+                       << "\": ";
+            first_json = false;
+            run.system.statGroup().dumpJson(stats_json);
+        }
     }
+    if (stats_json.is_open())
+        stats_json << "}\n";
+    if (trace::on())
+        trace::log().close();
     report::banner("results");
     table.print();
     return 0;

@@ -2,6 +2,9 @@
 
 #include <bit>
 
+#include "sim/debug.hh"
+#include "sim/trace_event.hh"
+
 namespace mda
 {
 
@@ -44,6 +47,12 @@ CacheBase::CacheBase(const std::string &obj_name, EventQueue &eq,
     regScalar("extraTagAccesses", &_extraTagAccesses,
               "additional tag probes (cross-orientation checks)");
     regScalar("evictions", &_evictions, "valid lines evicted");
+    regDistribution("hitLatency", &_hitLatency,
+                    "demand-hit response latency (cycles, 1-in-16 "
+                    "sampled)");
+    regDistribution("missLatency", &_missLatency,
+                    "demand-miss fill round trip (cycles, 1-in-4 "
+                    "sampled)");
 }
 
 bool
@@ -62,6 +71,18 @@ CacheBase::tryRequest(PacketPtr &pkt)
     if (!canAccept()) {
         _upstreamBlocked = true;
         return false;
+    }
+    if (MDA_OBSERVED()) {
+        DPRINTF(Cache, "accept %s %s %#llx id %llu",
+                cmdName(pkt->cmd), pkt->isLine() ? "line" : "word",
+                (unsigned long long)pkt->addr,
+                (unsigned long long)pkt->id);
+        // Packet lifetime at this level: opened here, closed when the
+        // response leaves (respond) — writebacks have no response.
+        if (trace::on() && pkt->cmd != MemCmd::Writeback) {
+            trace::log().asyncBegin(name(), cmdName(pkt->cmd),
+                                    pkt->id, curTick());
+        }
     }
     // Dispatch after the tag-lookup latency. Constant latency plus
     // FIFO event ordering preserves arrival order at the handlers.
@@ -88,7 +109,12 @@ CacheBase::recvResponse(PacketPtr pkt)
                "cache received a non-fill response");
     ++_fills;
     _fillBytes += std::popcount(pkt->wordMask) * wordBytes;
+    DPRINTF(Cache, "fill %#llx (%s)",
+            (unsigned long long)pkt->addr,
+            orientName(pkt->orient));
     handleFill(std::move(pkt));
+    if (MDA_OBSERVED())
+        traceMshrOccupancy();
     replayDeferred();
     maybeUnblockUpstream();
 }
@@ -103,6 +129,9 @@ void
 CacheBase::defer(PacketPtr pkt)
 {
     ++_deferrals;
+    DPRINTF(MSHR, "defer %s %#llx id %llu (overlap/full)",
+            cmdName(pkt->cmd), (unsigned long long)pkt->addr,
+            (unsigned long long)pkt->id);
     _deferred.push_back(std::move(pkt));
 }
 
@@ -121,6 +150,10 @@ CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line)
             ++_prefetchesUseful;
         }
         ++_mshrCoalesced;
+        DPRINTF(MSHR, "coalesce id %llu onto %#llx (%zu targets)",
+                (unsigned long long)pkt->id,
+                (unsigned long long)pkt->addr,
+                entry->targets.size() + 1);
         entry->targets.push_back(std::move(pkt));
         return;
     }
@@ -131,6 +164,12 @@ CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line)
     }
     MshrEntry &fresh = _mshr.alloc(line, false, curTick());
     fresh.pc = pkt->pc;
+    if (MDA_OBSERVED()) {
+        DPRINTF(MSHR, "alloc %#llx (%s) for id %llu",
+                (unsigned long long)pkt->addr, orientName(line.orient),
+                (unsigned long long)pkt->id);
+        traceMshrOccupancy();
+    }
     fresh.targets.push_back(std::move(pkt));
     trySendQueues();
 }
@@ -142,6 +181,7 @@ CacheBase::issuePrefetch(const OrientedLine &line)
         return;
     _mshr.alloc(line, true, curTick());
     ++_prefetchesIssued;
+    traceMshrOccupancy();
     trySendQueues();
 }
 
@@ -160,6 +200,10 @@ CacheBase::respond(PacketPtr pkt, Cycles delay)
 {
     if (!pkt->isResponse)
         pkt->makeResponse();
+    if (MDA_UNLIKELY(trace::on())) {
+        trace::log().asyncEnd(name(), cmdName(pkt->cmd), pkt->id,
+                              curTick() + delay);
+    }
     auto *raw = pkt.release();
     eventq().scheduleAfter(
         delay,

@@ -23,8 +23,10 @@
 
 #include "cache_config.hh"
 #include "mshr.hh"
+#include "sim/debug.hh"
 #include "sim/port.hh"
 #include "sim/sim_object.hh"
+#include "sim/trace_event.hh"
 
 namespace mda
 {
@@ -81,6 +83,48 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
     /** Complete @p pkt back to the requester after @p delay cycles. */
     void respond(PacketPtr pkt, Cycles delay);
 
+    /** respond() for demand hits: also samples the hit-latency
+     *  distribution and closes the packet's trace slice. Inline:
+     *  runs once per hit, the hottest path in the simulator, so the
+     *  near-constant hit latency is decimated 1-in-16 (misses, whose
+     *  round trips actually vary, are sampled exactly). */
+    void
+    respondHit(PacketPtr pkt, Cycles delay)
+    {
+        if (MDA_UNLIKELY((++_hitSampleTick & (hitSampleInterval - 1))
+                         == 0)) {
+            _hitLatency.sample(
+                static_cast<double>(_config.tagLatency + delay));
+        }
+        if (MDA_UNLIKELY(trace::on()))
+            trace::log().instant(name(), "hit", curTick());
+        respond(std::move(pkt), delay);
+    }
+
+    /** Sample the demand round trip of a just-retired MSHR entry
+     *  (inline: runs once per fill). Prefetch fills are excluded.
+     *  Decimated 1-in-4: fills are frequent enough that the round
+     *  trip distribution converges with a fraction of the samples. */
+    void
+    noteMissLatency(const MshrEntry &entry)
+    {
+        if (!entry.isPrefetch &&
+            (++_missSampleTick & (missSampleInterval - 1)) == 0) {
+            _missLatency.sample(
+                static_cast<double>(curTick() - entry.allocTick));
+        }
+    }
+
+    /** Emit the MSHR-occupancy counter sample (when tracing). */
+    void
+    traceMshrOccupancy()
+    {
+        if (MDA_UNLIKELY(trace::on())) {
+            trace::log().counter(name(), "mshrOccupancy", curTick(),
+                                 static_cast<double>(_mshr.size()));
+        }
+    }
+
     /** Re-process all deferred packets (after a fill completes). */
     void replayDeferred();
 
@@ -123,7 +167,19 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
     stats::Scalar _extraTagAccesses;
     stats::Scalar _evictions;
 
+    /** Per-level demand latency, split by outcome: hits sample the
+     *  response delay (decimated), misses the MSHR allocate-to-fill
+     *  round trip (exact). */
+    stats::Distribution _hitLatency{0, 100, 20};
+    stats::Distribution _missLatency{0, 2000, 20};
+
   private:
+    /** Latency-sampling decimation factors (powers of two). */
+    static constexpr unsigned hitSampleInterval = 16;
+    static constexpr unsigned missSampleInterval = 4;
+    unsigned _hitSampleTick = 0;
+    unsigned _missSampleTick = 0;
+
     static constexpr std::size_t maxDeferred = 64;
 };
 

@@ -114,15 +114,16 @@ class MshrFile
         return e;
     }
 
-    /** Remove a completed entry, returning its targets. */
-    std::vector<PacketPtr>
+    /** Remove a completed entry, returning it (targets and the
+     *  allocation metadata the latency stats need). */
+    MshrEntry
     retire(const OrientedLine &line)
     {
         for (auto it = _entries.begin(); it != _entries.end(); ++it) {
             if (it->line == line) {
-                auto targets = std::move(it->targets);
+                MshrEntry entry = std::move(*it);
                 _entries.erase(it);
-                return targets;
+                return entry;
             }
         }
         panic("retiring unknown MSHR entry");

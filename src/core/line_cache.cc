@@ -1,5 +1,8 @@
 #include "line_cache.hh"
 
+#include "sim/debug.hh"
+#include "sim/trace_event.hh"
+
 namespace mda
 {
 
@@ -68,6 +71,10 @@ void
 LineCache::evict(CacheEntry *entry)
 {
     ++_evictions;
+    DPRINTF(Cache, "evict %s line %#llx%s",
+            orientName(entry->line.orient),
+            (unsigned long long)entry->line.baseAddr(),
+            entry->dirty() ? " (dirty)" : "");
     writebackDirty(entry);
     _storage.invalidate(entry);
 }
@@ -94,10 +101,29 @@ LineCache::prepareLine(const OrientedLine &line,
             continue;
         if (entry->dirty()) {
             ++_dupWritebacks;
+            if (MDA_OBSERVED()) {
+                DPRINTF(Coherence,
+                        "dup writeback: dirty crossing %s line %#llx "
+                        "for word %#llx",
+                        orientName(cross.orient),
+                        (unsigned long long)cross.baseAddr(),
+                        (unsigned long long)word);
+                if (trace::on()) {
+                    trace::log().counter(name(), "dupWritebacks",
+                                         curTick(),
+                                         _dupWritebacks.value());
+                }
+            }
             writebackDirty(entry);
         }
         if (written_mask & bit) {
             ++_dupEvictions;
+            DPRINTF(Coherence,
+                    "dup evict: crossing %s line %#llx copy of "
+                    "written word %#llx",
+                    orientName(cross.orient),
+                    (unsigned long long)cross.baseAddr(),
+                    (unsigned long long)word);
             _storage.invalidate(entry);
         }
     }
@@ -202,6 +228,9 @@ LineCache::handleDemand(PacketPtr pkt)
         if (mis_oriented)
             ++_misOrientedHits;
         (is_write ? _writeHits : _readHits) += 1;
+        DPRINTF(Cache, "%s hit %#llx%s", is_write ? "write" : "read",
+                (unsigned long long)pkt->addr,
+                mis_oriented ? " (mis-oriented)" : "");
         notePrefetchUse(entry);
         _storage.touch(entry);
         if (is_write) {
@@ -216,7 +245,7 @@ LineCache::handleDemand(PacketPtr pkt)
             copyOut(entry, *pkt);
         }
         Cycles delay = _config.hitLatency() + pkt->extraLatency;
-        respond(std::move(pkt), delay);
+        respondHit(std::move(pkt), delay);
         return;
     }
 
@@ -241,6 +270,9 @@ LineCache::handleDemand(PacketPtr pkt)
             ++_demandHits;
             ++_vectorHits;
             ++_readHits;
+            DPRINTF(Cache, "gather hit %#llx (%s) from crossing lines",
+                    (unsigned long long)pkt->addr,
+                    orientName(line.orient));
             for (unsigned k = 0; k < lineWords; ++k) {
                 if (!(pkt->wordMask & (1u << k)))
                     continue;
@@ -252,7 +284,7 @@ LineCache::handleDemand(PacketPtr pkt)
             Cycles delay = _config.hitLatency() +
                            lineWords * _config.tagLatency +
                            pkt->extraLatency;
-            respond(std::move(pkt), delay);
+            respondHit(std::move(pkt), delay);
             return;
         }
     }
@@ -274,6 +306,14 @@ LineCache::handleDemand(PacketPtr pkt)
     if (is_line)
         ++_vectorMisses;
     (is_write ? _writeMisses : _readMisses) += 1;
+    if (MDA_OBSERVED()) {
+        DPRINTF(Cache, "%s miss %#llx (%s)",
+                is_write ? "write" : "read",
+                (unsigned long long)pkt->addr,
+                orientName(line.orient));
+        if (trace::on())
+            trace::log().instant(name(), "miss", curTick());
+    }
 
     // Coalesce onto an in-flight fill of the same line.
     if (inflight) {
@@ -359,7 +399,11 @@ LineCache::handleFill(PacketPtr pkt)
 {
     OrientedLine line = pkt->line();
     mda_assert(pkt->wordMask == 0xff, "partial line fill");
-    auto targets = _mshr.retire(line);
+    MshrEntry retired = _mshr.retire(line);
+    noteMissLatency(retired);
+    DPRINTF(MSHR, "retire %#llx, %zu targets",
+            (unsigned long long)pkt->addr, retired.targets.size());
+    auto targets = std::move(retired.targets);
 
     mda_assert(!lookup(line), "fill for an already-present line");
     std::uint64_t set = setFor(line);

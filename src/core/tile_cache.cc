@@ -2,6 +2,9 @@
 
 #include <bit>
 
+#include "sim/debug.hh"
+#include "sim/trace_event.hh"
+
 namespace mda
 {
 
@@ -23,6 +26,20 @@ TileCache::TileCache(const std::string &obj_name, EventQueue &eq,
               "bytes never written back (words never filled)");
     regScalar("frameEvictions", &_frameEvictions,
               "2-D block frames evicted");
+    regScalar("wordsPresent", &_wordsPresent,
+              "sparse-block presence bits currently set");
+}
+
+void
+TileCache::notePresenceDelta(std::int64_t delta)
+{
+    _presentWords = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(_presentWords) + delta);
+    _wordsPresent = static_cast<double>(_presentWords);
+    if (MDA_UNLIKELY(trace::on())) {
+        trace::log().counter(name(), "presentWords", curTick(),
+                             static_cast<double>(_presentWords));
+    }
 }
 
 std::uint64_t
@@ -90,6 +107,12 @@ TileCache::evictFrame(TileEntry *entry)
 {
     ++_frameEvictions;
     ++_evictions;
+    DPRINTF(TileCache, "evict frame tile %llu (%d words present, "
+            "%d dirty)",
+            (unsigned long long)entry->tile,
+            std::popcount(entry->wordValid),
+            std::popcount(entry->wordDirty));
+    notePresenceDelta(-std::popcount(entry->wordValid));
     // Per-row partial writebacks of the dirty words; rows with no
     // dirty words move nothing. Words never filled are never written
     // back — the sparse design's writeback elision.
@@ -146,12 +169,16 @@ TileCache::performWrite(TileEntry *entry, const Packet &pkt)
                                    tileColOf(pkt.addr));
         entry->setWord(bit, pkt.word(0));
         std::uint64_t m = 1ULL << bit;
-        _writeValidates += std::popcount(m & ~entry->wordValid);
+        unsigned fresh = std::popcount(m & ~entry->wordValid);
+        _writeValidates += fresh;
         entry->wordValid |= m;
         entry->wordDirty |= m;
+        if (fresh)
+            notePresenceDelta(fresh);
         return;
     }
     OrientedLine line = pkt.line();
+    unsigned validated = 0;
     for (unsigned k = 0; k < lineWords; ++k) {
         if (!(pkt.wordMask & (1u << k)))
             continue;
@@ -160,10 +187,13 @@ TileCache::performWrite(TileEntry *entry, const Packet &pkt)
                            : tileWordBit(k, line.index());
         entry->setWord(bit, pkt.word(k));
         std::uint64_t m = 1ULL << bit;
-        _writeValidates += std::popcount(m & ~entry->wordValid);
+        validated += std::popcount(m & ~entry->wordValid);
         entry->wordValid |= m;
         entry->wordDirty |= m;
     }
+    _writeValidates += validated;
+    if (validated)
+        notePresenceDelta(validated);
 }
 
 void
@@ -195,11 +225,21 @@ TileCache::handleDemand(PacketPtr pkt)
         (had_words ? _demandHits : _demandMisses) += 1;
         if (pkt->isLine())
             (had_words ? _vectorHits : _vectorMisses) += 1;
+        DPRINTF(TileCache, "write %s %#llx tile %llu (validate)",
+                had_words ? "hit" : "miss",
+                (unsigned long long)pkt->addr,
+                (unsigned long long)tile);
         performWrite(entry, *pkt);
         touch(entry);
         Cycles delay =
             _config.hitLatency() + _writePenalty + pkt->extraLatency;
-        respond(std::move(pkt), delay);
+        if (had_words) {
+            respondHit(std::move(pkt), delay);
+        } else {
+            if (MDA_UNLIKELY(trace::on()))
+                trace::log().instant(name(), "miss", curTick());
+            respond(std::move(pkt), delay);
+        }
         return;
     }
 
@@ -209,10 +249,13 @@ TileCache::handleDemand(PacketPtr pkt)
         ++_readHits;
         if (pkt->isLine())
             ++_vectorHits;
+        DPRINTF(TileCache, "read hit %#llx tile %llu",
+                (unsigned long long)pkt->addr,
+                (unsigned long long)tile);
         copyOut(entry, *pkt);
         touch(entry);
         Cycles delay = _config.hitLatency() + pkt->extraLatency;
-        respond(std::move(pkt), delay);
+        respondHit(std::move(pkt), delay);
         return;
     }
     if (entry && (entry->wordValid & needed) != 0)
@@ -240,6 +283,14 @@ TileCache::handleDemand(PacketPtr pkt)
     ++_readMisses;
     if (pkt->isLine())
         ++_vectorMisses;
+    if (MDA_OBSERVED()) {
+        DPRINTF(TileCache,
+                "read miss %#llx tile %llu (sparse line fill)",
+                (unsigned long long)pkt->addr,
+                (unsigned long long)tile);
+        if (trace::on())
+            trace::log().instant(name(), "miss", curTick());
+    }
 
     bool fresh_entry = (inflight == nullptr);
     allocateMiss(std::move(pkt), line);
@@ -289,7 +340,11 @@ TileCache::handleFill(PacketPtr pkt)
 {
     OrientedLine line = pkt->line();
     mda_assert(pkt->wordMask == 0xff, "partial line fill");
-    auto targets = _mshr.retire(line);
+    MshrEntry retired = _mshr.retire(line);
+    noteMissLatency(retired);
+    DPRINTF(MSHR, "retire %#llx, %zu targets",
+            (unsigned long long)pkt->addr, retired.targets.size());
+    auto targets = std::move(retired.targets);
 
     TileEntry *entry = find(line.tile());
     mda_assert(entry, "fill arrived for an unpinned/absent frame");
@@ -297,6 +352,7 @@ TileCache::handleFill(PacketPtr pkt)
 
     // Only absent words take the fill data: any word validated by a
     // write while the fill was in flight is newer than memory.
+    unsigned filled = 0;
     for (unsigned k = 0; k < lineWords; ++k) {
         unsigned bit = (line.orient == Orientation::Row)
                            ? tileWordBit(line.index(), k)
@@ -306,7 +362,10 @@ TileCache::handleFill(PacketPtr pkt)
             continue;
         entry->setWord(bit, pkt->word(k));
         entry->wordValid |= m;
+        ++filled;
     }
+    if (filled)
+        notePresenceDelta(filled);
     touch(entry);
 
     for (auto &target : targets) {

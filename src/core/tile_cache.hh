@@ -142,17 +142,26 @@ class TileCache : public CacheBase
     /** Dense mode: stream the rest of @p line's block. */
     void streamBlock(const OrientedLine &line);
 
+    /** Keep the running presence-bit population in sync (trace
+     *  counter + wordsPresent stat) across validate/fill/evict. */
+    void notePresenceDelta(std::int64_t delta);
+
     std::uint64_t _sets;
     TileFillPolicy _fill;
     std::vector<TileEntry> _frames;
     std::uint64_t _clock = 0;
     Cycles _writePenalty = 0;
 
+    /** Valid (present) words across all frames, maintained
+     *  incrementally for the presence-bit counter track. */
+    std::uint64_t _presentWords = 0;
+
     stats::Scalar _denseBlockStreams;
     stats::Scalar _writeValidates;
     stats::Scalar _sparseLineFills;
     stats::Scalar _writebackBytesElided;
     stats::Scalar _frameEvictions;
+    stats::Scalar _wordsPresent;
 };
 
 } // namespace mda

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
+
 namespace mda::report
 {
 
@@ -44,16 +46,28 @@ mean(const std::vector<double> &values)
            static_cast<double>(values.size());
 }
 
-/** Geometric mean (for normalized ratios). */
+/**
+ * Geometric mean (for normalized ratios). Only positive values are
+ * meaningful: zero/negative inputs (a degenerate ratio) would turn
+ * the whole mean into NaN/-inf via std::log, so they are skipped
+ * with a warning; all-non-positive input yields 0.
+ */
 inline double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    std::size_t used = 0;
+    for (double v : values) {
+        if (!(v > 0.0)) {
+            warn("geomean: skipping non-positive value %g", v);
+            continue;
+        }
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+        ++used;
+    }
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 /** Column-aligned text table. */
@@ -73,7 +87,12 @@ class Table
     void
     print(std::ostream &os = std::cout) const
     {
-        std::vector<std::size_t> widths(_headers.size());
+        // Size by the widest row, not the header: a row may carry
+        // more cells than there are headers.
+        std::size_t columns = _headers.size();
+        for (const auto &row : _rows)
+            columns = std::max(columns, row.size());
+        std::vector<std::size_t> widths(columns, 0);
         for (std::size_t c = 0; c < _headers.size(); ++c)
             widths[c] = _headers[c].size();
         for (const auto &row : _rows)

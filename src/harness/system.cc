@@ -1,5 +1,7 @@
 #include "system.hh"
 
+#include <chrono>
+
 namespace mda
 {
 
@@ -139,10 +141,43 @@ System::sampleOccupancy()
 RunResult
 System::run()
 {
+    using Clock = std::chrono::steady_clock;
+
     _cpu->start();
     if (_config.occupancySamplePeriod > 0)
         sampleOccupancy();
-    _eq.run();
+
+    if (_config.heartbeatSeconds == 0) {
+        _eq.run();
+    } else {
+        // Run in bounded tick slices so the host can report progress:
+        // a ticks/sec heartbeat roughly every heartbeatSeconds of
+        // wall time. Slicing preserves event order exactly.
+        constexpr Tick slice = 1u << 20;
+        const auto period =
+            std::chrono::seconds(_config.heartbeatSeconds);
+        auto last_wall = Clock::now();
+        Tick last_tick = _eq.curTick();
+        while (!_eq.empty()) {
+            // Always cover the next event so the loop advances even
+            // across idle gaps longer than the slice.
+            Tick target = std::max(_eq.nextTick(),
+                                   _eq.curTick() + slice);
+            _eq.run(target);
+            auto now = Clock::now();
+            if (now - last_wall >= period) {
+                double secs =
+                    std::chrono::duration<double>(now - last_wall)
+                        .count();
+                inform("heartbeat: tick %llu, %.2f Mticks/s",
+                       (unsigned long long)_eq.curTick(),
+                       static_cast<double>(_eq.curTick() - last_tick) /
+                           secs / 1e6);
+                last_wall = now;
+                last_tick = _eq.curTick();
+            }
+        }
+    }
     if (!_cpu->done())
         panic("simulation deadlocked at tick %llu",
               (unsigned long long)_eq.curTick());

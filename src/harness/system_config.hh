@@ -79,6 +79,11 @@ struct SystemConfig
     /** Sample column occupancy every N cycles (0 = off, Fig. 15). */
     Tick occupancySamplePeriod = 0;
 
+    /** Host-side sim-speed heartbeat: inform() ticks/sec roughly
+     *  every this many wall-clock seconds (0 = off). Quick runs
+     *  finish before the first beat and stay silent. */
+    unsigned heartbeatSeconds = 10;
+
     /** Layout override for the layout-mismatch ablation. */
     std::optional<compiler::LayoutKind> layoutOverride;
 

@@ -2,6 +2,9 @@
 
 #include <bit>
 
+#include "sim/debug.hh"
+#include "sim/trace_event.hh"
+
 namespace mda
 {
 
@@ -75,6 +78,23 @@ MdaMemory::tryRequest(PacketPtr &pkt)
         ++_rowAccesses;
     else
         ++_colAccesses;
+
+    if (MDA_OBSERVED()) {
+        DPRINTF(MDAMem, "enqueue %s %#llx (%s) ch %u bank %u %s",
+                cmdName(pkt->cmd), (unsigned long long)pkt->addr,
+                orientName(pkt->orient), dec.channel, dec.flatBank,
+                is_write ? "writeQ" : "readQ");
+        if (trace::on()) {
+            if (pkt->cmd != MemCmd::Writeback) {
+                trace::log().asyncBegin(name(), cmdName(pkt->cmd),
+                                        pkt->id, curTick());
+            }
+            trace::log().counter(
+                name(), "queuedReqs", curTick(),
+                static_cast<double>(channel.readQ.size() +
+                                    channel.writeQ.size() + 1));
+        }
+    }
 
     QueuedReq req;
     req.flatBank = dec.flatBank;
@@ -212,8 +232,28 @@ MdaMemory::issue(Channel &channel, QueuedReq req)
     _busBusy += static_cast<double>(burst);
     _queueLatency.sample(static_cast<double>(now - req.enqueueTick));
 
+    if (MDA_OBSERVED()) {
+        DPRINTF(MDAMem,
+                "issue %s %#llx (%s) bank %u: %s, latency %llu, "
+                "burst %llu",
+                cmdName(pkt.cmd), (unsigned long long)pkt.addr,
+                orientName(pkt.orient), req.flatBank,
+                hit ? "buffer hit" : "activate",
+                (unsigned long long)lat, (unsigned long long)burst);
+        if (trace::on()) {
+            // Bank service window as a complete slice on the mem
+            // track.
+            trace::log().complete(name(),
+                                  hit ? "bufferHit" : "activate",
+                                  now, (bus_start + burst) - now);
+        }
+    }
+
     if (req.needsResponse) {
         Tick done = bus_start + burst;
+        if (MDA_UNLIKELY(trace::on()))
+            trace::log().asyncEnd(name(), cmdName(pkt.cmd), pkt.id,
+                                  done);
         // Hand the packet back to the upstream client at completion.
         auto *raw = req.pkt.release();
         eventq().schedule(

@@ -1,0 +1,166 @@
+#include "debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "logging.hh"
+#include "trace_event.hh"
+
+namespace mda::obs
+{
+
+bool hot = false;
+
+void
+refresh()
+{
+    bool any = trace::on();
+    for (debug::Flag *flag : debug::allFlags())
+        any = any || flag->enabled();
+    hot = any;
+}
+
+} // namespace mda::obs
+
+namespace mda::debug
+{
+
+namespace
+{
+
+/** Function-local static avoids init-order issues with flag ctors. */
+std::vector<Flag *> &
+registry()
+{
+    static std::vector<Flag *> flags;
+    return flags;
+}
+
+std::ostream *outputStream = nullptr; // nullptr = stderr
+
+} // namespace
+
+Flag::Flag(const char *flag_name, const char *flag_desc)
+    : _name(flag_name), _desc(flag_desc)
+{
+    registry().push_back(this);
+}
+
+Flag Cache("Cache", "LineCache hits, misses, fills, and evictions");
+Flag MSHR("MSHR", "MSHR allocate/coalesce/retire/defer activity");
+Flag Coherence("Coherence",
+               "duplicate-coherence writebacks and evictions (Fig. 9)");
+Flag TileCache("TileCache", "2P2L sparse-block fills and validates");
+Flag MDAMem("MDAMem", "memory-controller queueing and bank scheduling");
+Flag TraceCpu("TraceCpu", "CPU issue and response stream");
+Flag Event("Event", "event-queue scheduling (very verbose)");
+
+const std::vector<Flag *> &
+allFlags()
+{
+    return registry();
+}
+
+Flag *
+findFlag(const std::string &flag_name)
+{
+    for (Flag *flag : registry())
+        if (flag_name == flag->name())
+            return flag;
+    return nullptr;
+}
+
+bool
+setFlags(const std::string &csv)
+{
+    bool all_known = true;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        if (item == "All") {
+            for (Flag *flag : registry())
+                flag->enable();
+            continue;
+        }
+        Flag *flag = findFlag(item);
+        if (!flag) {
+            warn("unknown debug flag: %s (known: see --list-debug-flags)",
+                 item.c_str());
+            all_known = false;
+            continue;
+        }
+        flag->enable();
+    }
+    return all_known;
+}
+
+void
+clearAllFlags()
+{
+    for (Flag *flag : registry())
+        flag->disable();
+}
+
+void
+applyEnvironment()
+{
+    const char *env = std::getenv("MDA_DEBUG_FLAGS");
+    if (env && *env)
+        setFlags(env);
+}
+
+std::ostream *
+setOutput(std::ostream *os)
+{
+    std::ostream *prev = outputStream;
+    outputStream = os;
+    return prev;
+}
+
+namespace detail
+{
+
+void
+print(const Flag &flag, Tick when, const char *who, const char *fmt,
+      ...)
+{
+    char body[512];
+    std::va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+
+    char line[640];
+    int len = std::snprintf(line, sizeof(line),
+                            "%10llu: %s: [%s] %s\n",
+                            (unsigned long long)when, who, flag.name(),
+                            body);
+    if (len < 0)
+        return;
+    if (outputStream) {
+        outputStream->write(
+            line, std::min<std::size_t>(static_cast<std::size_t>(len),
+                                        sizeof(line) - 1));
+    } else {
+        std::fputs(line, stderr);
+    }
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** Honor MDA_DEBUG_FLAGS in every binary that links mda_sim. */
+struct EnvInit
+{
+    EnvInit() { applyEnvironment(); }
+} envInit;
+
+} // namespace
+
+} // namespace mda::debug

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * gem5-style per-component debug trace flags.
+ *
+ * Every traceable subsystem owns a Flag object (Cache, MSHR,
+ * Coherence, TileCache, MDAMem, TraceCpu, Event). Components emit
+ * trace lines through DPRINTF(flag, fmt, ...), which compiles to a
+ * single predicted-false branch when the flag is disabled — tracing
+ * costs nothing unless switched on.
+ *
+ * Flags are enabled at runtime, either programmatically
+ * (debug::setFlags("Cache,MSHR")) or from the environment: any binary
+ * linking mda_sim honors MDA_DEBUG_FLAGS=Cache,MSHR. mdacache_sim
+ * additionally exposes --debug-flags=.
+ *
+ * Output goes to stderr by default; tests redirect it with
+ * debug::setOutput().
+ */
+
+#ifndef MDA_SIM_DEBUG_HH
+#define MDA_SIM_DEBUG_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace mda::obs
+{
+
+/**
+ * True while ANY observer is attached: at least one debug flag is
+ * enabled or the trace-event log is recording. Hot paths with several
+ * observation points (a DPRINTF plus a trace-event emission) test
+ * this single byte first, so the common all-off case costs one
+ * predicted-false branch for the whole block instead of one per
+ * observation point.
+ */
+extern bool hot;
+
+/** Recompute hot from the debug flags and the trace log. */
+void refresh();
+
+} // namespace mda::obs
+
+namespace mda::debug
+{
+
+/** One runtime-switchable trace flag. */
+class Flag
+{
+  public:
+    Flag(const char *name, const char *desc);
+
+    Flag(const Flag &) = delete;
+    Flag &operator=(const Flag &) = delete;
+
+    const char *name() const { return _name; }
+    const char *desc() const { return _desc; }
+
+    bool enabled() const { return _enabled; }
+    void enable() { _enabled = true; obs::refresh(); }
+    void disable() { _enabled = false; obs::refresh(); }
+
+  private:
+    const char *_name;
+    const char *_desc;
+    bool _enabled = false;
+};
+
+// The registered flags, one per traceable subsystem.
+extern Flag Cache;     ///< LineCache hits/misses/evictions.
+extern Flag MSHR;      ///< MSHR allocate/coalesce/retire/defer.
+extern Flag Coherence; ///< Duplicate-coherence writebacks/evictions.
+extern Flag TileCache; ///< 2P2L sparse-block fills and validates.
+extern Flag MDAMem;    ///< Memory controller scheduling.
+extern Flag TraceCpu;  ///< CPU issue and response stream.
+extern Flag Event;     ///< Event-queue scheduling (very verbose).
+
+/** All registered flags, in registration order. */
+const std::vector<Flag *> &allFlags();
+
+/** Look up a flag by name; nullptr if unknown. */
+Flag *findFlag(const std::string &name);
+
+/**
+ * Enable a comma-separated list of flag names ("Cache,MSHR"); "All"
+ * enables everything. Unknown names warn and are skipped.
+ * @return true when every listed name was recognized.
+ */
+bool setFlags(const std::string &csv);
+
+/** Disable every flag. */
+void clearAllFlags();
+
+/** Enable flags listed in the MDA_DEBUG_FLAGS environment variable. */
+void applyEnvironment();
+
+/**
+ * Redirect trace output (nullptr restores stderr).
+ * @return the previous stream (nullptr when it was stderr).
+ */
+std::ostream *setOutput(std::ostream *os);
+
+namespace detail
+{
+
+/** Emit one "<tick>: <who>: <message>" trace line. The cold
+ *  attribute keeps every DPRINTF expansion out of the hot text:
+ *  callers see a predicted-false test and a jump to .text.unlikely,
+ *  so disabled tracing costs no I-cache footprint in hot loops. */
+void print(const Flag &flag, Tick when, const char *who,
+           const char *fmt, ...)
+    __attribute__((format(printf, 4, 5), cold));
+
+} // namespace detail
+
+} // namespace mda::debug
+
+/** Branch-prediction hint for the disabled-flag fast path. */
+#define MDA_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/** First gate for hot-path blocks with several observation points:
+ *  true only while some observer (debug flag or trace log) is on. */
+#define MDA_OBSERVED() MDA_UNLIKELY(::mda::obs::hot)
+
+/**
+ * Trace @p fmt under @p flag from a SimObject member function (uses
+ * this->curTick() and this->name()). One predicted-false branch when
+ * the flag is off.
+ */
+#define DPRINTF(flag, ...)                                              \
+    do {                                                                \
+        if (MDA_UNLIKELY(::mda::debug::flag.enabled())) {               \
+            ::mda::debug::detail::print(::mda::debug::flag, curTick(),  \
+                                        name().c_str(), __VA_ARGS__);   \
+        }                                                               \
+    } while (0)
+
+/** DPRINTF for contexts with no SimObject (explicit tick and source). */
+#define DPRINTF_AT(flag, tick, who, ...)                                \
+    do {                                                                \
+        if (MDA_UNLIKELY(::mda::debug::flag.enabled())) {               \
+            ::mda::debug::detail::print(::mda::debug::flag, (tick),     \
+                                        (who), __VA_ARGS__);            \
+        }                                                               \
+    } while (0)
+
+#endif // MDA_SIM_DEBUG_HH

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "debug.hh"
 #include "logging.hh"
 #include "types.hh"
 
@@ -66,6 +67,13 @@ class EventQueue
                    "event scheduled in the past (%llu < %llu)",
                    (unsigned long long)when,
                    (unsigned long long)_curTick);
+        if (MDA_UNLIKELY(_traceEvents)) {
+            debug::detail::print(debug::Event, _curTick, "eventq",
+                                 "schedule seq %llu at %llu prio %u",
+                                 (unsigned long long)_nextSeq,
+                                 (unsigned long long)when,
+                                 static_cast<unsigned>(prio));
+        }
         _events.push(Event{when, static_cast<std::uint8_t>(prio),
                            _nextSeq++, std::move(cb)});
     }
@@ -100,6 +108,14 @@ class EventQueue
     std::uint64_t
     run(Tick limit = maxTick)
     {
+        // The Event debug flag is sampled once per run() call and the
+        // loop is split: the untraced loop carries no per-event
+        // observation work at all — this is the hottest loop in the
+        // simulator. Flags set mid-run take effect at the next run()
+        // slice.
+        _traceEvents = debug::Event.enabled();
+        if (MDA_UNLIKELY(_traceEvents))
+            return runTraced(limit);
         std::uint64_t executed = 0;
         while (!_events.empty() && _events.top().when <= limit) {
             // Move the callback out before popping so the event can
@@ -145,6 +161,26 @@ class EventQueue
         Callback cb;
     };
 
+    /** run() with per-event Event-flag trace lines (cold path). */
+    __attribute__((cold, noinline)) std::uint64_t
+    runTraced(Tick limit)
+    {
+        std::uint64_t executed = 0;
+        while (!_events.empty() && _events.top().when <= limit) {
+            Event ev = std::move(const_cast<Event &>(_events.top()));
+            _events.pop();
+            mda_assert(ev.when >= _curTick, "time went backwards");
+            _curTick = ev.when;
+            debug::detail::print(debug::Event, _curTick, "eventq",
+                                 "execute seq %llu prio %u",
+                                 (unsigned long long)ev.seq,
+                                 static_cast<unsigned>(ev.prio));
+            ev.cb();
+            ++executed;
+        }
+        return executed;
+    }
+
     struct Later
     {
         bool
@@ -161,6 +197,9 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, Later> _events;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
+
+    /** Cached debug::Event.enabled(), refreshed at each run(). */
+    bool _traceEvents = false;
 };
 
 } // namespace mda

@@ -1,6 +1,8 @@
 #include "stats.hh"
 
+#include <cmath>
 #include <iomanip>
+#include <limits>
 
 namespace mda::stats
 {
@@ -22,6 +24,116 @@ StatGroup::dump(std::ostream &os) const
            << std::left << std::setw(48) << (kv.first + "::mean") << ' '
            << d.mean() << '\n';
     }
+}
+
+namespace
+{
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** JSON has no NaN/Inf literals; substitute null. */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    // Full round-trip precision for doubles.
+    auto old_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+
+    os << "{\n  \"scalars\": {";
+    bool first = true;
+    for (const auto &kv : _scalars) {
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ": {\"value\": ";
+        writeJsonNumber(os, kv.second.stat->value());
+        os << ", \"desc\": ";
+        writeJsonString(os, kv.second.desc);
+        os << "}";
+    }
+    os << "\n  },\n  \"distributions\": {";
+
+    first = true;
+    for (const auto &kv : _dists) {
+        const Distribution &d = *kv.second.stat;
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ": {\"count\": " << d.count() << ", \"sum\": ";
+        writeJsonNumber(os, d.sum());
+        os << ", \"mean\": ";
+        writeJsonNumber(os, d.mean());
+        os << ", \"min\": ";
+        writeJsonNumber(os, d.minSeen());
+        os << ", \"max\": ";
+        writeJsonNumber(os, d.maxSeen());
+        os << ", \"bucketMin\": ";
+        writeJsonNumber(os, d.bucketMin());
+        os << ", \"bucketMax\": ";
+        writeJsonNumber(os, d.bucketMax());
+        os << ", \"desc\": ";
+        writeJsonString(os, kv.second.desc);
+        os << ", \"buckets\": [";
+        for (std::size_t b = 0; b < d.buckets().size(); ++b)
+            os << (b ? ", " : "") << d.buckets()[b];
+        os << "]}";
+    }
+    os << "\n  },\n  \"timeSeries\": {";
+
+    first = true;
+    for (const auto &kv : _series) {
+        const auto &points = kv.second.stat->points();
+        os << (first ? "\n" : ",\n") << "    ";
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ": {\"desc\": ";
+        writeJsonString(os, kv.second.desc);
+        os << ", \"ticks\": [";
+        for (std::size_t p = 0; p < points.size(); ++p)
+            os << (p ? ", " : "") << points[p].first;
+        os << "], \"values\": [";
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            os << (p ? ", " : "");
+            writeJsonNumber(os, points[p].second);
+        }
+        os << "]}";
+    }
+    os << "\n  }\n}\n";
+
+    os.precision(old_precision);
 }
 
 } // namespace mda::stats

@@ -12,6 +12,7 @@
 #ifndef MDA_SIM_STATS_HH
 #define MDA_SIM_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -53,30 +54,31 @@ class Distribution
      */
     Distribution(double min = 0.0, double max = 1.0,
                  unsigned num_buckets = 16)
-        : _min(min), _max(max), _buckets(num_buckets, 0)
+        : _min(min), _max(max),
+          _scale(num_buckets / (max - min)), _buckets(num_buckets, 0)
     {
         mda_assert(max > min && num_buckets > 0, "bad distribution");
     }
 
-    /** Record one sample. */
+    /** Record one sample. Hot path: division-free (the bucket scale
+     *  is precomputed), since caches sample every hit. */
     void
     sample(double v)
     {
+        if (_count == 0) {
+            _minSeen = _maxSeen = v;
+        } else if (v < _minSeen) {
+            _minSeen = v;
+        } else if (v > _maxSeen) {
+            _maxSeen = v;
+        }
         ++_count;
         _sum += v;
-        if (v < _minSeen || _count == 1)
-            _minSeen = v;
-        if (v > _maxSeen || _count == 1)
-            _maxSeen = v;
-        double clamped = v;
-        if (clamped < _min)
-            clamped = _min;
-        if (clamped > _max)
-            clamped = _max;
-        auto idx = static_cast<std::size_t>(
-            (clamped - _min) / (_max - _min) * _buckets.size());
-        if (idx >= _buckets.size())
-            idx = _buckets.size() - 1;
+        double pos = (v - _min) * _scale;
+        std::size_t idx =
+            pos <= 0.0 ? 0
+                       : std::min(static_cast<std::size_t>(pos),
+                                  _buckets.size() - 1);
         ++_buckets[idx];
     }
 
@@ -85,6 +87,8 @@ class Distribution
     double mean() const { return _count ? _sum / _count : 0.0; }
     double minSeen() const { return _minSeen; }
     double maxSeen() const { return _maxSeen; }
+    double bucketMin() const { return _min; }
+    double bucketMax() const { return _max; }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
 
     void
@@ -100,6 +104,7 @@ class Distribution
 
   private:
     double _min, _max;
+    double _scale; ///< buckets per unit of sample value.
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _count = 0;
     double _sum = 0.0;
@@ -208,6 +213,19 @@ class StatGroup
 
     /** Write "name value # desc" lines for every scalar. */
     void dump(std::ostream &os) const;
+
+    /**
+     * Write every registered statistic as one JSON object:
+     *
+     *   {"scalars": {"<name>": {"value": v, "desc": "..."}},
+     *    "distributions": {"<name>": {"count", "sum", "mean", "min",
+     *        "max", "bucketMin", "bucketMax", "buckets": [...]}},
+     *    "timeSeries": {"<name>": {"ticks": [...], "values": [...]}}}
+     *
+     * Machine-readable counterpart of dump(); used by --stats-json
+     * and the benches' CI archives.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Zero every registered statistic. */
     void

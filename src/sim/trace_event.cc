@@ -1,0 +1,274 @@
+#include "trace_event.hh"
+
+#include "debug.hh"
+
+#include <fstream>
+
+#include "logging.hh"
+
+namespace mda::trace
+{
+
+namespace detail
+{
+bool active = false;
+} // namespace detail
+
+EventLog &
+log()
+{
+    static EventLog instance;
+    return instance;
+}
+
+void
+EventLog::open(const std::string &path, std::size_t max_events)
+{
+    mda_assert(!_open, "trace log opened twice");
+    _path = path;
+    _stream = nullptr;
+    _capacity = max_events;
+    _events.reserve(std::min<std::size_t>(max_events, 1u << 16));
+    _open = true;
+    detail::active = true;
+    obs::refresh();
+}
+
+void
+EventLog::openStream(std::ostream *os, std::size_t max_events)
+{
+    mda_assert(!_open, "trace log opened twice");
+    mda_assert(os != nullptr, "null trace stream");
+    _path.clear();
+    _stream = os;
+    _capacity = max_events;
+    _open = true;
+    detail::active = true;
+    obs::refresh();
+}
+
+void
+EventLog::resetState()
+{
+    _open = false;
+    detail::active = false;
+    obs::refresh();
+    _events.clear();
+    _events.shrink_to_fit();
+    _tracks.clear();
+    _openSlices.clear();
+    _dropped = 0;
+    _stream = nullptr;
+    _path.clear();
+}
+
+void
+EventLog::close()
+{
+    if (!_open)
+        return;
+    if (_dropped > 0) {
+        warn("trace buffer bound (%zu events) reached; %llu events "
+             "dropped",
+             _capacity, (unsigned long long)_dropped);
+    }
+    if (_stream) {
+        writeJson(*_stream);
+    } else {
+        std::ofstream file(_path);
+        if (!file)
+            warn("cannot write trace file: %s", _path.c_str());
+        else
+            writeJson(file);
+    }
+    resetState();
+}
+
+unsigned
+EventLog::tidFor(const std::string &track)
+{
+    auto it = _tracks.find(track);
+    if (it != _tracks.end())
+        return it->second;
+    auto tid = static_cast<unsigned>(_tracks.size() + 1);
+    _tracks.emplace(track, tid);
+    return tid;
+}
+
+bool
+EventLog::record(Event ev)
+{
+    if (_events.size() >= _capacity) {
+        ++_dropped;
+        return false;
+    }
+    _events.push_back(std::move(ev));
+    return true;
+}
+
+void
+EventLog::begin(const std::string &track, const std::string &name,
+                Tick ts)
+{
+    Event ev;
+    ev.ph = 'B';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    if (record(std::move(ev)))
+        _openSlices[tidFor(track)].push_back(name);
+}
+
+void
+EventLog::end(const std::string &track, Tick ts)
+{
+    unsigned tid = tidFor(track);
+    auto &stack = _openSlices[tid];
+    if (stack.empty()) {
+        warn("trace end() with no open slice on track %s",
+             track.c_str());
+        return;
+    }
+    Event ev;
+    ev.ph = 'E';
+    ev.name = stack.back(); // matches the innermost B: well-nested
+    ev.tid = tid;
+    ev.ts = ts;
+    stack.pop_back();
+    record(std::move(ev));
+}
+
+void
+EventLog::asyncBegin(const std::string &track, const std::string &name,
+                     std::uint64_t id, Tick ts)
+{
+    Event ev;
+    ev.ph = 'b';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    ev.id = id;
+    record(std::move(ev));
+}
+
+void
+EventLog::asyncEnd(const std::string &track, const std::string &name,
+                   std::uint64_t id, Tick ts)
+{
+    Event ev;
+    ev.ph = 'e';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    ev.id = id;
+    record(std::move(ev));
+}
+
+void
+EventLog::complete(const std::string &track, const std::string &name,
+                   Tick ts, Tick dur)
+{
+    Event ev;
+    ev.ph = 'X';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    ev.dur = dur;
+    record(std::move(ev));
+}
+
+void
+EventLog::instant(const std::string &track, const std::string &name,
+                  Tick ts)
+{
+    Event ev;
+    ev.ph = 'i';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    record(std::move(ev));
+}
+
+void
+EventLog::counter(const std::string &track, const std::string &name,
+                  Tick ts, double value)
+{
+    Event ev;
+    ev.ph = 'C';
+    ev.name = name;
+    ev.tid = tidFor(track);
+    ev.ts = ts;
+    ev.value = value;
+    record(std::move(ev));
+}
+
+namespace
+{
+
+/** JSON string escaping (control chars, quotes, backslash). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+EventLog::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Track-name metadata so Perfetto labels each component lane.
+    for (const auto &[track, tid] : _tracks) {
+        sep();
+        os << R"({"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":)"
+           << tid << R"(,"args":{"name":)";
+        writeJsonString(os, track);
+        os << "}}";
+    }
+
+    for (const auto &ev : _events) {
+        sep();
+        os << "{\"name\":";
+        writeJsonString(os, ev.name);
+        os << ",\"cat\":\"mda\",\"ph\":\"" << ev.ph
+           << "\",\"ts\":" << ev.ts << ",\"pid\":1,\"tid\":" << ev.tid;
+        if (ev.ph == 'X')
+            os << ",\"dur\":" << ev.dur;
+        if (ev.ph == 'b' || ev.ph == 'e')
+            os << ",\"id\":" << ev.id;
+        if (ev.ph == 'i')
+            os << ",\"s\":\"t\"";
+        if (ev.ph == 'C')
+            os << ",\"args\":{\"value\":" << ev.value << "}";
+        os << "}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace mda::trace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) JSON emitter.
+ *
+ * A single process-wide EventLog records simulator activity as trace
+ * events on per-component tracks (one Chrome "thread" per component):
+ *
+ *  - synchronous scopes as well-nested B/E duration events (end() pops
+ *    a per-track stack, so nesting holds by construction);
+ *  - packet lifetimes (issue -> hit/miss -> fill) as async b/e pairs
+ *    keyed by the packet id, so overlapping in-flight requests render
+ *    as separate slices;
+ *  - instant events (hit/miss markers) and counter tracks (MSHR
+ *    occupancy, sparse-block presence bits, duplicate-coherence
+ *    writebacks).
+ *
+ * The buffer is bounded: events past the cap are counted and dropped,
+ * never resized, so tracing a long run cannot exhaust memory. One
+ * simulated tick is encoded as one microsecond of trace time.
+ *
+ * Recording costs a single predicted-false branch while disabled
+ * (check trace::on() before touching the log). Load the output in
+ * https://ui.perfetto.dev or chrome://tracing.
+ */
+
+#ifndef MDA_SIM_TRACE_EVENT_HH
+#define MDA_SIM_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace mda::trace
+{
+
+namespace detail
+{
+/** Hot-path switch: true while an EventLog is recording. */
+extern bool active;
+} // namespace detail
+
+/** Whether trace recording is on (one load + compare). */
+inline bool
+on()
+{
+    return detail::active;
+}
+
+/** Bounded recorder for Chrome trace-event JSON. */
+class EventLog
+{
+  public:
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    /** Start recording; output is written to @p path on close(). */
+    void open(const std::string &path,
+              std::size_t max_events = defaultCapacity);
+
+    /** Start recording into a caller-owned stream (tests). */
+    void openStream(std::ostream *os,
+                    std::size_t max_events = defaultCapacity);
+
+    bool isOpen() const { return _open; }
+
+    /** Flush the JSON array and stop recording. */
+    void close();
+
+    // ---- recording (callers gate on trace::on()) ----
+    // Cold: these only run while tracing, so their call blocks are
+    // kept out of the hot text of the gating call sites.
+
+    /** Open a synchronous duration slice on @p track. */
+    __attribute__((cold)) void begin(const std::string &track,
+                                     const std::string &name, Tick ts);
+
+    /** Close the innermost open slice on @p track (well-nested). */
+    __attribute__((cold)) void end(const std::string &track, Tick ts);
+
+    /** Begin an async slice keyed by @p id (overlapping lifetimes). */
+    __attribute__((cold)) void asyncBegin(const std::string &track,
+                                          const std::string &name,
+                                          std::uint64_t id, Tick ts);
+
+    /** End the async slice keyed by @p id. */
+    __attribute__((cold)) void asyncEnd(const std::string &track,
+                                        const std::string &name,
+                                        std::uint64_t id, Tick ts);
+
+    /** A complete slice with a known duration ("X" phase). */
+    __attribute__((cold)) void complete(const std::string &track,
+                                        const std::string &name,
+                                        Tick ts, Tick dur);
+
+    /** A zero-duration marker ("i" phase). */
+    __attribute__((cold)) void instant(const std::string &track,
+                                       const std::string &name,
+                                       Tick ts);
+
+    /** Sample a counter track ("C" phase). */
+    __attribute__((cold)) void counter(const std::string &track,
+                                       const std::string &name,
+                                       Tick ts, double value);
+
+    /** Events currently buffered (metadata excluded). */
+    std::size_t size() const { return _events.size(); }
+
+    /** Events dropped because the buffer bound was reached. */
+    std::uint64_t dropped() const { return _dropped; }
+
+  private:
+    struct Event
+    {
+        char ph = 'X';
+        std::string name;
+        unsigned tid = 0;
+        Tick ts = 0;
+        Tick dur = 0;         ///< "X" only.
+        double value = 0.0;   ///< "C" only.
+        std::uint64_t id = 0; ///< "b"/"e" only.
+    };
+
+    /** Stable per-track Chrome thread id (assigned on first use). */
+    unsigned tidFor(const std::string &track);
+
+    bool record(Event ev);
+    void writeJson(std::ostream &os) const;
+    void resetState();
+
+    bool _open = false;
+    std::string _path;
+    std::ostream *_stream = nullptr;
+    std::size_t _capacity = defaultCapacity;
+    std::uint64_t _dropped = 0;
+    std::vector<Event> _events;
+    std::map<std::string, unsigned> _tracks;
+    std::map<unsigned, std::vector<std::string>> _openSlices;
+};
+
+/** The process-wide log instance. */
+EventLog &log();
+
+} // namespace mda::trace
+
+#endif // MDA_SIM_TRACE_EVENT_HH

@@ -25,8 +25,9 @@ TEST(MshrFile, AllocFindRetire)
     EXPECT_EQ(mshr.find(line), &e);
     EXPECT_EQ(e.allocTick, 5u);
     e.targets.push_back(dummyScalar(line.wordAddr(0)));
-    auto targets = mshr.retire(line);
-    EXPECT_EQ(targets.size(), 1u);
+    MshrEntry retired = mshr.retire(line);
+    EXPECT_EQ(retired.targets.size(), 1u);
+    EXPECT_EQ(retired.allocTick, 5u);
     EXPECT_TRUE(mshr.empty());
 }
 

@@ -1,0 +1,91 @@
+/** @file End-to-end tests for debug-flag tracing on a real system. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "sim/debug.hh"
+
+namespace mda
+{
+namespace
+{
+
+RunSpec
+tinySpec()
+{
+    RunSpec spec;
+    spec.workload = "sgemm";
+    spec.n = 16;
+    spec.system.design = DesignPoint::D1_1P2L;
+    return spec;
+}
+
+/** Restore global flag/output state whatever a test does. */
+class DebugTrace : public ::testing::Test
+{
+  protected:
+    void SetUp() override { debug::clearAllFlags(); }
+
+    void
+    TearDown() override
+    {
+        debug::clearAllFlags();
+        debug::setOutput(nullptr);
+    }
+};
+
+TEST_F(DebugTrace, DisabledFlagsProduceNoOutput)
+{
+    std::ostringstream os;
+    debug::setOutput(&os);
+    runOne(tinySpec());
+    EXPECT_TRUE(os.str().empty()) << os.str().substr(0, 200);
+}
+
+TEST_F(DebugTrace, CacheFlagEmitsTraceLines)
+{
+    std::ostringstream os;
+    debug::setOutput(&os);
+    ASSERT_TRUE(debug::setFlags("Cache"));
+    runOne(tinySpec());
+    auto text = os.str();
+    EXPECT_FALSE(text.empty());
+    // Lines carry the [flag] tag and the emitting component's name.
+    EXPECT_NE(text.find("[Cache]"), std::string::npos);
+    EXPECT_NE(text.find("l1"), std::string::npos);
+}
+
+TEST_F(DebugTrace, FlagsAreSelective)
+{
+    std::ostringstream os;
+    debug::setOutput(&os);
+    ASSERT_TRUE(debug::setFlags("MDAMem"));
+    runOne(tinySpec());
+    auto text = os.str();
+    EXPECT_NE(text.find("[MDAMem]"), std::string::npos);
+    EXPECT_EQ(text.find("[Cache]"), std::string::npos);
+}
+
+TEST_F(DebugTrace, SetFlagsRejectsUnknownNames)
+{
+    EXPECT_FALSE(debug::setFlags("NoSuchFlag"));
+    EXPECT_TRUE(debug::setFlags("Cache,MSHR"));
+    EXPECT_TRUE(debug::Cache.enabled());
+    EXPECT_TRUE(debug::MSHR.enabled());
+    EXPECT_FALSE(debug::TileCache.enabled());
+}
+
+TEST_F(DebugTrace, AllEnablesEveryFlag)
+{
+    EXPECT_TRUE(debug::setFlags("All"));
+    for (const auto *flag : debug::allFlags())
+        EXPECT_TRUE(flag->enabled()) << flag->name();
+    debug::clearAllFlags();
+    for (const auto *flag : debug::allFlags())
+        EXPECT_FALSE(flag->enabled()) << flag->name();
+}
+
+} // namespace
+} // namespace mda

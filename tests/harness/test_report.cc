@@ -30,6 +30,18 @@ TEST(Report, Geomean)
     EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
 }
 
+TEST(Report, GeomeanSkipsNonPositiveValues)
+{
+    // Zero/negative ratios are skipped (they would NaN the mean via
+    // std::log), so only the positive values contribute.
+    EXPECT_NEAR(geomean({0.0, 2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({-3.0, 4.0}), 4.0, 1e-9);
+    // Degenerate inputs yield a finite 0, never NaN/-inf.
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-1.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
 TEST(Report, TableAlignsColumns)
 {
     Table t({"bench", "value"});
@@ -47,6 +59,21 @@ TEST(Report, TableAlignsColumns)
     auto value_pos = text.find("0.28");
     EXPECT_EQ(header_pos - text.find("bench"),
               value_pos - row_line);
+}
+
+TEST(Report, TableHandlesRowsWiderThanHeader)
+{
+    // Rows may carry more cells than there are headers; printing must
+    // size every column it actually prints (regression: widths[] was
+    // sized by the header count only, so wide rows indexed past it).
+    Table t({"bench"});
+    t.addRow({"sgemm", "extra-1", "extra-2"});
+    t.addRow({"sobel", "x"});
+    std::ostringstream os;
+    t.print(os);
+    auto text = os.str();
+    EXPECT_NE(text.find("extra-2"), std::string::npos);
+    EXPECT_NE(text.find("sobel"), std::string::npos);
 }
 
 } // namespace

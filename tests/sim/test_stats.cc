@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
+#include "../support/test_json.hh"
 #include "sim/stats.hh"
 
 namespace mda::stats
@@ -87,6 +89,77 @@ TEST(Stats, GroupDumpContainsNames)
     EXPECT_NE(text.find("cpu.cycles"), std::string::npos);
     EXPECT_NE(text.find("42"), std::string::npos);
     EXPECT_NE(text.find("total cycles"), std::string::npos);
+}
+
+TEST(Stats, JsonRoundTripsEveryStat)
+{
+    StatGroup g;
+    Scalar hits;
+    hits += 42.5;
+    g.regScalar("l1.hits", &hits, "demand \"hits\"");
+    Distribution lat(0.0, 100.0, 10);
+    lat.sample(5.0);
+    lat.sample(95.0);
+    g.regDistribution("l1.latency", &lat, "hit latency");
+    TimeSeries occ;
+    occ.sample(10, 0.5);
+    occ.sample(20, 0.75);
+    g.regTimeSeries("l1.occ", &occ, "occupancy");
+
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str());
+
+    // Every registered scalar name appears with its exact value.
+    for (const auto &name : g.scalarNames())
+        EXPECT_TRUE(root->at("scalars").has(name)) << name;
+    const auto &scalar = root->at("scalars").at("l1.hits");
+    EXPECT_DOUBLE_EQ(scalar.at("value").number, 42.5);
+    EXPECT_EQ(scalar.at("desc").string, "demand \"hits\"");
+
+    const auto &dist = root->at("distributions").at("l1.latency");
+    EXPECT_DOUBLE_EQ(dist.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(dist.at("sum").number, 100.0);
+    EXPECT_DOUBLE_EQ(dist.at("mean").number, 50.0);
+    EXPECT_DOUBLE_EQ(dist.at("min").number, 5.0);
+    EXPECT_DOUBLE_EQ(dist.at("max").number, 95.0);
+    EXPECT_DOUBLE_EQ(dist.at("bucketMin").number, 0.0);
+    EXPECT_DOUBLE_EQ(dist.at("bucketMax").number, 100.0);
+    ASSERT_EQ(dist.at("buckets").array.size(), 10u);
+    EXPECT_DOUBLE_EQ(dist.at("buckets").array.front()->number, 1.0);
+    EXPECT_DOUBLE_EQ(dist.at("buckets").array.back()->number, 1.0);
+
+    const auto &series = root->at("timeSeries").at("l1.occ");
+    ASSERT_EQ(series.at("ticks").array.size(), 2u);
+    EXPECT_DOUBLE_EQ(series.at("ticks").array[1]->number, 20.0);
+    EXPECT_DOUBLE_EQ(series.at("values").array[1]->number, 0.75);
+}
+
+TEST(Stats, JsonSubstitutesNullForNonFinite)
+{
+    StatGroup g;
+    Scalar rate;
+    rate = std::numeric_limits<double>::quiet_NaN();
+    g.regScalar("rate", &rate);
+    Scalar inf;
+    inf = std::numeric_limits<double>::infinity();
+    g.regScalar("inf", &inf);
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str()); // must still parse
+    EXPECT_TRUE(root->at("scalars").at("rate").at("value").isNull());
+    EXPECT_TRUE(root->at("scalars").at("inf").at("value").isNull());
+}
+
+TEST(Stats, JsonEmptyGroupIsValid)
+{
+    StatGroup g;
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str());
+    EXPECT_TRUE(root->at("scalars").object.empty());
+    EXPECT_TRUE(root->at("distributions").object.empty());
+    EXPECT_TRUE(root->at("timeSeries").object.empty());
 }
 
 TEST(StatsDeathTest, DuplicateNamePanics)

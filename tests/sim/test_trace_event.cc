@@ -1,0 +1,194 @@
+/** @file Unit tests for the Chrome trace-event JSON emitter. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "../support/test_json.hh"
+#include "sim/trace_event.hh"
+
+namespace mda::trace
+{
+namespace
+{
+
+std::string
+emitted(EventLog &log, std::ostringstream &os)
+{
+    log.close();
+    return os.str();
+}
+
+TEST(TraceEvent, OnTracksOpenState)
+{
+    EXPECT_FALSE(on());
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    EXPECT_TRUE(on());
+    EXPECT_TRUE(log.isOpen());
+    log.close();
+    EXPECT_FALSE(on());
+    EXPECT_FALSE(log.isOpen());
+}
+
+TEST(TraceEvent, EmitsValidJsonWithRequiredFields)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    log.begin("l1", "fill", 10);
+    log.end("l1", 20);
+    log.asyncBegin("l1", "ReadReq", 7, 12);
+    log.asyncEnd("l1", "ReadReq", 7, 30);
+    log.complete("mem", "activate", 15, 40);
+    log.instant("l1", "hit", 16);
+    log.counter("l1", "mshrOccupancy", 17, 3.0);
+
+    auto root = testjson::parse(emitted(log, os));
+    ASSERT_TRUE(root->isArray());
+    ASSERT_GE(root->array.size(), 7u);
+    for (const auto &ev : root->array) {
+        ASSERT_TRUE(ev->isObject());
+        EXPECT_TRUE(ev->at("name").isString());
+        EXPECT_TRUE(ev->at("ph").isString());
+        EXPECT_TRUE(ev->at("ts").isNumber());
+        EXPECT_DOUBLE_EQ(ev->at("pid").number, 1.0);
+        EXPECT_TRUE(ev->at("tid").isNumber());
+    }
+}
+
+TEST(TraceEvent, PhaseSpecificFields)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    log.complete("mem", "activate", 15, 40);
+    log.asyncBegin("l1", "ReadReq", 7, 12);
+    log.instant("l1", "hit", 16);
+    log.counter("l1", "mshrOccupancy", 17, 3.0);
+
+    auto root = testjson::parse(emitted(log, os));
+    bool saw_x = false, saw_b = false, saw_i = false, saw_c = false;
+    for (const auto &ev : root->array) {
+        const std::string &ph = ev->at("ph").string;
+        if (ph == "X") {
+            EXPECT_DOUBLE_EQ(ev->at("dur").number, 40.0);
+            saw_x = true;
+        } else if (ph == "b") {
+            EXPECT_DOUBLE_EQ(ev->at("id").number, 7.0);
+            saw_b = true;
+        } else if (ph == "i") {
+            EXPECT_EQ(ev->at("s").string, "t");
+            saw_i = true;
+        } else if (ph == "C") {
+            EXPECT_DOUBLE_EQ(ev->at("args").at("value").number, 3.0);
+            saw_c = true;
+        }
+    }
+    EXPECT_TRUE(saw_x);
+    EXPECT_TRUE(saw_b);
+    EXPECT_TRUE(saw_i);
+    EXPECT_TRUE(saw_c);
+}
+
+TEST(TraceEvent, DurationEventsAreWellNested)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    // Interleave two tracks; each must stay well-nested on its own.
+    log.begin("l1", "outer", 0);
+    log.begin("l2", "other", 1);
+    log.begin("l1", "inner", 2);
+    log.end("l1", 3); // closes inner
+    log.end("l2", 4); // closes other
+    log.end("l1", 5); // closes outer
+
+    auto root = testjson::parse(emitted(log, os));
+    // Replay per-tid B/E sequences against a stack: every E must match
+    // the innermost open B by name, and nothing may stay open.
+    std::map<double, std::vector<std::string>> stacks;
+    for (const auto &ev : root->array) {
+        const std::string &ph = ev->at("ph").string;
+        if (ph == "B") {
+            stacks[ev->at("tid").number].push_back(
+                ev->at("name").string);
+        } else if (ph == "E") {
+            auto &stack = stacks[ev->at("tid").number];
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(ev->at("name").string, stack.back());
+            stack.pop_back();
+        }
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed slice on tid " << tid;
+}
+
+TEST(TraceEvent, EndWithoutBeginIsIgnored)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    log.end("l1", 5); // no open slice: warn, drop
+    EXPECT_EQ(log.size(), 0u);
+    auto root = testjson::parse(emitted(log, os));
+    for (const auto &ev : root->array)
+        EXPECT_NE(ev->at("ph").string, "E");
+}
+
+TEST(TraceEvent, BufferBoundIsHonored)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os, 4);
+    for (int i = 0; i < 10; ++i)
+        log.instant("l1", "hit", static_cast<Tick>(i));
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.dropped(), 6u);
+
+    // Drops still leave a parseable file: 4 instants + metadata.
+    auto root = testjson::parse(emitted(log, os));
+    std::size_t instants = 0;
+    for (const auto &ev : root->array)
+        instants += (ev->at("ph").string == "i");
+    EXPECT_EQ(instants, 4u);
+}
+
+TEST(TraceEvent, MetadataNamesEveryTrack)
+{
+    std::ostringstream os;
+    EventLog log;
+    log.openStream(&os);
+    log.instant("l1", "hit", 1);
+    log.instant("mem", "activate", 2);
+
+    auto root = testjson::parse(emitted(log, os));
+    std::map<std::string, double> track_tids;
+    std::map<double, std::size_t> used_tids;
+    for (const auto &ev : root->array) {
+        if (ev->at("ph").string == "M") {
+            EXPECT_EQ(ev->at("name").string, "thread_name");
+            track_tids[ev->at("args").at("name").string] =
+                ev->at("tid").number;
+        } else {
+            ++used_tids[ev->at("tid").number];
+        }
+    }
+    ASSERT_EQ(track_tids.size(), 2u);
+    EXPECT_TRUE(track_tids.count("l1"));
+    EXPECT_TRUE(track_tids.count("mem"));
+    for (const auto &[tid, count] : used_tids)
+        EXPECT_NE(track_tids.end(),
+                  std::find_if(track_tids.begin(), track_tids.end(),
+                               [tid = tid](const auto &kv) {
+                                   return kv.second == tid;
+                               }))
+            << "events on unnamed tid " << tid;
+}
+
+} // namespace
+} // namespace mda::trace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for test assertions.
+ *
+ * Just enough of RFC 8259 to validate the simulator's machine-readable
+ * outputs (stats JSON, Chrome trace-event JSON): objects, arrays,
+ * strings with the common escapes, numbers, true/false/null. Parse
+ * errors throw std::runtime_error with a byte offset, which gtest
+ * surfaces as a test failure.
+ */
+
+#ifndef MDA_TESTS_SUPPORT_TEST_JSON_HH
+#define MDA_TESTS_SUPPORT_TEST_JSON_HH
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mda::testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    bool
+    has(const std::string &key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+
+    /** Object member access; throws when absent or not an object. */
+    const Value &
+    at(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("json: not an object");
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("json: missing key: " + key);
+        return *it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipSpace();
+        if (_pos != _text.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(_pos) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 _text[_pos] + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t len = std::strlen(lit);
+        if (_text.compare(_pos, len, lit) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        expect('{');
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Object;
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            ValuePtr key = parseString();
+            expect(':');
+            v->object[key->string] = parseValue();
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == '}') {
+                ++_pos;
+                return v;
+            }
+            fail("expected ',' or '}' in object");
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        expect('[');
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Array;
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        while (true) {
+            v->array.push_back(parseValue());
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == ']') {
+                ++_pos;
+                return v;
+            }
+            fail("expected ',' or ']' in array");
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        expect('"');
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::String;
+        while (true) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    fail("unterminated escape");
+                char e = _text[_pos++];
+                switch (e) {
+                  case '"':  v->string += '"'; break;
+                  case '\\': v->string += '\\'; break;
+                  case '/':  v->string += '/'; break;
+                  case 'b':  v->string += '\b'; break;
+                  case 'f':  v->string += '\f'; break;
+                  case 'n':  v->string += '\n'; break;
+                  case 'r':  v->string += '\r'; break;
+                  case 't':  v->string += '\t'; break;
+                  case 'u': {
+                    if (_pos + 4 > _text.size())
+                        fail("truncated \\u escape");
+                    unsigned code = static_cast<unsigned>(std::stoul(
+                        _text.substr(_pos, 4), nullptr, 16));
+                    _pos += 4;
+                    // Tests only emit ASCII control characters.
+                    v->string += static_cast<char>(code & 0x7f);
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+            } else {
+                v->string += c;
+            }
+        }
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Bool;
+        if (consumeLiteral("true")) {
+            v->boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v->boolean = false;
+            return v;
+        }
+        fail("bad literal");
+    }
+
+    ValuePtr
+    parseNull()
+    {
+        if (!consumeLiteral("null"))
+            fail("bad literal");
+        return std::make_shared<Value>();
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() &&
+            (_text[_pos] == '-' || _text[_pos] == '+'))
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '-' ||
+                _text[_pos] == '+'))
+            ++_pos;
+        if (_pos == start)
+            fail("expected a number");
+        auto v = std::make_shared<Value>();
+        v->kind = Value::Kind::Number;
+        v->number = std::stod(_text.substr(start, _pos - start));
+        return v;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+/** Parse or throw std::runtime_error. */
+inline ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace mda::testjson
+
+#endif // MDA_TESTS_SUPPORT_TEST_JSON_HH
