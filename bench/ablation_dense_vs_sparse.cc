@@ -19,6 +19,15 @@ main(int argc, char **argv)
 
     std::cout << "MDACache 2P2L dense-vs-sparse ablation ("
               << opts.describe() << ")\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        for (auto design :
+             {DesignPoint::D0_1P1L, DesignPoint::D2_2P2L,
+              DesignPoint::D2_2P2L_Dense})
+            cells.push_back(opts.spec(workload, design));
+    }
+    run.warm(cells);
+
     report::banner("cycles and memory bytes, normalized to 1P1L");
     report::Table table({"bench", "sparse", "dense", "sparse MB",
                          "dense MB"});

@@ -26,6 +26,23 @@ main(int argc, char **argv)
     std::cout << "MDACache gather-hit / sub-row-buffer studies ("
               << opts.describe() << ")\n";
 
+    // Both studies' cells in one warmed batch (the 1P1L baseline is
+    // shared between them and runs once).
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        cells.push_back(opts.spec(workload, DesignPoint::D1_1P2L));
+        RunSpec g = opts.spec(workload, DesignPoint::D1_1P2L);
+        g.system.gatherHits = true;
+        cells.push_back(g);
+        for (unsigned bufs : {2u, 4u}) {
+            RunSpec multi = opts.spec(workload, DesignPoint::D0_1P1L);
+            multi.system.memTopo.subRowBuffers = bufs;
+            cells.push_back(multi);
+        }
+    }
+    run.warm(cells);
+
     report::banner("gather-hit policy on the 1P2L hierarchy");
     {
         report::Table table({"bench", "1P2L", "1P2L+gather"});
@@ -35,7 +52,7 @@ main(int argc, char **argv)
             auto plain = run(opts.spec(workload, DesignPoint::D1_1P2L));
             RunSpec g = opts.spec(workload, DesignPoint::D1_1P2L);
             g.system.gatherHits = true;
-            auto gather = runOne(g);
+            auto gather = run(g);
             double np = static_cast<double>(plain.cycles) / base.cycles;
             double ng =
                 static_cast<double>(gather.cycles) / base.cycles;
@@ -55,12 +72,12 @@ main(int argc, char **argv)
         std::map<unsigned, std::vector<double>> norms;
         for (const auto &workload : opts.workloads) {
             RunSpec spec = opts.spec(workload, DesignPoint::D0_1P1L);
-            auto base = runOne(spec);
+            auto base = run(spec);
             std::vector<std::string> row{workload, "1.000"};
             for (unsigned bufs : {2u, 4u}) {
                 RunSpec multi = spec;
                 multi.system.memTopo.subRowBuffers = bufs;
-                auto result = runOne(multi);
+                auto result = run(multi);
                 double norm = static_cast<double>(result.cycles) /
                               base.cycles;
                 norms[bufs].push_back(norm);

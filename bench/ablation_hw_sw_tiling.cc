@@ -50,11 +50,23 @@ main(int argc, char **argv)
     report::banner("software tiling matched to the 2-D block size");
     report::Table table({"design", "plain cycles", "tiled cycles",
                          "speedup", "plain MB", "tiled MB"});
-    for (auto design :
-         {DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
-          DesignPoint::D2_2P2L}) {
-        auto plain = runMaybeTiled(opts, design, false);
-        auto tiled = runMaybeTiled(opts, design, true);
+    const std::vector<DesignPoint> designs{
+        DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
+        DesignPoint::D2_2P2L};
+
+    // The tiled variants compile a transformed kernel, so these cells
+    // are not expressible as RunSpecs; drive the pool directly.
+    std::vector<RunResult> results(designs.size() * 2);
+    sweep::Executor pool(opts.jobs);
+    pool.forEach(results.size(), [&](std::size_t idx) {
+        results[idx] = runMaybeTiled(opts, designs[idx / 2],
+                                     idx % 2 != 0);
+    });
+
+    for (std::size_t d = 0; d < designs.size(); ++d) {
+        auto design = designs[d];
+        const auto &plain = results[d * 2];
+        const auto &tiled = results[d * 2 + 1];
         table.addRow(
             {designName(design), std::to_string(plain.cycles),
              std::to_string(tiled.cycles),

@@ -20,6 +20,15 @@ main(int argc, char **argv)
 
     std::cout << "MDACache layout-mismatch ablation ("
               << opts.describe() << ")\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        RunSpec mism = opts.spec(workload, DesignPoint::D0_1P1L);
+        mism.system.layoutOverride = compiler::LayoutKind::Tiled2D;
+        cells.push_back(mism);
+    }
+    run.warm(cells);
+
     report::banner("1P1L on 1-D layout vs 1P1L on 2-D (tiled) layout");
     report::Table table({"bench", "matched", "mismatched", "slowdown"});
     std::vector<double> slowdowns;

@@ -19,6 +19,16 @@ main(int argc, char **argv)
 
     std::cout << "MDACache 2-D MSHR coalescing ablation ("
               << opts.describe() << ")\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        cells.push_back(opts.spec(workload, DesignPoint::D1_1P2L));
+        RunSpec nc = opts.spec(workload, DesignPoint::D1_1P2L);
+        nc.system.disableMshrCoalescing = true;
+        cells.push_back(nc);
+    }
+    run.warm(cells);
+
     report::banner("1P2L with and without MSHR target coalescing");
     report::Table table({"bench", "1P2L", "1P2L no-coalesce"});
     std::vector<double> with_c, without_c;

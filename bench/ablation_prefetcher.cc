@@ -19,6 +19,16 @@ main(int argc, char **argv)
 
     std::cout << "MDACache prefetcher ablation (" << opts.describe()
               << ")\nAll cycles normalized to 1P1L+prefetch.\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        RunSpec no_pf_spec = opts.spec(workload, DesignPoint::D0_1P1L);
+        no_pf_spec.system.prefetchDegree = 0;
+        cells.push_back(no_pf_spec);
+        cells.push_back(opts.spec(workload, DesignPoint::D1_1P2L));
+    }
+    run.warm(cells);
+
     report::banner("prefetching vs column transfers");
     report::Table table({"bench", "1P1L+pf", "1P1L no-pf",
                          "1P2L (no pf)", "pf bytes", "1P2L bytes"});

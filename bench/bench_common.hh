@@ -8,10 +8,20 @@
  *                 cache sizes; slow: minutes per figure)
  *   --quick       n = 64 for smoke runs
  *   --workloads a,b,c   restrict the benchmark list
+ *   --jobs <N>    worker threads for the sweep (0 = hardware
+ *                 concurrency, the default)
  *
  * Scaled runs divide every cache capacity by (512/n)^2 so the
  * working-set : capacity ratios — which the paper's results hinge on —
  * are preserved.
+ *
+ * Figure sweeps are embarrassingly parallel: benches enumerate every
+ * cell up front, CellRunner::warm() executes them across a
+ * sweep::Executor pool, and the reporting loops then read the warmed
+ * cache. Results and --stats-json bytes are identical for any job
+ * count (cells are independently seeded; the JSON archive is
+ * key-sorted). Tracing (--debug-flags, MDA_DEBUG_FLAGS) writes to
+ * process-wide sinks and therefore forces --jobs 1.
  */
 
 #ifndef MDA_BENCH_BENCH_COMMON_HH
@@ -21,12 +31,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "sim/debug.hh"
 
 namespace mda::bench
@@ -39,6 +52,9 @@ struct BenchOptions
     bool paper = false;
     std::vector<std::string> workloads = workloads::workloadNames();
 
+    /** Sweep worker threads; 0 resolves to hardware concurrency. */
+    unsigned jobs = 0;
+
     /** When set, every executed cell's RunResult and full statistics
      *  are archived as JSON here (CI bench trajectories). */
     std::string statsJsonPath;
@@ -47,28 +63,41 @@ struct BenchOptions
     parse(int argc, char **argv)
     {
         BenchOptions opts;
+        bool jobs_given = false;
         for (int a = 1; a < argc; ++a) {
             std::string arg = argv[a];
+            // Flags that take a value refuse to be the final argv
+            // entry: silently dropping "--n" with nothing after it
+            // would run the wrong configuration.
+            auto next = [&]() -> const char * {
+                if (a + 1 >= argc)
+                    fatal("missing value for %s", arg.c_str());
+                return argv[++a];
+            };
             if (arg == "--paper") {
                 opts.paper = true;
                 opts.n = 512;
             } else if (arg == "--quick") {
                 opts.n = 64;
-            } else if (arg == "--n" && a + 1 < argc) {
-                opts.n = std::atoll(argv[++a]);
-            } else if (arg == "--stats-json" && a + 1 < argc) {
-                opts.statsJsonPath = argv[++a];
-            } else if (arg == "--debug-flags" && a + 1 < argc) {
-                debug::setFlags(argv[++a]);
-            } else if (arg == "--workloads" && a + 1 < argc) {
+            } else if (arg == "--n") {
+                opts.n = std::atoll(next());
+            } else if (arg == "--jobs") {
+                opts.jobs = static_cast<unsigned>(std::atoi(next()));
+                jobs_given = true;
+            } else if (arg == "--stats-json") {
+                opts.statsJsonPath = next();
+            } else if (arg == "--debug-flags") {
+                debug::setFlags(next());
+            } else if (arg == "--workloads") {
                 opts.workloads.clear();
-                std::stringstream ss(argv[++a]);
+                std::stringstream ss(next());
                 std::string item;
                 while (std::getline(ss, item, ','))
                     opts.workloads.push_back(item);
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "options: --paper | --quick | --n <dim> |"
                              " --workloads a,b,c |"
+                             " --jobs <N> (0 = all cores) |"
                              " --stats-json <path> |"
                              " --debug-flags <f,g>\n";
                 std::exit(0);
@@ -79,6 +108,16 @@ struct BenchOptions
         }
         if (opts.n % 8 != 0 || opts.n < 16)
             fatal("--n must be a multiple of 8, at least 16");
+        if (obs::hot) {
+            // Debug tracing interleaves across workers; keep traced
+            // runs readable by defaulting to one job, and refuse an
+            // explicit parallel request outright.
+            if (jobs_given && sweep::resolveJobs(opts.jobs) > 1) {
+                fatal("--debug-flags/MDA_DEBUG_FLAGS write to a "
+                      "process-wide sink; tracing requires --jobs 1");
+            }
+            opts.jobs = 1;
+        }
         return opts;
     }
 
@@ -104,24 +143,36 @@ struct BenchOptions
            << n << "), "
            << (paper ? "paper Table I cache sizes"
                      : "capacities scaled to preserve working-set "
-                       "ratios");
+                       "ratios")
+           << ", " << sweep::resolveJobs(jobs) << " job(s)";
         return os.str();
     }
 };
 
-/** Cycles for one (workload, design) cell, with small result cache.
+/** Cycles for one (workload, design) cell, with a result cache.
+ *
+ *  warm() executes a batch of cells across a sweep::Executor worker
+ *  pool and populates the cache; operator() then serves the reporting
+ *  loops from it (and falls back to running any cell that was not
+ *  warmed). Cells are independent simulations, so any interleaving
+ *  yields the same results.
  *
  *  When constructed with options naming a --stats-json path, every
- *  executed (non-cached) cell is archived on destruction as a JSON
- *  object keyed by the cell's configuration string: the distilled
- *  RunResult plus the system's full StatGroup::dumpJson output. */
+ *  executed cell is archived on destruction as a JSON object keyed by
+ *  the cell's configuration string. The archive map is key-sorted and
+ *  its inserts are mutex-guarded, so the emitted file is
+ *  byte-identical for every --jobs value. */
 class CellRunner
 {
   public:
     CellRunner() = default;
 
     explicit CellRunner(const BenchOptions &opts)
-        : _statsJsonPath(opts.statsJsonPath)
+        : CellRunner(opts.statsJsonPath, opts.jobs)
+    {}
+
+    CellRunner(std::string stats_json_path, unsigned jobs)
+        : _statsJsonPath(std::move(stats_json_path)), _jobs(jobs)
     {}
 
     ~CellRunner()
@@ -144,36 +195,78 @@ class CellRunner
         os << "}\n";
     }
 
+    /** The cache key for one cell. Must cover every field a bench may
+     *  vary, or a cell would silently reuse another configuration's
+     *  result. */
+    static std::string
+    cellKey(const RunSpec &spec)
+    {
+        const SystemConfig &sys = spec.system;
+        return spec.workload + "/" + designName(sys.design) + "/" +
+               std::to_string(spec.n) + "/" +
+               std::to_string(sys.l1Size) + "/" +
+               std::to_string(sys.l2Size) + "/" +
+               std::to_string(sys.l3Size) + "/" +
+               std::to_string(sys.threeLevel) + "/" +
+               std::to_string(sys.memTiming.tCas) + "/" +
+               std::to_string(sys.memTiming.tActivate) + "/" +
+               std::to_string(sys.memTopo.subRowBuffers) + "/" +
+               std::to_string(sys.tileWritePenalty) + "/" +
+               std::to_string(sys.maxOutstanding) + "/" +
+               std::to_string(sys.prefetchDegree) + "/" +
+               std::to_string(sys.gatherHits) + "/" +
+               std::to_string(sys.disableMshrCoalescing) + "/" +
+               (sys.layoutOverride
+                    ? std::to_string(
+                          static_cast<int>(*sys.layoutOverride))
+                    : "auto") +
+               "/" + std::to_string(spec.autoScaleCaches) + "/" +
+               std::to_string(spec.seed);
+    }
+
+    /**
+     * Execute every not-yet-cached cell of @p specs across the worker
+     * pool. Duplicate keys (figure loops revisit baselines) run once.
+     * After warm() returns, operator() is a cache hit for each spec.
+     */
+    void
+    warm(const std::vector<RunSpec> &specs)
+    {
+        std::vector<const RunSpec *> todo;
+        std::set<std::string> scheduled;
+        for (const auto &spec : specs) {
+            std::string key = cellKey(spec);
+            if (_cache.count(key) || !scheduled.insert(key).second)
+                continue;
+            todo.push_back(&spec);
+        }
+        if (todo.empty())
+            return;
+        sweep::Executor pool(_jobs);
+        pool.forEach(todo.size(), [&](std::size_t idx) {
+            runCell(*todo[idx]);
+        });
+    }
+
     RunResult
     operator()(const RunSpec &spec)
     {
-        // The key must cover every field a bench may vary, or a cell
-        // would silently reuse another configuration's result.
-        const SystemConfig &sys = spec.system;
-        std::string key =
-            spec.workload + "/" + designName(sys.design) + "/" +
-            std::to_string(spec.n) + "/" +
-            std::to_string(sys.l1Size) + "/" +
-            std::to_string(sys.l2Size) + "/" +
-            std::to_string(sys.l3Size) + "/" +
-            std::to_string(sys.threeLevel) + "/" +
-            std::to_string(sys.memTiming.tCas) + "/" +
-            std::to_string(sys.memTiming.tActivate) + "/" +
-            std::to_string(sys.memTopo.subRowBuffers) + "/" +
-            std::to_string(sys.tileWritePenalty) + "/" +
-            std::to_string(sys.maxOutstanding) + "/" +
-            std::to_string(sys.prefetchDegree) + "/" +
-            std::to_string(sys.gatherHits) + "/" +
-            std::to_string(sys.disableMshrCoalescing) + "/" +
-            (sys.layoutOverride
-                 ? std::to_string(static_cast<int>(*sys.layoutOverride))
-                 : "auto") +
-            "/" + std::to_string(spec.autoScaleCaches) + "/" +
-            std::to_string(spec.seed);
+        std::string key = cellKey(spec);
         auto it = _cache.find(key);
         if (it != _cache.end())
             return it->second;
+        return runCell(spec);
+    }
+
+  private:
+    /** Run one cell and archive it (called from warm() workers and
+     *  from the main thread on cache misses). */
+    RunResult
+    runCell(const RunSpec &spec)
+    {
+        std::string key = cellKey(spec);
         RunResult result;
+        std::string json;
         if (_statsJsonPath.empty()) {
             result = runOne(spec);
         } else {
@@ -190,16 +283,20 @@ class CellRunner
                  << "}, \"stats\": ";
             run.system.statGroup().dumpJson(cell);
             cell << "}";
-            _cellJson.emplace_back(key, cell.str());
+            json = cell.str();
         }
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!json.empty())
+            _cellJson.emplace(key, std::move(json));
         _cache.emplace(key, result);
         return result;
     }
 
-  private:
+    std::mutex _mutex;
     std::map<std::string, RunResult> _cache;
     std::string _statsJsonPath;
-    std::vector<std::pair<std::string, std::string>> _cellJson;
+    unsigned _jobs = 0;
+    std::map<std::string, std::string> _cellJson;
 };
 
 } // namespace mda::bench

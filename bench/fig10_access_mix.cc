@@ -15,21 +15,31 @@ namespace
 {
 
 void
-printMix(const BenchOptions &opts, std::int64_t n)
+printMix(const BenchOptions &opts, sweep::Executor &pool,
+         std::int64_t n)
 {
     report::banner("Fig. 10 — access type distribution, " +
                    std::to_string(n) + "x" + std::to_string(n));
     report::Table table({"bench", "RowScalar", "RowVector", "ColScalar",
                          "ColVector", "col total"});
-    std::vector<double> col_shares;
-    compiler::AccessMix avg;
-    for (const auto &name : opts.workloads) {
+
+    // Compile + measure each workload's mix across the pool (no
+    // simulation here; the compile passes dominate).
+    std::vector<compiler::AccessMix> mixes(opts.workloads.size());
+    pool.forEach(mixes.size(), [&](std::size_t idx) {
         workloads::WorkloadParams params;
         params.n = n;
         auto ck = compiler::compileKernel(
-            workloads::makeWorkload(name, params),
+            workloads::makeWorkload(opts.workloads[idx], params),
             compiler::CompileOptions{});
-        auto mix = compiler::measureAccessMix(ck);
+        mixes[idx] = compiler::measureAccessMix(ck);
+    });
+
+    std::vector<double> col_shares;
+    compiler::AccessMix avg;
+    for (std::size_t w = 0; w < opts.workloads.size(); ++w) {
+        const auto &name = opts.workloads[w];
+        const auto &mix = mixes[w];
         double col = mix.fraction(mix.colScalar + mix.colVector);
         col_shares.push_back(col);
         avg.rowScalar += mix.rowScalar;
@@ -61,7 +71,8 @@ main(int argc, char **argv)
               << "Paper: column preferences are ~40% of total data "
                  "volume on average;\nevery benchmark exercises "
                  "column preference.\n";
-    printMix(opts, opts.n / 2); // the paper's 256x256 panel
-    printMix(opts, opts.n);     // the 512x512 panel
+    sweep::Executor pool(opts.jobs);
+    printMix(opts, pool, opts.n / 2); // the paper's 256x256 panel
+    printMix(opts, pool, opts.n);     // the 512x512 panel
     return 0;
 }

@@ -24,6 +24,14 @@ main(int argc, char **argv)
     std::cout << "MDACache Fig. 11 reproduction (" << opts.describe()
               << ")\nL1 hit rate normalized to 1P1L+prefetch, 1MB "
                  "LLC.\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        for (auto design : designs)
+            cells.push_back(opts.spec(workload, design));
+    }
+    run.warm(cells);
+
     report::banner("Fig. 11 — normalized L1 hit rate");
     report::Table table({"bench", "1P1L(abs)", "1P2L", "1P2L_SameSet",
                          "2P2L"});

@@ -34,6 +34,19 @@ main(int argc, char **argv)
               << ")\nNormalized total cycles vs 1P1L+prefetch; lower "
                  "is better.\n";
 
+    // Every cell of the figure, executed across the worker pool; the
+    // reporting loops below then read the warmed cache.
+    std::vector<RunSpec> cells;
+    for (const auto &[llc_name, llc_bytes] : llcs) {
+        for (const auto &workload : opts.workloads) {
+            cells.push_back(
+                opts.spec(workload, DesignPoint::D0_1P1L, llc_bytes));
+            for (auto design : designs)
+                cells.push_back(opts.spec(workload, design, llc_bytes));
+        }
+    }
+    run.warm(cells);
+
     for (const auto &[llc_name, llc_bytes] : llcs) {
         report::banner("Fig. 12 — " + llc_name + " LLC");
         report::Table table(

@@ -42,6 +42,14 @@ main(int argc, char **argv)
               << resident_n << "x" << resident_n
               << ", 2-level hierarchy, 2MB L2 LLC"
               << (opts.paper ? "" : ", scaled") << ")\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(make_spec(workload, DesignPoint::D0_1P1L));
+        for (auto design : designs)
+            cells.push_back(make_spec(workload, design));
+    }
+    run.warm(cells);
+
     report::banner("Fig. 13 — normalized total cycles");
     report::Table table({"bench", "1P2L", "2P2L"});
     std::map<DesignPoint, std::vector<double>> normalized;

@@ -25,6 +25,14 @@ main(int argc, char **argv)
     std::cout << "MDACache Fig. 14 reproduction (" << opts.describe()
               << ")\n";
 
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        for (auto design : designs)
+            cells.push_back(opts.spec(workload, design));
+    }
+    run.warm(cells);
+
     for (bool bytes_view : {false, true}) {
         report::banner(bytes_view
                            ? "Fig. 14 (right) — normalized LLC-memory "

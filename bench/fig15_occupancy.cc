@@ -19,14 +19,8 @@ namespace
 {
 
 void
-printSeries(const BenchOptions &opts, const std::string &workload)
+printSeries(PreparedRun &sampled, const std::string &workload)
 {
-    // Sample every 20k cycles, downsample to ~24 printed points.
-    RunSpec spec = opts.spec(workload, DesignPoint::D1_1P2L);
-    spec.system.occupancySamplePeriod = 20000;
-    PreparedRun sampled(spec);
-    sampled.system.run();
-
     report::banner("Fig. 15 — " + workload +
                    " column occupancy over time (1P2L)");
     report::Table table({"cycle(M)", "L1 col%", "L2 col%", "L3 col%"});
@@ -56,8 +50,21 @@ main(int argc, char **argv)
     auto opts = BenchOptions::parse(argc, argv);
     std::cout << "MDACache Fig. 15 reproduction (" << opts.describe()
               << ")\n";
-    printSeries(opts, "sgemm");
-    printSeries(opts, "ssyrk");
+
+    // This figure needs each cell's full time series, so keep the
+    // simulated systems alive: run them across the pool, print after.
+    const std::vector<std::string> figures{"sgemm", "ssyrk"};
+    std::vector<std::unique_ptr<PreparedRun>> runs(figures.size());
+    sweep::Executor pool(opts.jobs);
+    pool.forEach(figures.size(), [&](std::size_t idx) {
+        // Sample every 20k cycles, downsample to ~24 printed points.
+        RunSpec spec = opts.spec(figures[idx], DesignPoint::D1_1P2L);
+        spec.system.occupancySamplePeriod = 20000;
+        runs[idx] = std::make_unique<PreparedRun>(spec);
+        runs[idx]->system.run();
+    });
+    for (std::size_t f = 0; f < figures.size(); ++f)
+        printSeries(*runs[f], figures[f]);
     std::cout << "\nPaper: sgemm's column share is small and steady; "
                  "ssyrk's rises then falls across its phases.\n";
     return 0;

@@ -21,6 +21,16 @@ main(int argc, char **argv)
     std::cout << "MDACache Fig. 16 reproduction (" << opts.describe()
               << ")\nNormalized cycles vs 1P1L+prefetch, 1MB-class "
                  "LLC.\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        cells.push_back(opts.spec(workload, DesignPoint::D0_1P1L));
+        cells.push_back(opts.spec(workload, DesignPoint::D2_2P2L));
+        RunSpec slow_spec = opts.spec(workload, DesignPoint::D2_2P2L);
+        slow_spec.system.tileWritePenalty = 20;
+        cells.push_back(slow_spec);
+    }
+    run.warm(cells);
+
     report::banner("Fig. 16 — 2P2L write-latency asymmetry (+20cyc)");
     report::Table table({"bench", "2P2L", "2P2L-SlowWrite", "delta"});
     std::vector<double> sym, asym;

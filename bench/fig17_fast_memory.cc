@@ -26,6 +26,19 @@ main(int argc, char **argv)
     std::cout << "MDACache Fig. 17 reproduction (" << opts.describe()
               << ")\nAll cycles normalized to 1P1L with the *base* "
                  "memory.\n";
+    std::vector<RunSpec> cells;
+    for (const auto &workload : opts.workloads) {
+        for (auto design : designs) {
+            for (bool fast : {false, true}) {
+                RunSpec spec = opts.spec(workload, design);
+                if (fast)
+                    spec.system.memTiming = MemTimingParams::sttFast();
+                cells.push_back(spec);
+            }
+        }
+    }
+    run.warm(cells);
+
     report::banner("Fig. 17 — 1.6x faster main memory");
     std::vector<std::string> headers{"bench"};
     for (auto d : designs) {

@@ -13,7 +13,7 @@ using namespace mda::bench;
 int
 main(int argc, char **argv)
 {
-    BenchOptions::parse(argc, argv);
+    auto opts = BenchOptions::parse(argc, argv);
 
     report::banner("Table I — experimental setup (as implemented)");
     report::Table table({"component", "configuration"});
@@ -59,9 +59,11 @@ main(int argc, char **argv)
                             "(HTAP: 2048x256 / 2048x512)"});
     table.print();
 
-    // Validate the decode invariants Table I's memory relies on.
+    // Validate the decode invariants Table I's memory relies on
+    // (AddressDecoder::decode is const; tiles check independently).
     AddressDecoder dec(topo);
-    for (std::uint64_t tile = 0; tile < 64; ++tile) {
+    sweep::Executor pool(opts.jobs);
+    pool.forEach(64, [&](std::size_t tile) {
         auto first = dec.decode(tileBase(tile));
         for (unsigned w = 1; w < 64; ++w) {
             auto d = dec.decode(tileBase(tile) + w * wordBytes);
@@ -69,7 +71,7 @@ main(int argc, char **argv)
                 fatal("tile %llu not bank-uniform",
                       (unsigned long long)tile);
         }
-    }
+    });
     std::cout << "\naddress decode validated: tiles are the "
                  "interleaving unit (Fig. 8)\n";
     return 0;

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate.
+
+Compares a freshly produced bench --stats-json archive against a
+committed baseline, cell by cell. Each archive maps a cell key (the
+full configuration string) to {"result": {...}, "stats": {...}}; the
+gate compares result.cycles with a relative tolerance.
+
+Exit status:
+  0  every baseline cell present and within tolerance
+  1  regression (cycles above tolerance), missing cells, or bad input
+
+Improvements beyond the tolerance do not fail the gate, but are
+reported loudly: they mean the baseline is stale and should be
+refreshed (see EXPERIMENTS.md, "Refreshing the CI bench baseline").
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot load {path}: {err}")
+
+
+def cell_cycles(archive, path):
+    cycles = {}
+    for key, cell in archive.items():
+        try:
+            cycles[key] = cell["result"]["cycles"]
+        except (TypeError, KeyError):
+            sys.exit(f"error: {path}: cell {key!r} has no "
+                     "result.cycles")
+    return cycles
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative cycles tolerance "
+                             "(default 0.02 = ±2%%)")
+    args = parser.parse_args()
+
+    base = cell_cycles(load(args.baseline), args.baseline)
+    new = cell_cycles(load(args.current), args.current)
+
+    regressions = []
+    improvements = []
+    missing = sorted(set(base) - set(new))
+    extra = sorted(set(new) - set(base))
+
+    for key in sorted(set(base) & set(new)):
+        if base[key] == 0:
+            continue
+        rel = new[key] / base[key] - 1.0
+        line = (f"  {key}: {base[key]} -> {new[key]} cycles "
+                f"({rel:+.2%})")
+        if rel > args.tolerance:
+            regressions.append(line)
+        elif rel < -args.tolerance:
+            improvements.append(line)
+
+    print(f"bench gate: {len(base)} baseline cells, "
+          f"{len(new)} current cells, "
+          f"tolerance ±{args.tolerance:.1%}")
+
+    failed = False
+    if missing:
+        failed = True
+        print(f"\nFAIL: {len(missing)} baseline cell(s) missing from "
+              "the current run:")
+        for key in missing:
+            print(f"  {key}")
+    if extra:
+        print(f"\nnote: {len(extra)} new cell(s) not in the baseline "
+              "(refresh the baseline to start tracking them):")
+        for key in extra:
+            print(f"  {key}")
+    if regressions:
+        failed = True
+        print(f"\nFAIL: {len(regressions)} cell(s) regressed beyond "
+              "tolerance:")
+        print("\n".join(regressions))
+    if improvements:
+        print(f"\nnote: {len(improvements)} cell(s) improved beyond "
+              "tolerance — the baseline is stale, refresh it:")
+        print("\n".join(improvements))
+
+    if failed:
+        sys.exit(1)
+    print("bench gate: OK")
+
+
+if __name__ == "__main__":
+    main()

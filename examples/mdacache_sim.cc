@@ -16,9 +16,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/sweep.hh"
 #include "sim/debug.hh"
 #include "sim/trace_event.hh"
 
@@ -36,6 +39,8 @@ usage()
         "  --workload <name>   sgemm ssyr2k ssyrk strmm sobel htap1 "
         "htap2\n"
         "  --all               run every workload\n"
+        "  --jobs <N>          sweep worker threads (0 = all cores;\n"
+        "                      default 0; tracing forces 1)\n"
         "  --design <name>     1P1L | 1P2L | 1P2L_SameSet | 2P2L |\n"
         "                      2P2L_Dense\n"
         "  --n <dim>           input dimension (default 128)\n"
@@ -101,6 +106,8 @@ main(int argc, char **argv)
     RunSpec spec;
     bool all = false;
     bool dump_stats = false;
+    unsigned jobs = 0;
+    bool jobs_given = false;
     std::string stats_json_path;
     std::string trace_out_path;
     std::size_t trace_max_events = trace::EventLog::defaultCapacity;
@@ -116,6 +123,9 @@ main(int argc, char **argv)
             spec.workload = next();
         } else if (arg == "--all") {
             all = true;
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(std::stoul(next()));
+            jobs_given = true;
         } else if (arg == "--design") {
             spec.system.design = parseDesign(next());
         } else if (arg == "--n") {
@@ -166,6 +176,18 @@ main(int argc, char **argv)
         all ? workloads::workloadNames()
             : std::vector<std::string>{spec.workload};
 
+    // Tracing and debug flags record into process-wide sinks, so a
+    // traced sweep is restricted to one worker: refuse an explicit
+    // parallel request, downgrade an implicit one.
+    bool tracing = !trace_out_path.empty() || obs::hot;
+    if (tracing) {
+        if (jobs_given && sweep::resolveJobs(jobs) > 1) {
+            fatal("--trace-out/--debug-flags write to a process-wide "
+                  "sink; tracing requires --jobs 1");
+        }
+        jobs = 1;
+    }
+
     if (!trace_out_path.empty())
         trace::log().open(trace_out_path, trace_max_events);
 
@@ -178,31 +200,44 @@ main(int argc, char **argv)
         stats_json << "{";
     }
 
+    // Run the sweep across the pool, keeping each prepared system
+    // until its stats are emitted; all output is written afterwards
+    // in workload order, so it is identical for every job count.
+    std::vector<std::unique_ptr<PreparedRun>> runs(list.size());
+    std::vector<RunResult> results(list.size());
+    {
+        sweep::Executor pool(jobs);
+        pool.forEach(list.size(), [&](std::size_t idx) {
+            RunSpec one = spec;
+            one.workload = list[idx];
+            runs[idx] = std::make_unique<PreparedRun>(one);
+            results[idx] = runs[idx]->system.run();
+        });
+    }
+
     report::Table table({"workload", "design", "cycles", "L1 hit",
                          "LLC accesses", "mem bytes", "check"});
     bool first_json = true;
-    for (const auto &name : list) {
-        RunSpec one = spec;
-        one.workload = name;
-        PreparedRun run(one);
-        RunResult result = run.system.run();
-        table.addRow({name, designName(one.system.design),
+    for (std::size_t idx = 0; idx < list.size(); ++idx) {
+        const auto &name = list[idx];
+        const RunResult &result = results[idx];
+        table.addRow({name, designName(spec.system.design),
                       std::to_string(result.cycles),
                       report::pct(result.l1HitRate),
                       std::to_string(result.llcAccesses),
                       std::to_string(result.memBytes),
-                      one.system.checkData
+                      spec.system.checkData
                           ? (result.checkFailures ? "FAIL" : "ok")
                           : "-"});
         if (dump_stats) {
             report::banner(name + " statistics");
-            run.system.statGroup().dump(std::cout);
+            runs[idx]->system.statGroup().dump(std::cout);
         }
         if (stats_json.is_open()) {
             stats_json << (first_json ? "\n" : ",\n") << "\"" << name
                        << "\": ";
             first_json = false;
-            run.system.statGroup().dumpJson(stats_json);
+            runs[idx]->system.statGroup().dumpJson(stats_json);
         }
     }
     if (stats_json.is_open())

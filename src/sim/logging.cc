@@ -22,9 +22,13 @@ vreport(LogLevel level, const char *fmt, std::va_list args)
       case LogLevel::Warn:   prefix = "warn: "; break;
       case LogLevel::Inform: prefix = "info: "; break;
     }
-    std::fputs(prefix, stderr);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    // Assemble the whole line first and write it with one stdio call:
+    // parallel sweep workers report through here (heartbeats, warns),
+    // and separate prefix/message writes would interleave mid-line.
+    char line[1024];
+    int off = std::snprintf(line, sizeof(line), "%s", prefix);
+    std::vsnprintf(line + off, sizeof(line) - off, fmt, args);
+    std::fprintf(stderr, "%s\n", line);
     std::fflush(stderr);
 }
 

@@ -21,6 +21,10 @@
  * Recording costs a single predicted-false branch while disabled
  * (check trace::on() before touching the log). Load the output in
  * https://ui.perfetto.dev or chrome://tracing.
+ *
+ * The log is process-wide and not thread-safe: parallel sweeps
+ * (sweep::Executor with --jobs > 1) refuse to run while it is
+ * recording, so traced runs are always single-job.
  */
 
 #ifndef MDA_SIM_TRACE_EVENT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * BenchOptions::parse argument handling: a value-taking flag as the
+ * final argv entry must die with "missing value", never silently run
+ * the wrong configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hh"
+
+namespace mda::bench
+{
+namespace
+{
+
+BenchOptions
+parseArgs(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench");
+    return BenchOptions::parse(
+        static_cast<int>(args.size()),
+        const_cast<char **>(const_cast<const char **>(args.data())));
+}
+
+TEST(BenchOptions, ParsesFullCommandLine)
+{
+    auto opts = parseArgs({"--n", "64", "--jobs", "3", "--workloads",
+                           "sgemm,htap1", "--stats-json", "out.json"});
+    EXPECT_EQ(opts.n, 64);
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.workloads,
+              (std::vector<std::string>{"sgemm", "htap1"}));
+    EXPECT_EQ(opts.statsJsonPath, "out.json");
+}
+
+TEST(BenchOptionsDeathTest, MissingValueIsFatal)
+{
+    // Each value-taking flag, dangling as the final argv entry.
+    EXPECT_EXIT(parseArgs({"--n"}), testing::ExitedWithCode(1),
+                "missing value for --n");
+    EXPECT_EXIT(parseArgs({"--quick", "--workloads"}),
+                testing::ExitedWithCode(1),
+                "missing value for --workloads");
+    EXPECT_EXIT(parseArgs({"--stats-json"}),
+                testing::ExitedWithCode(1),
+                "missing value for --stats-json");
+    EXPECT_EXIT(parseArgs({"--debug-flags"}),
+                testing::ExitedWithCode(1),
+                "missing value for --debug-flags");
+    EXPECT_EXIT(parseArgs({"--jobs"}), testing::ExitedWithCode(1),
+                "missing value for --jobs");
+}
+
+TEST(BenchOptionsDeathTest, BadDimensionIsFatal)
+{
+    EXPECT_EXIT(parseArgs({"--n", "12"}), testing::ExitedWithCode(1),
+                "multiple of 8");
+}
+
+TEST(BenchOptionsDeathTest, TracingRefusesExplicitParallelism)
+{
+    EXPECT_EXIT(parseArgs({"--debug-flags", "Cache", "--jobs", "4"}),
+                testing::ExitedWithCode(1), "requires --jobs 1");
+}
+
+TEST(BenchOptions, TracingDowngradesImplicitParallelism)
+{
+    // In a child process so the enabled flag cannot leak into other
+    // tests (EXPECT_EXIT forks).
+    EXPECT_EXIT(
+        {
+            auto opts = parseArgs({"--debug-flags", "Cache"});
+            std::exit(opts.jobs == 1 ? 0 : 1);
+        },
+        testing::ExitedWithCode(0), "");
+}
+
+} // namespace
+} // namespace mda::bench

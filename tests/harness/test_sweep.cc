@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Sweep-executor tests: results and archived JSON must not depend on
+ * the job count, exceptions must propagate deterministically, and a
+ * parallel smoke sweep gives ThreadSanitizer builds races to hunt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_common.hh"
+#include "harness/sweep.hh"
+
+namespace mda
+{
+namespace
+{
+
+/** A 12-cell figure-style sweep: 3 workloads x 4 design points. */
+std::vector<RunSpec>
+twelveCells()
+{
+    std::vector<RunSpec> cells;
+    for (const auto *workload : {"sgemm", "sobel", "htap1"}) {
+        for (auto design :
+             {DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
+              DesignPoint::D1_1P2L_SameSet, DesignPoint::D2_2P2L}) {
+            RunSpec spec;
+            spec.workload = workload;
+            spec.n = 16;
+            spec.system.design = design;
+            cells.push_back(spec);
+        }
+    }
+    return cells;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+TEST(SweepExecutor, ResolveJobs)
+{
+    EXPECT_GE(sweep::resolveJobs(0), 1u);
+    EXPECT_EQ(sweep::resolveJobs(1), 1u);
+    EXPECT_EQ(sweep::resolveJobs(7), 7u);
+}
+
+TEST(SweepExecutor, RunAllPreservesInputOrder)
+{
+    auto cells = twelveCells();
+    auto serial = sweep::runAll(cells, 1);
+    auto parallel = sweep::runAll(cells, 8);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        EXPECT_EQ(serial[c].cycles, parallel[c].cycles) << c;
+        EXPECT_EQ(serial[c].ops, parallel[c].ops) << c;
+        EXPECT_EQ(serial[c].llcAccesses, parallel[c].llcAccesses) << c;
+        EXPECT_EQ(serial[c].memBytes, parallel[c].memBytes) << c;
+    }
+}
+
+TEST(SweepExecutor, StatsJsonBytesIdenticalAcrossJobCounts)
+{
+    auto cells = twelveCells();
+    std::string path1 = testing::TempDir() + "sweep_jobs1.json";
+    std::string path8 = testing::TempDir() + "sweep_jobs8.json";
+    {
+        bench::CellRunner runner(path1, 1);
+        runner.warm(cells);
+    }
+    {
+        bench::CellRunner runner(path8, 8);
+        runner.warm(cells);
+    }
+    std::string json1 = slurp(path1);
+    std::string json8 = slurp(path8);
+    ASSERT_FALSE(json1.empty());
+    EXPECT_EQ(json1, json8);
+    std::remove(path1.c_str());
+    std::remove(path8.c_str());
+}
+
+TEST(SweepExecutor, WarmedCacheServesReportingLoop)
+{
+    auto cells = twelveCells();
+    bench::CellRunner warmed("", 8);
+    warmed.warm(cells);
+    bench::CellRunner serial;
+    for (const auto &spec : cells) {
+        EXPECT_EQ(warmed(spec).cycles, serial(spec).cycles)
+            << bench::CellRunner::cellKey(spec);
+    }
+}
+
+TEST(SweepExecutor, LowestIndexExceptionPropagates)
+{
+    sweep::Executor pool(4);
+    std::atomic<unsigned> executed{0};
+    try {
+        pool.forEach(64, [&](std::size_t idx) {
+            ++executed;
+            if (idx == 7 || idx == 31)
+                throw std::runtime_error("cell " +
+                                         std::to_string(idx));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "cell 7");
+    }
+    // A failing cell must not cancel the rest of the sweep.
+    EXPECT_EQ(executed.load(), 64u);
+}
+
+TEST(SweepExecutor, PoolReusableAfterException)
+{
+    sweep::Executor pool(2);
+    EXPECT_THROW(pool.forEach(4,
+                              [](std::size_t) {
+                                  throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+    std::atomic<unsigned> executed{0};
+    pool.forEach(8, [&](std::size_t) { ++executed; });
+    EXPECT_EQ(executed.load(), 8u);
+}
+
+TEST(SweepExecutor, EmptySweepReturnsImmediately)
+{
+    sweep::Executor pool(4);
+    pool.forEach(0, [](std::size_t) { FAIL(); });
+}
+
+/** Smoke sweep for sanitizer builds: real simulations on many
+ *  workers. Under -DMDA_TSAN=ON this is the race detector's target;
+ *  under ASan/UBSan it checks the parallel run path end to end. */
+TEST(SweepSmoke, ParallelCellsUnderSanitizers)
+{
+    auto cells = twelveCells();
+    auto results = sweep::runAll(cells, 8);
+    for (const auto &result : results)
+        EXPECT_GT(result.cycles, 0u);
+}
+
+} // namespace
+} // namespace mda
