@@ -55,6 +55,36 @@ CacheBase::CacheBase(const std::string &obj_name, EventQueue &eq,
                     "sampled)");
 }
 
+std::vector<std::string>
+CacheBase::checkDrained() const
+{
+    std::vector<std::string> violations;
+    for (const MshrEntry &entry : _mshr.entries()) {
+        violations.push_back(
+            name() + ": MSHR entry for " +
+            orientName(entry.line.orient) + " line id " +
+            std::to_string(entry.line.id) + " with " +
+            std::to_string(entry.targets.size()) +
+            " target(s) leaked after drain");
+    }
+    if (!_writeBuffer.empty()) {
+        violations.push_back(
+            name() + ": " + std::to_string(_writeBuffer.size()) +
+            " writeback(s) stuck in the write buffer after drain");
+    }
+    if (!_deferred.empty()) {
+        violations.push_back(
+            name() + ": " + std::to_string(_deferred.size()) +
+            " deferred packet(s) never replayed");
+    }
+    if (_inFlightLookups != 0) {
+        violations.push_back(
+            name() + ": " + std::to_string(_inFlightLookups) +
+            " accepted lookup(s) never dispatched");
+    }
+    return violations;
+}
+
 bool
 CacheBase::canAccept() const
 {
@@ -98,6 +128,11 @@ CacheBase::tryRequest(PacketPtr &pkt)
             ++_demandAccesses;
             handleDemand(std::move(p));
         }
+        // Dispatching released this lookup's reserved MSHR slot (and
+        // the handler may have freed more); without a retry here an
+        // upstream rejected against that reservation would wait for a
+        // recvRetry that never comes once the queues drain.
+        maybeUnblockUpstream();
     });
     return true;
 }

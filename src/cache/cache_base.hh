@@ -20,6 +20,8 @@
 #define MDA_CACHE_CACHE_BASE_HH
 
 #include <deque>
+#include <string>
+#include <vector>
 
 #include "cache_config.hh"
 #include "mshr.hh"
@@ -50,6 +52,30 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
     void setDownstream(MemDevice *dev) { _downstream = dev; }
 
     const CacheConfig &config() const { return _config; }
+
+    /**
+     * Structural-invariant sweep (the mda_fuzz debug hook): verify
+     * every internal consistency rule that must hold *between* events
+     * and return a human-readable description of each violation (an
+     * empty vector means the cache is consistent). Subclasses check
+     * their storage (dirty bits only on valid words, no two dirty
+     * copies of one word across intersecting lines, presence-bit
+     * bookkeeping); the base implementation has nothing to add.
+     *
+     * O(frames) per call — meant for MDA_FUZZ_CHECKS-style stepped
+     * runs over tiny caches, not for the simulation fast path.
+     */
+    virtual std::vector<std::string> checkInvariants() const
+    {
+        return {};
+    }
+
+    /**
+     * Drain-time checks: once the event queue is quiescent, no MSHR
+     * entry (or coalesced target), queued writeback, or deferred
+     * packet may survive — a leftover means a request was leaked.
+     */
+    std::vector<std::string> checkDrained() const;
 
   protected:
     /** Demand access (Read/Write; scalar, vector, or line fill from an

@@ -138,6 +138,12 @@ class LineStorage
         return &_entries[set * _ways];
     }
 
+    const CacheEntry *setBase(std::uint64_t set) const
+    {
+        mda_assert(set < _sets, "set out of range");
+        return &_entries[set * _ways];
+    }
+
     /** Currently valid column-oriented lines (Fig. 15 occupancy). */
     std::uint64_t validColLines() const { return _validColLines; }
     std::uint64_t validRowLines() const { return _validRowLines; }

@@ -1,5 +1,7 @@
 #include "line_cache.hh"
 
+#include <unordered_map>
+
 #include "sim/debug.hh"
 #include "sim/trace_event.hh"
 
@@ -50,6 +52,79 @@ CacheEntry *
 LineCache::lookup(const OrientedLine &line)
 {
     return _storage.find(setFor(line), line);
+}
+
+std::vector<std::string>
+LineCache::checkInvariants() const
+{
+    std::vector<std::string> violations;
+    auto describe = [](const CacheEntry &e) {
+        return std::string(orientName(e.line.orient)) + " line id " +
+               std::to_string(e.line.id);
+    };
+
+    // One sweep collects every valid entry, a copy count per covered
+    // word, and the orientation occupancy tallies.
+    std::vector<const CacheEntry *> valid;
+    std::unordered_map<Addr, unsigned> copies;
+    std::uint64_t rows = 0, cols = 0;
+    for (std::uint64_t set = 0; set < _storage.numSets(); ++set) {
+        const CacheEntry *base = _storage.setBase(set);
+        for (unsigned w = 0; w < _storage.ways(); ++w) {
+            const CacheEntry &e = base[w];
+            if (!e.valid) {
+                if (e.dirtyMask != 0) {
+                    violations.push_back(
+                        name() + ": invalid frame (set " +
+                        std::to_string(set) + " way " +
+                        std::to_string(w) + ") carries dirty mask " +
+                        std::to_string(e.dirtyMask));
+                }
+                continue;
+            }
+            for (const CacheEntry *other : valid) {
+                if (other->line == e.line) {
+                    violations.push_back(
+                        name() + ": duplicate entries for " +
+                        describe(e));
+                }
+            }
+            valid.push_back(&e);
+            (e.line.orient == Orientation::Col ? cols : rows) += 1;
+            for (unsigned k = 0; k < lineWords; ++k)
+                ++copies[e.line.wordAddr(k)];
+        }
+    }
+
+    // Fig. 9: a write evicts every other copy of the written word and
+    // a dirty word is written back (Modified -> Clean) before any
+    // intersecting fill — so between events a dirty word must be the
+    // only copy of that word in this cache.
+    for (const CacheEntry *e : valid) {
+        for (unsigned k = 0; k < lineWords; ++k) {
+            if (!(e->dirtyMask & (1u << k)))
+                continue;
+            if (copies[e->line.wordAddr(k)] > 1) {
+                violations.push_back(
+                    name() + ": dirty word " +
+                    std::to_string(e->line.wordAddr(k)) + " of " +
+                    describe(*e) +
+                    " has a second copy in an intersecting line");
+            }
+        }
+    }
+
+    if (rows != _storage.validRowLines() ||
+        cols != _storage.validColLines()) {
+        violations.push_back(
+            name() + ": occupancy counters (" +
+            std::to_string(_storage.validRowLines()) + " rows, " +
+            std::to_string(_storage.validColLines()) +
+            " cols) disagree with the frames (" +
+            std::to_string(rows) + " rows, " + std::to_string(cols) +
+            " cols)");
+    }
+    return violations;
 }
 
 void

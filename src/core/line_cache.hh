@@ -75,6 +75,14 @@ class LineCache : public CacheBase
     /** Set index of @p line under this cache's mapping mode. */
     std::uint64_t setFor(const OrientedLine &line) const;
 
+    /** Structural invariants (mda_fuzz hook): dirty bits only on
+     *  valid entries, a dirty word exclusive within this level (no
+     *  second copy — clean or dirty — in an intersecting line, the
+     *  Fig. 9 write-evicts-duplicates policy), no duplicate entries
+     *  for one oriented line, and orientation occupancy counters
+     *  consistent with the frames. */
+    std::vector<std::string> checkInvariants() const override;
+
     /** Fraction of valid lines that are column-oriented (Fig. 15). */
     double
     colOccupancy() const

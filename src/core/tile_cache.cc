@@ -42,6 +42,51 @@ TileCache::notePresenceDelta(std::int64_t delta)
     }
 }
 
+std::vector<std::string>
+TileCache::checkInvariants() const
+{
+    std::vector<std::string> violations;
+    std::uint64_t present = 0;
+    for (std::uint64_t s = 0; s < _sets; ++s) {
+        for (unsigned w = 0; w < _config.ways; ++w) {
+            const TileEntry &e = _frames[s * _config.ways + w];
+            std::string where = name() + ": set " + std::to_string(s) +
+                                " way " + std::to_string(w);
+            if (!e.valid) {
+                if (e.wordValid != 0 || e.wordDirty != 0) {
+                    violations.push_back(
+                        where + ": invalid frame with presence/dirty "
+                                "bits set");
+                }
+                continue;
+            }
+            if (e.wordDirty & ~e.wordValid) {
+                violations.push_back(
+                    where + " (tile " + std::to_string(e.tile) +
+                    "): dirty bits on absent words (dirty " +
+                    std::to_string(e.wordDirty) + ", valid " +
+                    std::to_string(e.wordValid) + ")");
+            }
+            present += std::popcount(e.wordValid);
+            for (unsigned w2 = w + 1; w2 < _config.ways; ++w2) {
+                const TileEntry &o = _frames[s * _config.ways + w2];
+                if (o.valid && o.tile == e.tile) {
+                    violations.push_back(
+                        where + ": duplicate frames for tile " +
+                        std::to_string(e.tile));
+                }
+            }
+        }
+    }
+    if (present != _presentWords) {
+        violations.push_back(
+            name() + ": presence-bit counter " +
+            std::to_string(_presentWords) +
+            " != recounted population " + std::to_string(present));
+    }
+    return violations;
+}
+
 std::uint64_t
 TileCache::setFor(std::uint64_t tile) const
 {

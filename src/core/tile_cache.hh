@@ -113,6 +113,20 @@ class TileCache : public CacheBase
     /** Set index of @p tile (hashed; exposed for tests). */
     std::uint64_t setFor(std::uint64_t tile) const;
 
+    /** Structural invariants (mda_fuzz hook): presence/dirty masks
+     *  zero on invalid frames, dirty bits only on present words,
+     *  no duplicate frames for one tile, and the incremental
+     *  presence-bit population equal to a full recount. */
+    std::vector<std::string> checkInvariants() const override;
+
+    /** Mutable frame access for tests/fuzz corruption probes. */
+    TileEntry &frameAt(std::uint64_t set, unsigned way)
+    {
+        mda_assert(set < _sets && way < _config.ways,
+                   "frame out of range");
+        return _frames[set * _config.ways + way];
+    }
+
   protected:
     void handleDemand(PacketPtr pkt) override;
     void handleWriteback(PacketPtr pkt) override;

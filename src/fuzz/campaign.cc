@@ -1,0 +1,77 @@
+#include "campaign.hh"
+
+#include <algorithm>
+
+#include "harness/sweep.hh"
+
+namespace mda::fuzz
+{
+
+namespace
+{
+
+/** Thrown out of a worker; Executor::forEach rethrows the lowest
+ *  failing index, keeping the campaign outcome jobs-independent. */
+struct IterationFailure
+{
+    std::uint64_t index = 0;
+    Scenario scenario;
+    std::vector<Failure> failures;
+};
+
+} // namespace
+
+std::uint64_t
+iterationSeed(std::uint64_t base, std::uint64_t index)
+{
+    return Rng::streamSeed(base, index);
+}
+
+bool
+campaignScenario(const FuzzOptions &opts, std::uint64_t index,
+                 Scenario &out)
+{
+    out = generateScenario(iterationSeed(opts.seed, index),
+                           opts.limits);
+    if (opts.designFilter.empty())
+        return true;
+    std::vector<DesignPoint> kept;
+    for (DesignPoint d : out.config.designs) {
+        if (std::find(opts.designFilter.begin(),
+                      opts.designFilter.end(),
+                      d) != opts.designFilter.end()) {
+            kept.push_back(d);
+        }
+    }
+    out.config.designs = std::move(kept);
+    return !out.config.designs.empty();
+}
+
+CampaignResult
+runCampaign(const FuzzOptions &opts)
+{
+    CampaignResult result;
+    sweep::Executor exec(opts.jobs);
+    try {
+        exec.forEach(opts.iterations, [&opts](std::size_t i) {
+            std::uint64_t index = opts.start + i;
+            Scenario s;
+            if (!campaignScenario(opts, index, s))
+                return; // design filter left nothing: skip
+            std::vector<Failure> failures = runOracle(s, opts.oracle);
+            if (failures.empty())
+                return;
+            throw IterationFailure{index, std::move(s),
+                                   std::move(failures)};
+        });
+    } catch (IterationFailure &f) {
+        result.failed = true;
+        result.failIndex = f.index;
+        result.failSeed = iterationSeed(opts.seed, f.index);
+        result.failScenario = std::move(f.scenario);
+        result.failures = std::move(f.failures);
+    }
+    return result;
+}
+
+} // namespace mda::fuzz

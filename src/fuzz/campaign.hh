@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fuzz campaign: many scenario iterations across a worker pool.
+ *
+ * Determinism contract (mirrors sweep::Executor's): the scenario of
+ * iteration i depends only on (base seed, absolute index start + i,
+ * generation limits) via Rng::streamSeed — never on the job count or
+ * completion order. When several iterations fail, the campaign
+ * reports the lowest absolute index, so the outcome of a run is a
+ * pure function of its options regardless of --jobs.
+ */
+
+#ifndef MDA_FUZZ_CAMPAIGN_HH
+#define MDA_FUZZ_CAMPAIGN_HH
+
+#include "oracle.hh"
+
+namespace mda::fuzz
+{
+
+/** Campaign configuration (the mda_fuzz CLI surface). */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+
+    /** Absolute index of the first iteration; lets a printed failure
+     *  be re-run alone (--start <index> --iterations 1) and nightly
+     *  campaigns shard the index space. */
+    std::uint64_t start = 0;
+
+    unsigned iterations = 100;
+
+    /** Worker threads; 0 resolves to hardware concurrency. */
+    unsigned jobs = 1;
+
+    GenLimits limits;
+    OracleOptions oracle;
+
+    /** Keep only these designs (empty = generator's choice). An
+     *  iteration whose intersection is empty is skipped. */
+    std::vector<DesignPoint> designFilter;
+};
+
+/** Outcome of a campaign. */
+struct CampaignResult
+{
+    bool failed = false;
+
+    /** Absolute index and scenario seed of the lowest failing
+     *  iteration. */
+    std::uint64_t failIndex = 0;
+    std::uint64_t failSeed = 0;
+
+    /** The unshrunk failing scenario and its failures. */
+    Scenario failScenario;
+    std::vector<Failure> failures;
+};
+
+/** Scenario seed of absolute iteration @p index for @p base. */
+std::uint64_t iterationSeed(std::uint64_t base, std::uint64_t index);
+
+/**
+ * Build the scenario of absolute iteration @p index under @p opts
+ * (generation + design filter). Returns false when the filter leaves
+ * no applicable design (the iteration is a skip).
+ */
+bool campaignScenario(const FuzzOptions &opts, std::uint64_t index,
+                      Scenario &out);
+
+/** Run the campaign; fatal()s only on unusable configuration. */
+CampaignResult runCampaign(const FuzzOptions &opts);
+
+} // namespace mda::fuzz
+
+#endif // MDA_FUZZ_CAMPAIGN_HH

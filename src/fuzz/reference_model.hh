@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Program-order reference memory shared by the coherence property
+ * test, the mda_fuzz differential oracle, and any future checker.
+ *
+ * A flat word-granular map: writes apply immediately in program
+ * order, reads return the last written value, and never-written words
+ * read as zero — mirroring the backing store's zero-init guarantee
+ * (see mem/backing_store.hh), so a cold read through any hierarchy
+ * must agree with a cold read of the model.
+ */
+
+#ifndef MDA_FUZZ_REFERENCE_MODEL_HH
+#define MDA_FUZZ_REFERENCE_MODEL_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/orientation.hh"
+#include "sim/types.hh"
+
+namespace mda::fuzz
+{
+
+/** Program-order reference memory. */
+class ReferenceModel
+{
+  public:
+    /** Value of the word containing @p addr (0 if never written). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = _words.find(alignDown(addr, wordBytes));
+        return it == _words.end() ? 0 : it->second;
+    }
+
+    /** Set the word containing @p addr. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        _words[alignDown(addr, wordBytes)] = value;
+    }
+
+    /** Every word ever written, keyed by aligned address. */
+    const std::map<Addr, std::uint64_t> &words() const
+    {
+        return _words;
+    }
+
+  private:
+    std::map<Addr, std::uint64_t> _words;
+};
+
+} // namespace mda::fuzz
+
+#endif // MDA_FUZZ_REFERENCE_MODEL_HH

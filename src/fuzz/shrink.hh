@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Greedy failure shrinking: minimize a failing scenario to a small,
+ * replayable repro.
+ *
+ * Classic delta debugging adapted to the fuzz scenario shape. Each
+ * pass proposes a simpler candidate and keeps it iff the oracle still
+ * fails (any failure counts — chasing one exact failure kind through
+ * a shrink is brittle and rarely worth it):
+ *
+ *  1. design reduction — a single design point if one suffices, else
+ *     drop designs one at a time;
+ *  2. trace chunk removal — binary-search-style chunks from half the
+ *     trace down to single ops;
+ *  3. concurrency simplification — serialize concurrent reads,
+ *     wholesale then per-op;
+ *  4. hierarchy reduction — peel upper levels off the CPU side (the
+ *     LLC stays, keeping 2P2L designs constructible).
+ *
+ * Passes repeat until a fixpoint or the run budget is exhausted; every
+ * committed candidate is itself a failing scenario, so the result is
+ * always replayable.
+ */
+
+#ifndef MDA_FUZZ_SHRINK_HH
+#define MDA_FUZZ_SHRINK_HH
+
+#include "oracle.hh"
+
+namespace mda::fuzz
+{
+
+/** Shrinking knobs. */
+struct ShrinkOptions
+{
+    /** Oracle-run budget across all candidates. */
+    unsigned maxRuns = 400;
+
+    /** Oracle configuration used to evaluate candidates. */
+    OracleOptions oracle;
+};
+
+/** Outcome of a shrink. */
+struct ShrinkResult
+{
+    /** The minimized (still-failing) scenario. */
+    Scenario scenario;
+
+    /** The minimized scenario's failures. */
+    std::vector<Failure> failures;
+
+    /** Oracle runs consumed. */
+    unsigned runs = 0;
+};
+
+/**
+ * Shrink @p start (which must fail under @p opts.oracle) to a minimal
+ * failing scenario. If @p start does not fail, returns it unchanged
+ * with empty failures.
+ */
+ShrinkResult shrinkScenario(const Scenario &start,
+                            const ShrinkOptions &opts);
+
+} // namespace mda::fuzz
+
+#endif // MDA_FUZZ_SHRINK_HH

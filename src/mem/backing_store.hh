@@ -6,6 +6,13 @@
  * space costs only what the workload touches. Used as the MDA
  * memory's data array and as the reference model in functional
  * checking (the hierarchy's data movement is validated against it).
+ *
+ * Zero-init guarantee: a word that was never written reads as zero —
+ * unallocated frames read as zero and fresh frames are zero-filled
+ * before the first write lands. Cold reads through any cache
+ * hierarchy therefore return 0, and fuzz::ReferenceModel mirrors
+ * exactly this semantics (tested per design point by
+ * ColdReads.ReturnZero* in tests/core/test_coherence_property.cc).
  */
 
 #ifndef MDA_MEM_BACKING_STORE_HH

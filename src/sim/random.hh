@@ -74,6 +74,33 @@ class Rng
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return real() < p; }
 
+    /**
+     * Derive the seed of an independent stream from (seed, stream).
+     *
+     * Two SplitMix64 rounds over a mix of both inputs: streams with
+     * adjacent ids (fuzz iteration counters, sweep cell indices) land
+     * in unrelated regions of the seed space, so per-stream Rngs are
+     * statistically independent of each other and of Rng(seed). The
+     * derivation is a pure function of its inputs — never of shared
+     * counters — which is what keeps parallel fans-out deterministic
+     * for any worker count.
+     */
+    static std::uint64_t
+    streamSeed(std::uint64_t seed, std::uint64_t stream)
+    {
+        std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+        for (int round = 0; round < 2; ++round) {
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            z = z ^ (z >> 31);
+            z += 0x9e3779b97f4a7c15ULL;
+        }
+        return z;
+    }
+
+    /** Split off an independent generator (consumes one draw). */
+    Rng split() { return Rng(streamSeed(next(), 0)); }
+
   private:
     std::uint64_t _state[4];
 };

@@ -16,6 +16,7 @@
 
 #include <map>
 
+#include "fuzz/reference_model.hh"
 #include "sim/random.hh"
 #include "test_rig.hh"
 
@@ -24,26 +25,7 @@ namespace mda::testing
 namespace
 {
 
-/** Program-order reference memory. */
-class ReferenceModel
-{
-  public:
-    std::uint64_t
-    read(Addr addr) const
-    {
-        auto it = _words.find(alignDown(addr, wordBytes));
-        return it == _words.end() ? 0 : it->second;
-    }
-
-    void
-    write(Addr addr, std::uint64_t value)
-    {
-        _words[alignDown(addr, wordBytes)] = value;
-    }
-
-  private:
-    std::map<Addr, std::uint64_t> _words;
-};
+using fuzz::ReferenceModel;
 
 /** Drive @p ops random serialized operations; check every read. */
 void
@@ -167,6 +149,85 @@ TEST(CoherenceProperty, BaselineRowOnly)
             ASSERT_EQ(rig.readWord(addr), ref.read(addr));
         }
     }
+}
+
+/**
+ * Cold reads: a word that was never written must read as zero in
+ * every design point — the backing store's zero-init guarantee (see
+ * mem/backing_store.hh) observed through a full hierarchy.
+ */
+void
+expectColdZeros(TestRig &rig, bool row_only)
+{
+    // Scalar probes across distinct tiles/rows/columns, both
+    // orientation preferences, plus repeats (hit path after the fill).
+    for (std::uint64_t tile = 0; tile < 3; ++tile) {
+        Addr addr = tileBase(tile) + (tile % 8) * lineBytes +
+                    ((tile * 3) % 8) * wordBytes;
+        EXPECT_EQ(rig.readWord(addr), 0u) << "tile " << tile;
+        auto orient = row_only || tile % 2 == 0 ? Orientation::Row
+                                                : Orientation::Col;
+        EXPECT_EQ(rig.readWord(addr, orient), 0u) << "tile " << tile;
+    }
+    for (unsigned k = 0; k < lineWords; ++k) {
+        EXPECT_EQ(rig.readLine(OrientedLine(Orientation::Row, 8 * 3 + 2))[k],
+                  0u);
+        if (!row_only) {
+            EXPECT_EQ(
+                rig.readLine(OrientedLine(Orientation::Col, 8 * 4 + 5))[k],
+                0u);
+        }
+    }
+}
+
+TEST(ColdReads, ReturnZero1P1L)
+{
+    TestRig rig;
+    rig.addLineCache(tinyCache(512, 2), LineMapping::OneD, "l1");
+    rig.addLineCache(tinyCache(2048, 4), LineMapping::OneD, "l2");
+    rig.connect();
+    expectColdZeros(rig, /*row_only=*/true);
+}
+
+TEST(ColdReads, ReturnZero1P2LDiffSet)
+{
+    TestRig rig;
+    rig.addLineCache(tinyCache(512, 2), LineMapping::TwoDDiffSet,
+                     "l1");
+    rig.addLineCache(tinyCache(2048, 4), LineMapping::TwoDDiffSet,
+                     "l2");
+    rig.connect();
+    expectColdZeros(rig, /*row_only=*/false);
+}
+
+TEST(ColdReads, ReturnZero1P2LSameSet)
+{
+    TestRig rig;
+    rig.addLineCache(tinyCache(1024, 2), LineMapping::TwoDSameSet,
+                     "l1");
+    rig.connect();
+    expectColdZeros(rig, /*row_only=*/false);
+}
+
+TEST(ColdReads, ReturnZero2P2LSparse)
+{
+    TestRig rig;
+    rig.addLineCache(tinyCache(512, 2), LineMapping::TwoDDiffSet,
+                     "l1");
+    rig.addTileCache(tinyCache(4096, 2), "llc");
+    rig.connect();
+    expectColdZeros(rig, /*row_only=*/false);
+}
+
+TEST(ColdReads, ReturnZero2P2LDense)
+{
+    TestRig rig;
+    rig.addLineCache(tinyCache(512, 2), LineMapping::TwoDDiffSet,
+                     "l1");
+    rig.addTileCache(tinyCache(4096, 2), "llc",
+                     TileFillPolicy::Dense);
+    rig.connect();
+    expectColdZeros(rig, /*row_only=*/false);
 }
 
 /**

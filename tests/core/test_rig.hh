@@ -53,9 +53,11 @@ class TestRig
     }
 
     TileCache &
-    addTileCache(const CacheConfig &cfg, const std::string &name)
+    addTileCache(const CacheConfig &cfg, const std::string &name,
+                 TileFillPolicy fill = TileFillPolicy::Sparse)
     {
-        auto cache = std::make_unique<TileCache>(name, eq, sg, cfg);
+        auto cache =
+            std::make_unique<TileCache>(name, eq, sg, cfg, fill);
         auto *raw = cache.get();
         levels.push_back(std::move(cache));
         return *raw;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Campaign determinism: outcomes are a pure function of the options —
+ * in particular independent of --jobs — and iteration seeds come from
+ * the documented stream derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.hh"
+#include "fuzz/scenario.hh"
+#include "sim/random.hh"
+
+namespace mda::fuzz
+{
+namespace
+{
+
+TEST(Campaign, IterationSeedIsStreamDerived)
+{
+    EXPECT_EQ(iterationSeed(1, 0), Rng::streamSeed(1, 0));
+    EXPECT_EQ(iterationSeed(1, 7), Rng::streamSeed(1, 7));
+    EXPECT_NE(iterationSeed(1, 7), iterationSeed(1, 8));
+    EXPECT_NE(iterationSeed(1, 7), iterationSeed(2, 7));
+}
+
+TEST(Campaign, ScenarioDependsOnAbsoluteIndexOnly)
+{
+    FuzzOptions a;
+    a.seed = 5;
+    a.start = 0;
+    FuzzOptions b = a;
+    b.start = 3;
+    Scenario sa, sb;
+    ASSERT_TRUE(campaignScenario(a, 3, sa));
+    ASSERT_TRUE(campaignScenario(b, 3, sb));
+    EXPECT_EQ(reproText(sa), reproText(sb));
+}
+
+TEST(Campaign, DesignFilterIntersects)
+{
+    FuzzOptions opts;
+    opts.seed = 5;
+    opts.designFilter = {DesignPoint::D1_1P2L};
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        Scenario s;
+        ASSERT_TRUE(campaignScenario(opts, i, s)) << "index " << i;
+        ASSERT_EQ(s.config.designs.size(), 1u);
+        EXPECT_EQ(s.config.designs[0], DesignPoint::D1_1P2L);
+    }
+}
+
+TEST(Campaign, CleanRunPassesRegardlessOfJobs)
+{
+    FuzzOptions opts;
+    opts.seed = 21;
+    opts.iterations = 6;
+    opts.limits.maxOps = 32;
+    opts.limits.minOps = 8;
+    opts.limits.maxTiles = 4;
+    for (unsigned jobs : {1u, 4u}) {
+        opts.jobs = jobs;
+        CampaignResult r = runCampaign(opts);
+        EXPECT_FALSE(r.failed) << "jobs " << jobs;
+    }
+}
+
+TEST(Campaign, FailureReportIsIndependentOfJobs)
+{
+    // maxSteps = 1 makes every iteration fail; the campaign must
+    // still report the lowest absolute index whatever the pool size.
+    FuzzOptions opts;
+    opts.seed = 13;
+    opts.start = 5;
+    opts.iterations = 8;
+    opts.limits.maxOps = 32;
+    opts.limits.minOps = 8;
+    opts.oracle.maxSteps = 1;
+
+    opts.jobs = 1;
+    CampaignResult serial = runCampaign(opts);
+    ASSERT_TRUE(serial.failed);
+    EXPECT_EQ(serial.failIndex, 5u);
+    EXPECT_EQ(serial.failSeed, iterationSeed(13, 5));
+
+    opts.jobs = 4;
+    CampaignResult pooled = runCampaign(opts);
+    ASSERT_TRUE(pooled.failed);
+    EXPECT_EQ(pooled.failIndex, serial.failIndex);
+    EXPECT_EQ(pooled.failSeed, serial.failSeed);
+    EXPECT_EQ(reproText(pooled.failScenario),
+              reproText(serial.failScenario));
+}
+
+} // namespace
+} // namespace mda::fuzz

@@ -1,0 +1,90 @@
+/** @file Differential-oracle behaviour on clean and rejected inputs. */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/oracle.hh"
+#include "fuzz/scenario.hh"
+
+namespace mda::fuzz
+{
+namespace
+{
+
+GenLimits
+smallLimits()
+{
+    GenLimits limits;
+    limits.maxOps = 48;
+    limits.minOps = 8;
+    limits.maxTiles = 5;
+    return limits;
+}
+
+TEST(Oracle, CleanModelPassesAcrossSeeds)
+{
+    OracleOptions opts;
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+        Scenario s = generateScenario(seed, smallLimits());
+        auto failures = runOracle(s, opts);
+        ASSERT_TRUE(failures.empty())
+            << "seed " << seed << ": " << failureText(failures[0]);
+    }
+}
+
+TEST(Oracle, WriteValuesAreDeterministicAndDistinct)
+{
+    EXPECT_EQ(writeValue(9, 4, 2), writeValue(9, 4, 2));
+    EXPECT_NE(writeValue(9, 4, 2), writeValue(9, 4, 3));
+    EXPECT_NE(writeValue(9, 4, 2), writeValue(9, 5, 2));
+    EXPECT_NE(writeValue(9, 4, 2), writeValue(10, 4, 2));
+}
+
+TEST(Oracle, BaselineApplicabilityTracksColumnVectors)
+{
+    Scenario s = generateScenario(17, smallLimits());
+    s.trace.clear();
+    TraceOp op;
+    op.vector = true;
+    op.orient = Orientation::Row;
+    s.trace.push_back(op);
+    EXPECT_TRUE(designApplicable(DesignPoint::D0_1P1L, s.trace));
+    op.orient = Orientation::Col;
+    s.trace.push_back(op);
+    EXPECT_FALSE(designApplicable(DesignPoint::D0_1P1L, s.trace));
+    // 2-D designs express anything.
+    EXPECT_TRUE(designApplicable(DesignPoint::D1_1P2L, s.trace));
+    EXPECT_TRUE(designApplicable(DesignPoint::D2_2P2L, s.trace));
+}
+
+TEST(OracleDeathTest, DeferredDesign3IsRejected)
+{
+    Scenario s = generateScenario(1, smallLimits());
+    s.config.designs = {DesignPoint::D3_2P2L_L1};
+    OracleOptions opts;
+    EXPECT_EXIT(runOracle(s, opts), ::testing::ExitedWithCode(1),
+                "deferred");
+}
+
+TEST(OracleDeathTest, InapplicableBaselineIsRejected)
+{
+    Scenario s = generateScenario(1, smallLimits());
+    s.config.designs = {DesignPoint::D0_1P1L};
+    TraceOp op;
+    op.vector = true;
+    op.orient = Orientation::Col;
+    s.trace.push_back(op);
+    OracleOptions opts;
+    EXPECT_EXIT(runOracle(s, opts), ::testing::ExitedWithCode(1),
+                "column vector");
+}
+
+TEST(OracleDeathTest, EmptyTraceIsRejected)
+{
+    Scenario s = generateScenario(1, smallLimits());
+    s.trace.clear();
+    OracleOptions opts;
+    EXPECT_EXIT(runOracle(s, opts), ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace mda::fuzz

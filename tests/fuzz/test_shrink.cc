@@ -1,0 +1,71 @@
+/** @file Shrinker behaviour on passing and failing scenarios. */
+
+#include <gtest/gtest.h>
+
+#include "fuzz/scenario.hh"
+#include "fuzz/shrink.hh"
+
+namespace mda::fuzz
+{
+namespace
+{
+
+GenLimits
+mediumLimits()
+{
+    GenLimits limits;
+    limits.maxOps = 128;
+    limits.minOps = 64;
+    limits.maxTiles = 6;
+    return limits;
+}
+
+TEST(Shrink, PassingScenarioReturnsUnchanged)
+{
+    Scenario s = generateScenario(4, mediumLimits());
+    ShrinkOptions opts;
+    ShrinkResult r = shrinkScenario(s, opts);
+    EXPECT_TRUE(r.failures.empty());
+    EXPECT_EQ(reproText(r.scenario), reproText(s));
+    EXPECT_EQ(r.runs, 1u);
+}
+
+TEST(Shrink, MinimizesAnAlwaysFailingScenario)
+{
+    // A step budget of 1 makes every oracle run fail (Deadlock), so
+    // the shrinker should grind the scenario down to the floor: one
+    // op, one design, one level — and the result must still fail.
+    Scenario s = generateScenario(8, mediumLimits());
+    ShrinkOptions opts;
+    opts.oracle.maxSteps = 1;
+    ASSERT_FALSE(runOracle(s, opts.oracle).empty());
+
+    ShrinkResult r = shrinkScenario(s, opts);
+    EXPECT_EQ(r.scenario.trace.size(), 1u);
+    EXPECT_EQ(r.scenario.config.designs.size(), 1u);
+    EXPECT_EQ(r.scenario.config.levels.size(), 1u);
+    ASSERT_FALSE(r.failures.empty());
+    EXPECT_GE(r.runs, 2u);
+    EXPECT_LE(r.runs, opts.maxRuns);
+
+    // Minimality is only useful if the repro still reproduces.
+    EXPECT_FALSE(runOracle(r.scenario, opts.oracle).empty());
+    // And it still round-trips through the repro format.
+    EXPECT_EQ(reproText(parseRepro(reproText(r.scenario))),
+              reproText(r.scenario));
+}
+
+TEST(Shrink, RespectsRunBudget)
+{
+    Scenario s = generateScenario(8, mediumLimits());
+    ShrinkOptions opts;
+    opts.oracle.maxSteps = 1;
+    opts.maxRuns = 5;
+    ShrinkResult r = shrinkScenario(s, opts);
+    EXPECT_LE(r.runs, 5u);
+    // Whatever it settled on is a failing scenario.
+    EXPECT_FALSE(runOracle(r.scenario, opts.oracle).empty());
+}
+
+} // namespace
+} // namespace mda::fuzz
