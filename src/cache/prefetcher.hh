@@ -105,6 +105,8 @@ class StridePrefetcher
 
     unsigned _degree;
     unsigned _tableSize;
+    // MDA_LINT_ALLOW(DET-2): keyed access by pc % _tableSize only,
+    // never iterated; stride-table order cannot reach any output.
     std::unordered_map<std::uint32_t, TableEntry> _table;
 };
 

@@ -20,6 +20,8 @@ profileKernel(const Kernel &kernel, std::uint64_t max_ops)
 
     // Per-reference row pitch (bytes between vertically adjacent
     // elements) from the profiling layout.
+    // MDA_LINT_ALLOW(DET-2): keyed lookup by refId only, never
+    // iterated; the profile is keyed independently below.
     std::unordered_map<std::uint32_t, Addr> pitch_of;
     for (const auto &nest : ck.kernel.nests) {
         for (const auto &stmt : nest.stmts) {
@@ -32,6 +34,8 @@ profileKernel(const Kernel &kernel, std::uint64_t max_ops)
     }
 
     KernelProfile profile;
+    // MDA_LINT_ALLOW(DET-2): keyed emplace/lookup by pc only, never
+    // iterated.
     std::unordered_map<std::uint32_t, Addr> last_addr;
     TraceGenerator gen(ck);
     TraceOp op;

@@ -1,6 +1,6 @@
 #include "line_cache.hh"
 
-#include <unordered_map>
+#include <map>
 
 #include "sim/debug.hh"
 #include "sim/trace_event.hh"
@@ -65,8 +65,11 @@ LineCache::checkInvariants() const
 
     // One sweep collects every valid entry, a copy count per covered
     // word, and the orientation occupancy tallies.
+    // std::map, not unordered_map: this is a cold diagnostic path
+    // and DET-2 keeps ordered iteration the default everywhere a
+    // container could feed output.
     std::vector<const CacheEntry *> valid;
-    std::unordered_map<Addr, unsigned> copies;
+    std::map<Addr, unsigned> copies;
     std::uint64_t rows = 0, cols = 0;
     for (std::uint64_t set = 0; set < _storage.numSets(); ++set) {
         const CacheEntry *base = _storage.setBase(set);

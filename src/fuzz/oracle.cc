@@ -1,8 +1,8 @@
 #include "oracle.hh"
 
 #include <algorithm>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "core/line_cache.hh"
 #include "core/tile_cache.hh"
@@ -274,7 +274,11 @@ class DesignRun
     issueBatch(std::size_t first, std::size_t last,
                const std::vector<std::vector<std::uint64_t>> &expect)
     {
-        std::unordered_map<std::uint64_t, std::size_t> pending;
+        // std::map so the lost-response diagnostic below picks the
+        // *lowest* outstanding packet id deterministically — with an
+        // unordered map, pending.begin() leaked hash order into the
+        // failure message and the reported repro op index (DET-2).
+        std::map<std::uint64_t, std::size_t> pending;
         for (std::size_t i = first; i < last; ++i) {
             PacketPtr pkt = makeOp(i);
             pending.emplace(pkt->id, i);

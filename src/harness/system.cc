@@ -141,6 +141,9 @@ System::sampleOccupancy()
 RunResult
 System::run()
 {
+    // MDA_LINT_ALLOW(DET-1): the ticks/sec heartbeat is the one
+    // sanctioned wall-clock read — it paces progress reporting only
+    // and can never influence simulated state or event order.
     using Clock = std::chrono::steady_clock;
 
     _cpu->start();

@@ -87,6 +87,8 @@ class TraceCpu : public SimObject, public MemClient
 
     /** Reference model + per-packet expected read values. */
     BackingStore _reference;
+    // MDA_LINT_ALLOW(DET-2): keyed emplace/find/erase by packet id
+    // only, never iterated — hot checker-mode lookup per response.
     std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
         _expected;
 

@@ -103,6 +103,9 @@ class BackingStore
   private:
     static constexpr Addr frameBytes = 4096;
     using Frame = std::array<std::uint8_t, frameBytes>;
+    // MDA_LINT_ALLOW(DET-2): keyed find/emplace by frame address
+    // only, never iterated (size() alone feeds footprint stats) —
+    // per-word-access hot path.
     std::unordered_map<Addr, std::unique_ptr<Frame>> _frames;
 };
 

@@ -1,0 +1,19 @@
+// Fixture: a fully conforming header — zero findings expected.
+#ifndef MDA_TESTS_LINT_FIXTURES_CLEAN_HH
+#define MDA_TESTS_LINT_FIXTURES_CLEAN_HH
+
+#include <map>
+#include <vector>
+
+namespace mda
+{
+
+/** Ordered by construction; iteration order is the key order. */
+struct CleanTable
+{
+    std::map<unsigned, double> values;
+};
+
+} // namespace mda
+
+#endif // MDA_TESTS_LINT_FIXTURES_CLEAN_HH

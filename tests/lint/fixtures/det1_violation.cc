@@ -1,0 +1,17 @@
+// Fixture: every DET-1 nondeterminism source the linter must catch.
+// Never compiled — scanned by tests/lint/test_mda_lint.cc.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long
+badSeed()
+{
+    std::srand(42);                               // line 11: srand
+    unsigned long t = time(nullptr);              // line 12: time(
+    t += std::rand();                             // line 13: rand
+    t += std::random_device{}();                  // line 14
+    auto now = std::chrono::steady_clock::now();  // line 15
+    return t + now.time_since_epoch().count();
+}

@@ -1,0 +1,17 @@
+// Fixture: DET-2 — unordered containers in simulator code. The
+// range-for below is exactly the hazard: hash order reaches output.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+
+void
+dumpStats()
+{
+    std::unordered_map<std::uint64_t, double> byAddr;   // line 11
+    std::unordered_set<std::uint64_t> touched;          // line 12
+    byAddr[8] = 1.0;
+    touched.insert(8);
+    for (const auto &kv : byAddr)                       // line 15
+        std::cout << kv.first << " " << kv.second << "\n";
+}

@@ -1,0 +1,20 @@
+// Fixture: EVT-1 — negative schedule deltas and blocking calls in
+// event context.
+#include <chrono>
+#include <thread>
+
+struct Eq
+{
+    void scheduleAfter(long delta, void (*cb)());
+    void schedule(long when, void (*cb)());
+};
+
+void
+badEvents(Eq &eq, void (*cb)())
+{
+    eq.scheduleAfter(-5, cb);  // line 15: negative delta wraps Tick
+    eq.schedule(
+        -1, cb);               // line 16: reported at the call line
+    std::this_thread::sleep_for(                        // line 18
+        std::chrono::milliseconds(10));
+}

@@ -1,0 +1,16 @@
+// Fixture flag registry for OBS-1 tests (stands in for
+// src/sim/debug.hh via --debug-header).
+#ifndef MDA_TESTS_LINT_FIXTURES_FAKE_DEBUG_HH
+#define MDA_TESTS_LINT_FIXTURES_FAKE_DEBUG_HH
+
+namespace mda::debug
+{
+
+class Flag;
+
+extern Flag Cache;
+extern Flag MSHR;
+
+} // namespace mda::debug
+
+#endif // MDA_TESTS_LINT_FIXTURES_FAKE_DEBUG_HH

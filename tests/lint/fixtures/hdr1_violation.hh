@@ -1,0 +1,8 @@
+// Fixture: HDR-1 — wrong include-guard name, mismatched #define,
+// and `using namespace` in a header.
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+using namespace std; // line 6
+
+#endif // SOME_RANDOM_GUARD_H

@@ -1,0 +1,21 @@
+// Fixture: OBS-1 — a stats member that is declared but never
+// registered with a StatGroup would silently vanish from
+// dump()/--stats-json.
+#ifndef MDA_TESTS_LINT_FIXTURES_OBS1_STATS_HH
+#define MDA_TESTS_LINT_FIXTURES_OBS1_STATS_HH
+
+class Widget
+{
+  public:
+    Widget()
+    {
+        regScalar("hits", &_hits, "widget hits");
+    }
+
+  private:
+    stats::Scalar _hits;
+    stats::Scalar _orphanMisses;            // line 17: never registered
+    stats::Distribution _orphanLat{0, 10};  // line 18: never registered
+};
+
+#endif // MDA_TESTS_LINT_FIXTURES_OBS1_STATS_HH

@@ -1,0 +1,12 @@
+// Fixture: OBS-1 — DPRINTF against a flag that is not in the
+// registry (fake_debug.hh registers only Cache and MSHR). A typo'd
+// or stale flag name means the trace line can never be enabled.
+#include "fake_debug.hh"
+
+void
+traceIt()
+{
+    DPRINTF(Cache, "hit %d", 1);        // registered: clean
+    DPRINTF(Cashe, "hit %d", 1);        // line 10: typo'd flag
+    DPRINTF_AT(Retired, 0, "x", "y");   // line 11: removed flag
+}

@@ -1,0 +1,28 @@
+// Fixture: reasoned MDA_LINT_ALLOW comments waive findings — this
+// file must lint clean. Covers same-line, line-above, and wrapped
+// multi-line comment placements.
+#include <cstdint>
+#include <unordered_map>
+
+struct Entry
+{
+    int v;
+};
+
+void
+lookupOnly(std::uint64_t key)
+{
+    // MDA_LINT_ALLOW(DET-2): keyed lookup only, never iterated.
+    std::unordered_map<std::uint64_t, Entry> byId;
+    byId[key].v = 1;
+
+    std::unordered_map<std::uint64_t, Entry> byPc; // MDA_LINT_ALLOW(DET-2): keyed only.
+    byPc[key].v = 2;
+
+    // This wrapped comment ends with the annotation two lines above
+    // the declaration, which still counts as the adjacent block.
+    // MDA_LINT_ALLOW(DET-2): keyed lookup only; wrapped-comment
+    // placement round-trip.
+    std::unordered_map<std::uint64_t, Entry> byAddr;
+    byAddr[key].v = 3;
+}

@@ -1,0 +1,12 @@
+// Fixture: an MDA_LINT_ALLOW without a reason suppresses nothing —
+// the finding below must survive.
+#include <cstdint>
+#include <unordered_map>
+
+void
+stillFlagged(std::uint64_t key)
+{
+    // MDA_LINT_ALLOW(DET-2)
+    std::unordered_map<std::uint64_t, int> byId; // line 10
+    byId[key] = 1;
+}

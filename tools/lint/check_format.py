@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Check-only clang-format gate on CHANGED files.
+
+Diffs the working tree against a base ref (default: merge-base with
+origin/main, falling back to HEAD~1) and runs `clang-format
+--dry-run -Werror` on every changed C++ file. There is deliberately
+no mass reformat and no write mode here — the gate only holds new
+work to the style, see ci/LINT.md.
+
+Exit codes: 0 clean/skipped, 1 violations, 2 environment error.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+CXX_EXT = (".cc", ".cpp", ".hh", ".h", ".hpp")
+
+
+def find_clang_format():
+    cand = [os.environ.get("CLANG_FORMAT", "clang-format")]
+    cand += [f"clang-format-{v}" for v in range(20, 13, -1)]
+    for name in cand:
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def git(*args):
+    proc = subprocess.run(["git", *args], capture_output=True,
+                          text=True)
+    return proc.returncode, proc.stdout.strip()
+
+
+def changed_files(base):
+    if base is None:
+        rc, base = git("merge-base", "origin/main", "HEAD")
+        if rc != 0:
+            base = "HEAD~1"
+    rc, out = git("diff", "--name-only", "--diff-filter=ACMR", base)
+    if rc != 0:
+        sys.exit(f"check_format: git diff against '{base}' failed")
+    return base, [f for f in out.splitlines()
+                  if f.endswith(CXX_EXT) and os.path.exists(f)]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--base", default=None,
+                    help="base ref to diff against (default: "
+                         "merge-base with origin/main, else HEAD~1)")
+    args = ap.parse_args()
+
+    fmt = find_clang_format()
+    if fmt is None:
+        print("check_format: clang-format not found; skipping")
+        return 0
+
+    base, files = changed_files(args.base)
+    if not files:
+        print(f"check_format: no changed C++ files vs {base}")
+        return 0
+
+    bad = []
+    for f in files:
+        proc = subprocess.run([fmt, "--dry-run", "-Werror", f],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            bad.append(f)
+            sys.stderr.write(proc.stderr)
+    if bad:
+        print(f"check_format: {len(bad)} of {len(files)} changed "
+              f"file(s) need formatting (clang-format -i <file>):")
+        for f in bad:
+            print("  " + f)
+        return 1
+    print(f"check_format: clean ({len(files)} changed file(s) "
+          f"vs {base})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

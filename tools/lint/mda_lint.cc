@@ -1,0 +1,1138 @@
+/**
+ * @file
+ * mda-lint: project-specific static analysis for the MDACache
+ * simulator (tokenizer engine).
+ *
+ * The simulator makes hard behavioural promises — byte-identical
+ * --stats-json for any --jobs count, fuzz outcomes that are a pure
+ * function of (--seed, --start+i) — and this tool statically enforces
+ * the coding discipline those promises rest on. Rules (stable IDs):
+ *
+ *   DET-1  No nondeterminism sources (std::rand, time(), wall clocks,
+ *          std::random_device) in simulator code. Seeded mda::Rng is
+ *          the only sanctioned randomness; wall-clock reads are for
+ *          the allowlisted heartbeat only.
+ *   DET-2  No std::unordered_map / unordered_set in simulator code:
+ *          iteration order is implementation-defined and leaks into
+ *          stats, traces, and event order. Keyed-lookup-only uses may
+ *          be annotated.
+ *   EVT-1  Event discipline: schedule()/scheduleAfter() must not
+ *          receive a provably negative tick (Tick is unsigned; a
+ *          negative literal wraps), and simulator code must not call
+ *          blocking primitives (sleep family, console reads) — event
+ *          callbacks must run to completion.
+ *   OBS-1  Observability cross-checks: every DPRINTF/DPRINTF_AT flag
+ *          argument must name a flag registered in the mda::debug
+ *          registry (src/sim/debug.hh), and every stats::Scalar /
+ *          Distribution / TimeSeries member must be registered with a
+ *          StatGroup via regScalar/regDistribution/regTimeSeries —
+ *          otherwise tracing and stats rot silently.
+ *   HDR-1  Header hygiene: include guards must be
+ *          MDA_<PATH>_<FILE>_HH (path relative to the repo root, with
+ *          the leading src/ stripped), the #define must match the
+ *          #ifndef, no `using namespace` in headers, and no
+ *          <iostream> in model headers (src/{cache,core,mem,sim}).
+ *
+ * Suppressions: a finding is waived by a comment on the same line or
+ * the line directly above:
+ *
+ *     // MDA_LINT_ALLOW(DET-2): keyed lookup only; never iterated.
+ *
+ * The reason after the colon is mandatory — an allow without a reason
+ * suppresses nothing. A checked-in baseline file (one
+ * "RULE<TAB>file<TAB>key" triple per line) grandfathers findings so
+ * CI can gate on *new* findings only; the shipped baseline is empty.
+ *
+ * This translation unit is the tokenizer fallback engine: it blanks
+ * comments and string literals, tracks preprocessor continuations,
+ * and matches identifier tokens. It is deliberately conservative and
+ * std-only so the CI gate runs on any toolchain. When Clang dev libs
+ * are available, mda_lint_ast.cc supplies an AST engine for the
+ * type-aware subset (see tools/lint/CMakeLists.txt).
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Findings.
+
+struct Finding
+{
+    std::string rule;    ///< Stable rule ID ("DET-1", ...).
+    std::string file;    ///< Path relative to --root when possible.
+    int line = 0;        ///< 1-based.
+    std::string key;     ///< Stable fingerprint detail for baselines.
+    std::string message; ///< Human-readable description.
+};
+
+bool
+findingBefore(const Finding &a, const Finding &b)
+{
+    if (a.file != b.file)
+        return a.file < b.file;
+    if (a.line != b.line)
+        return a.line < b.line;
+    return a.rule < b.rule;
+}
+
+// ---------------------------------------------------------------------
+// Scanned-file representation.
+
+/** One MDA_LINT_ALLOW(<rule>): <reason> comment. */
+struct Allow
+{
+    std::string rule;
+    bool hasReason = false;
+};
+
+/** A source file with comments/strings blanked and allows indexed. */
+struct ScanFile
+{
+    std::string path;    ///< Path as opened.
+    std::string relpath; ///< Relative to --root (used in reports).
+    std::vector<std::string> code; ///< Blanked lines, 0-based.
+    std::vector<bool> preproc;     ///< Directive or its continuation.
+    std::map<int, std::vector<Allow>> allows; ///< 1-based line.
+    bool isHeader = false;
+};
+
+/** Parse every MDA_LINT_ALLOW(<rule>)[: reason] in a comment. */
+void
+parseAllows(const std::string &comment, int line, ScanFile &sf)
+{
+    const std::string tag = "MDA_LINT_ALLOW";
+    std::size_t pos = 0;
+    while ((pos = comment.find(tag, pos)) != std::string::npos) {
+        pos += tag.size();
+        if (pos >= comment.size() || comment[pos] != '(')
+            continue;
+        std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            break;
+        Allow a;
+        a.rule = comment.substr(pos + 1, close - pos - 1);
+        std::size_t after = close + 1;
+        while (after < comment.size() && std::isspace(
+                   static_cast<unsigned char>(comment[after]))) {
+            ++after;
+        }
+        if (after < comment.size() && comment[after] == ':') {
+            ++after;
+            while (after < comment.size() &&
+                   std::isspace(
+                       static_cast<unsigned char>(comment[after]))) {
+                ++after;
+            }
+            a.hasReason = after < comment.size();
+        }
+        sf.allows[line].push_back(a);
+        pos = close;
+    }
+}
+
+/**
+ * Blank comments, string literals, and char literals (preserving line
+ * structure), record preprocessor lines (including backslash
+ * continuations), and index MDA_LINT_ALLOW comments.
+ */
+void
+scanSource(const std::string &text, ScanFile &sf)
+{
+    enum class St { Code, Line, Block, Str, Chr, Raw };
+    St st = St::Code;
+    std::string code_line, comment;
+    std::string raw_delim; ///< Raw-string closing delimiter ")d\"".
+    int line = 1;
+    bool continuation = false;
+
+    auto flushLine = [&]() {
+        bool pp = continuation;
+        std::size_t i = code_line.find_first_not_of(" \t");
+        if (i != std::string::npos && code_line[i] == '#')
+            pp = true;
+        continuation = pp && !code_line.empty() &&
+                       code_line.back() == '\\';
+        sf.code.push_back(code_line);
+        sf.preproc.push_back(pp);
+        code_line.clear();
+    };
+    auto flushComment = [&]() {
+        parseAllows(comment, line, sf);
+        comment.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (st == St::Line) {
+                flushComment();
+                st = St::Code;
+            } else if (st == St::Block) {
+                flushComment();
+            }
+            flushLine();
+            ++line;
+            continue;
+        }
+        switch (st) {
+          case St::Code:
+            if (c == '/' && next == '/') {
+                st = St::Line;
+                code_line += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                st = St::Block;
+                code_line += "  ";
+                ++i;
+            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+                // Raw string literal: R"delim( ... )delim"
+                std::size_t paren = text.find('(', i);
+                if (paren == std::string::npos) {
+                    code_line += ' ';
+                    break;
+                }
+                raw_delim = ")" + text.substr(i + 1, paren - i - 1) +
+                            "\"";
+                st = St::Raw;
+                code_line += ' ';
+            } else if (c == '"') {
+                st = St::Str;
+                code_line += ' ';
+            } else if (c == '\'' &&
+                       !(i >= 1 &&
+                         (std::isalnum(
+                              static_cast<unsigned char>(text[i - 1])) ||
+                          text[i - 1] == '_'))) {
+                // A quote after an identifier/number char is a C++14
+                // digit separator (1'000), not a char literal.
+                st = St::Chr;
+                code_line += ' ';
+            } else {
+                code_line += c;
+            }
+            break;
+          case St::Line:
+          case St::Block:
+            comment += c;
+            code_line += ' ';
+            if (st == St::Block && c == '*' && next == '/') {
+                flushComment();
+                st = St::Code;
+                code_line += ' ';
+                ++i;
+            }
+            break;
+          case St::Str:
+            code_line += ' ';
+            if (c == '\\') {
+                code_line += ' ';
+                ++i;
+            } else if (c == '"') {
+                st = St::Code;
+            }
+            break;
+          case St::Chr:
+            code_line += ' ';
+            if (c == '\\') {
+                code_line += ' ';
+                ++i;
+            } else if (c == '\'') {
+                st = St::Code;
+            }
+            break;
+          case St::Raw:
+            code_line += ' ';
+            if (c == ')' && text.compare(i, raw_delim.size(),
+                                         raw_delim) == 0) {
+                for (std::size_t k = 1; k < raw_delim.size(); ++k)
+                    code_line += ' ';
+                i += raw_delim.size() - 1;
+                st = St::Code;
+            }
+            break;
+        }
+    }
+    if (st == St::Line || st == St::Block)
+        flushComment();
+    flushLine();
+}
+
+// ---------------------------------------------------------------------
+// Token helpers.
+
+struct Token
+{
+    std::string text;
+    std::size_t col; ///< 0-based start column in the blanked line.
+};
+
+std::vector<Token>
+tokensOf(const std::string &line)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        char c = line[i];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < line.size() &&
+                   (std::isalnum(
+                        static_cast<unsigned char>(line[j])) ||
+                    line[j] == '_')) {
+                ++j;
+            }
+            out.push_back({line.substr(i, j - i), i});
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+/** First non-space character at or after @p col; '\0' if none. */
+char
+nextCharAfter(const std::string &line, std::size_t col)
+{
+    while (col < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[col]))) {
+        ++col;
+    }
+    return col < line.size() ? line[col] : '\0';
+}
+
+/**
+ * First non-space character after @p col, looking across line breaks
+ * (a call's open paren or first argument may start the next line).
+ */
+char
+nextCharMultiline(const ScanFile &sf, std::size_t idx, std::size_t col,
+                  std::size_t *out_idx = nullptr,
+                  std::size_t *out_col = nullptr)
+{
+    for (std::size_t l = idx; l < sf.code.size() && l < idx + 3; ++l) {
+        const std::string &s = sf.code[l];
+        std::size_t c = l == idx ? col : 0;
+        while (c < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[c]))) {
+            ++c;
+        }
+        if (c < s.size()) {
+            if (out_idx)
+                *out_idx = l;
+            if (out_col)
+                *out_col = c;
+            return s[c];
+        }
+    }
+    return '\0';
+}
+
+// ---------------------------------------------------------------------
+// The lint context: registries, options, findings.
+
+struct Options
+{
+    fs::path root = fs::current_path();
+    std::string debugHeader;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::vector<std::string> inputs;
+    std::string compdb;
+    std::string under; ///< Restrict all inputs to this root-relative
+                       ///< prefix (e.g. "src").
+    bool quiet = false;
+};
+
+struct Context
+{
+    Options opts;
+    std::vector<Finding> findings;
+    std::set<std::string> debugFlags; ///< Registered debug::Flag names.
+    bool haveFlagRegistry = false;
+
+    /** stats members declared: name -> (file, line, kind). */
+    struct StatDecl
+    {
+        std::string file;
+        int line;
+        std::string kind;
+        bool suppressed;
+    };
+    std::map<std::string, std::vector<StatDecl>> statDecls;
+    /** Member names passed by address to reg{Scalar,Dist,TimeSeries}. */
+    std::set<std::string> statRegistered;
+
+    void
+    report(const ScanFile &sf, int line, const std::string &rule,
+           const std::string &key, const std::string &message)
+    {
+        findings.push_back({rule, sf.relpath, line, key, message});
+    }
+};
+
+/**
+ * True when an allow for @p rule covers @p line (1-based): the allow
+ * comment sits on the same line or in the comment block directly
+ * above (walking up through comment-only/blank lines).
+ */
+bool
+allowed(const ScanFile &sf, int line, const std::string &rule)
+{
+    auto match = [&](int l) {
+        auto it = sf.allows.find(l);
+        if (it == sf.allows.end())
+            return false;
+        for (const Allow &a : it->second) {
+            if (a.rule == rule && a.hasReason)
+                return true;
+        }
+        return false;
+    };
+    if (match(line))
+        return true;
+    for (int l = line - 1; l >= 1; --l) {
+        if (match(l))
+            return true;
+        const std::string &code = sf.code[l - 1];
+        if (code.find_first_not_of(" \t") != std::string::npos)
+            break; // A real code line ends the adjacent block.
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// DET-1: nondeterminism sources.
+
+const std::map<std::string, const char *> det1Banned = {
+    {"rand", "std::rand() is seeded globally; use a seeded mda::Rng"},
+    {"srand", "global PRNG seeding; use a seeded mda::Rng"},
+    {"drand48", "global PRNG; use a seeded mda::Rng"},
+    {"random_device", "hardware entropy is nondeterministic"},
+    {"system_clock", "wall-clock read"},
+    {"steady_clock", "wall-clock read"},
+    {"high_resolution_clock", "wall-clock read"},
+    {"gettimeofday", "wall-clock read"},
+    {"clock_gettime", "wall-clock read"},
+    {"localtime", "wall-clock derived"},
+    {"gmtime", "wall-clock derived"},
+};
+
+void
+checkDet1(Context &ctx, const ScanFile &sf)
+{
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue;
+        int line = static_cast<int>(i) + 1;
+        for (const Token &t : tokensOf(sf.code[i])) {
+            auto it = det1Banned.find(t.text);
+            const char *why = nullptr;
+            if (it != det1Banned.end()) {
+                why = it->second;
+            } else if (t.text == "time" &&
+                       nextCharAfter(sf.code[i],
+                                     t.col + t.text.size()) == '(') {
+                why = "time() is a wall-clock read";
+            }
+            if (!why || allowed(sf, line, "DET-1"))
+                continue;
+            ctx.report(sf, line, "DET-1", t.text,
+                       "nondeterminism source '" + t.text + "' (" +
+                           why + "); simulation output must be a " +
+                           "pure function of its seed");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DET-2: unordered containers.
+
+const std::set<std::string> det2Banned = {
+    "unordered_map", "unordered_set",
+    "unordered_multimap", "unordered_multiset",
+};
+
+void
+checkDet2(Context &ctx, const ScanFile &sf)
+{
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue; // #include <unordered_map> is not a use site.
+        int line = static_cast<int>(i) + 1;
+        std::set<std::string> seen; // One finding per line per type.
+        for (const Token &t : tokensOf(sf.code[i])) {
+            if (!det2Banned.count(t.text) || seen.count(t.text))
+                continue;
+            seen.insert(t.text);
+            if (allowed(sf, line, "DET-2"))
+                continue;
+            ctx.report(sf, line, "DET-2", t.text,
+                       "std::" + t.text + " iteration order is " +
+                           "implementation-defined and can leak into " +
+                           "stats/traces/event order; use std::map or " +
+                           "a sorted vector, or annotate a " +
+                           "keyed-lookup-only use");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EVT-1: event discipline.
+
+const std::map<std::string, const char *> evt1Blocking = {
+    {"sleep", "blocks the event loop"},
+    {"usleep", "blocks the event loop"},
+    {"nanosleep", "blocks the event loop"},
+    {"sleep_for", "blocks the event loop"},
+    {"sleep_until", "blocks the event loop"},
+    {"getchar", "console read blocks the event loop"},
+};
+
+void
+checkEvt1(Context &ctx, const ScanFile &sf)
+{
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue;
+        int line = static_cast<int>(i) + 1;
+        for (const Token &t : tokensOf(sf.code[i])) {
+            auto bl = evt1Blocking.find(t.text);
+            if (bl != evt1Blocking.end() &&
+                nextCharAfter(sf.code[i], t.col + t.text.size()) ==
+                    '(') {
+                if (!allowed(sf, line, "EVT-1")) {
+                    ctx.report(sf, line, "EVT-1", t.text,
+                               "blocking call '" + t.text + "' (" +
+                                   bl->second +
+                                   "); event callbacks must run to "
+                                   "completion");
+                }
+                continue;
+            }
+            if (t.text != "schedule" && t.text != "scheduleAfter")
+                continue;
+            // schedule(<tick>, ...) / scheduleAfter(<delta>, ...):
+            // Tick is unsigned, so a negative first argument is a
+            // provable bug (it wraps to a huge tick or trips the
+            // in-the-past assert at runtime; catch it statically).
+            std::size_t l = i, c = t.col + t.text.size();
+            if (nextCharMultiline(sf, l, c, &l, &c) != '(')
+                continue;
+            std::size_t al = l, ac = c + 1;
+            if (nextCharMultiline(sf, al, ac, &al, &ac) != '-')
+                continue;
+            char after = nextCharMultiline(sf, al, ac + 1);
+            if (!std::isdigit(static_cast<unsigned char>(after)))
+                continue;
+            if (allowed(sf, line, "EVT-1"))
+                continue;
+            ctx.report(sf, line, "EVT-1", t.text + "-negative",
+                       t.text + "() with a negative tick: Tick is "
+                                "unsigned, the value wraps");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// OBS-1: observability cross-checks.
+
+/** Load debug::Flag names ("extern Flag X;" / "Flag X(") from a
+ *  registry header. */
+bool
+loadFlagRegistry(Context &ctx, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    ScanFile sf;
+    scanSource(ss.str(), sf);
+    for (const std::string &line : sf.code) {
+        std::vector<Token> toks = tokensOf(line);
+        for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+            if (toks[k].text == "extern" &&
+                toks[k + 1].text == "Flag") {
+                ctx.debugFlags.insert(toks[k + 2].text);
+            }
+        }
+    }
+    return !ctx.debugFlags.empty();
+}
+
+const std::set<std::string> statKinds = {
+    "Scalar", "Distribution", "TimeSeries",
+};
+const std::set<std::string> statRegCalls = {
+    "regScalar", "regDistribution", "regTimeSeries",
+};
+
+void
+checkObs1(Context &ctx, const ScanFile &sf)
+{
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue;
+        const std::string &line = sf.code[i];
+        int lineno = static_cast<int>(i) + 1;
+        std::vector<Token> toks = tokensOf(line);
+
+        // DPRINTF(<flag>, ...) flag-registry cross-check.
+        for (std::size_t k = 0; k < toks.size(); ++k) {
+            const Token &t = toks[k];
+            if (t.text != "DPRINTF" && t.text != "DPRINTF_AT")
+                continue;
+            std::size_t l = i, c = t.col + t.text.size();
+            if (nextCharMultiline(sf, l, c, &l, &c) != '(')
+                continue;
+            // First identifier after the open paren is the flag.
+            std::vector<Token> arg_toks = tokensOf(
+                sf.code[l].substr(c + 1));
+            if (arg_toks.empty() && l + 1 < sf.code.size())
+                arg_toks = tokensOf(sf.code[l + 1]);
+            if (arg_toks.empty())
+                continue;
+            const std::string &flag = arg_toks[0].text;
+            if (!ctx.haveFlagRegistry || ctx.debugFlags.count(flag) ||
+                allowed(sf, lineno, "OBS-1")) {
+                continue;
+            }
+            ctx.report(sf, lineno, "OBS-1", flag,
+                       t.text + " flag '" + flag + "' is not in the "
+                       "mda::debug registry (src/sim/debug.hh); the "
+                       "trace line could never be enabled");
+        }
+
+        // stats member declarations (headers): "stats::Scalar _a, _b;"
+        if (sf.isHeader && toks.size() >= 2) {
+            std::size_t k = 0;
+            if (toks[k].text == "mda")
+                ++k;
+            if (k + 1 < toks.size() && toks[k].text == "stats" &&
+                statKinds.count(toks[k + 1].text) &&
+                toks[k].col == line.find_first_not_of(" \t")) {
+                std::string kind = toks[k + 1].text;
+                // Names: subsequent identifiers outside the
+                // initializer braces, each starting with '_' (member
+                // convention; skips params and locals).
+                std::size_t col = toks[k + 1].col;
+                int depth = 0;
+                for (std::size_t m = k + 2; m < toks.size(); ++m) {
+                    for (std::size_t c2 = col;
+                         c2 < toks[m].col; ++c2) {
+                        char ch = line[c2];
+                        if (ch == '{' || ch == '(' || ch == '<')
+                            ++depth;
+                        else if (ch == '}' || ch == ')' || ch == '>')
+                            --depth;
+                    }
+                    col = toks[m].col;
+                    if (depth == 0 && toks[m].text[0] == '_') {
+                        ctx.statDecls[toks[m].text].push_back(
+                            {sf.relpath, lineno, kind,
+                             allowed(sf, lineno, "OBS-1")});
+                    }
+                }
+            }
+        }
+
+        // reg* call sites: collect "&<member>" across the call args.
+        for (std::size_t k = 0; k < toks.size(); ++k) {
+            if (!statRegCalls.count(toks[k].text))
+                continue;
+            std::size_t l = i, c = toks[k].col + toks[k].text.size();
+            if (nextCharMultiline(sf, l, c, &l, &c) != '(')
+                continue;
+            int depth = 0;
+            for (std::size_t scan = l;
+                 scan < sf.code.size() && scan < l + 8; ++scan) {
+                const std::string &s = sf.code[scan];
+                for (std::size_t c2 = scan == l ? c : 0;
+                     c2 < s.size(); ++c2) {
+                    if (s[c2] == '(') {
+                        ++depth;
+                    } else if (s[c2] == ')') {
+                        if (--depth == 0) {
+                            scan = sf.code.size();
+                            break;
+                        }
+                    } else if (s[c2] == '&' && depth >= 1) {
+                        std::size_t j = c2 + 1;
+                        while (j < s.size() &&
+                               std::isspace(static_cast<unsigned char>(
+                                   s[j]))) {
+                            ++j;
+                        }
+                        std::size_t e = j;
+                        while (e < s.size() &&
+                               (std::isalnum(
+                                    static_cast<unsigned char>(s[e])) ||
+                                s[e] == '_')) {
+                            ++e;
+                        }
+                        if (e > j) {
+                            ctx.statRegistered.insert(
+                                s.substr(j, e - j));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** After all files are scanned: declared stats never registered. */
+void
+finishObs1(Context &ctx)
+{
+    for (const auto &kv : ctx.statDecls) {
+        if (ctx.statRegistered.count(kv.first))
+            continue;
+        for (const Context::StatDecl &d : kv.second) {
+            if (d.suppressed)
+                continue;
+            ctx.findings.push_back(
+                {"OBS-1", d.file, d.line, kv.first,
+                 "stats::" + d.kind + " member '" + kv.first +
+                     "' is never registered with a StatGroup "
+                     "(regScalar/regDistribution/regTimeSeries); it "
+                     "would be invisible to dump()/--stats-json"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HDR-1: header hygiene.
+
+/** Expected include guard for @p relpath: MDA_<PATH>_<FILE>_HH with
+ *  the leading src/ stripped ("src/sim/debug.hh" -> MDA_SIM_DEBUG_HH,
+ *  "tests/core/test_rig.hh" -> MDA_TESTS_CORE_TEST_RIG_HH). */
+std::string
+expectedGuard(const std::string &relpath)
+{
+    std::string p = relpath;
+    if (p.rfind("src/", 0) == 0)
+        p = p.substr(4);
+    std::string guard = "MDA_";
+    for (char c : p) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        } else {
+            guard += '_';
+        }
+    }
+    return guard; // trailing ".hh" became "_HH".
+}
+
+bool
+isModelHeader(const std::string &relpath)
+{
+    for (const char *dir :
+         {"src/cache/", "src/core/", "src/mem/", "src/sim/"}) {
+        if (relpath.rfind(dir, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+checkHdr1(Context &ctx, const ScanFile &sf)
+{
+    if (!sf.isHeader)
+        return;
+
+    // Include guard: first directive must be #ifndef <expected>,
+    // immediately followed by the matching #define.
+    std::string expect = expectedGuard(sf.relpath);
+    int guard_line = 0;
+    std::string ifndef_sym;
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (!sf.preproc[i])
+            continue;
+        std::vector<Token> toks = tokensOf(sf.code[i]);
+        if (toks.empty())
+            continue;
+        if (toks[0].text == "ifndef" && toks.size() >= 2) {
+            guard_line = static_cast<int>(i) + 1;
+            ifndef_sym = toks[1].text;
+        } else if (toks[0].text == "pragma") {
+            guard_line = static_cast<int>(i) + 1;
+            ifndef_sym = "#pragma once";
+        }
+        break; // Only the first directive matters.
+    }
+    if (ifndef_sym.empty()) {
+        if (!allowed(sf, 1, "HDR-1")) {
+            ctx.report(sf, 1, "HDR-1", "guard-missing",
+                       "header has no include guard; expected #ifndef " +
+                           expect);
+        }
+    } else if (ifndef_sym != expect) {
+        if (!allowed(sf, guard_line, "HDR-1")) {
+            ctx.report(sf, guard_line, "HDR-1", "guard-name",
+                       "include guard '" + ifndef_sym +
+                           "' does not match convention; expected '" +
+                           expect + "'");
+        }
+    } else {
+        // #define on the next directive line must match.
+        for (std::size_t i = static_cast<std::size_t>(guard_line);
+             i < sf.code.size(); ++i) {
+            if (!sf.preproc[i])
+                continue;
+            std::vector<Token> toks = tokensOf(sf.code[i]);
+            if (toks.size() < 2 || toks[0].text != "define" ||
+                toks[1].text != expect) {
+                if (!allowed(sf, static_cast<int>(i) + 1, "HDR-1")) {
+                    ctx.report(sf, static_cast<int>(i) + 1, "HDR-1",
+                               "guard-define",
+                               "#ifndef " + expect + " is not followed "
+                               "by the matching #define");
+                }
+            }
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        int line = static_cast<int>(i) + 1;
+        std::vector<Token> toks = tokensOf(sf.code[i]);
+        for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+            if (toks[k].text == "using" &&
+                toks[k + 1].text == "namespace" &&
+                !allowed(sf, line, "HDR-1")) {
+                ctx.report(sf, line, "HDR-1", "using-namespace",
+                           "'using namespace' in a header pollutes "
+                           "every includer's scope");
+            }
+        }
+        if (sf.preproc[i] && isModelHeader(sf.relpath) &&
+            sf.code[i].find("<iostream>") != std::string::npos &&
+            !allowed(sf, line, "HDR-1")) {
+            ctx.report(sf, line, "HDR-1", "iostream",
+                       "<iostream> in a model header drags std::cout "
+                       "globals into the simulator core; use <ostream> "
+                       "and take a stream parameter");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Input collection.
+
+bool
+lintableExtension(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+/** Pull "file" entries out of a compile_commands.json. */
+std::vector<std::string>
+compdbFiles(const std::string &path)
+{
+    std::vector<std::string> out;
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "mda-lint: cannot open compdb: " << path << "\n";
+        return out;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string key = "\"file\"";
+    std::size_t pos = 0;
+    while ((pos = text.find(key, pos)) != std::string::npos) {
+        pos = text.find('"', pos + key.size() + 1);
+        if (pos == std::string::npos)
+            break;
+        std::size_t end = pos + 1;
+        std::string val;
+        while (end < text.size() && text[end] != '"') {
+            if (text[end] == '\\' && end + 1 < text.size())
+                ++end;
+            val += text[end++];
+        }
+        out.push_back(val);
+        pos = end;
+    }
+    return out;
+}
+
+std::string
+relativeTo(const fs::path &root, const fs::path &p)
+{
+    std::error_code ec;
+    fs::path abs = fs::weakly_canonical(p, ec);
+    if (ec)
+        abs = p;
+    fs::path rootc = fs::weakly_canonical(root, ec);
+    if (ec)
+        rootc = root;
+    fs::path rel = abs.lexically_relative(rootc);
+    if (rel.empty() || *rel.begin() == "..")
+        return p.generic_string();
+    return rel.generic_string();
+}
+
+// ---------------------------------------------------------------------
+// Baseline files: "RULE<TAB>file<TAB>key" triples.
+
+std::set<std::string>
+loadBaseline(const std::string &path)
+{
+    std::set<std::string> out;
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "mda-lint: cannot open baseline: " << path
+                  << "\n";
+        std::exit(2);
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        out.insert(line);
+    }
+    return out;
+}
+
+std::string
+baselineKey(const Finding &f)
+{
+    return f.rule + "\t" + f.file + "\t" + f.key;
+}
+
+// ---------------------------------------------------------------------
+// Driver.
+
+const char *usage =
+    "usage: mda-lint [options] [path...]\n"
+    "\n"
+    "Paths may be files or directories (walked recursively for\n"
+    ".cc/.cpp/.hh/.h/.hpp). Options:\n"
+    "  --root DIR           Repo root for relative paths and guard\n"
+    "                       names (default: cwd)\n"
+    "  --compdb FILE        Add every \"file\" in a\n"
+    "                       compile_commands.json\n"
+    "  --under PREFIX       Keep only inputs under this root-relative\n"
+    "                       prefix (e.g. src)\n"
+    "  --debug-header FILE  debug::Flag registry header for OBS-1\n"
+    "                       (default: <root>/src/sim/debug.hh)\n"
+    "  --baseline FILE      Suppress findings listed in FILE\n"
+    "  --write-baseline FILE  Write current findings as a baseline\n"
+    "  --list-rules         Print the rule catalog and exit\n"
+    "  -q, --quiet          Only print findings and the summary\n";
+
+const char *ruleCatalog =
+    "DET-1  no nondeterminism sources (rand/time/wall clocks/\n"
+    "       random_device) in simulator code\n"
+    "DET-2  no unordered_map/unordered_set (iteration order leaks\n"
+    "       into stats, traces, event order)\n"
+    "EVT-1  event discipline: no negative schedule()/scheduleAfter()\n"
+    "       ticks, no blocking calls in simulator code\n"
+    "OBS-1  DPRINTF flags must exist in the debug::Flag registry;\n"
+    "       stats members must be registered with a StatGroup\n"
+    "HDR-1  include guard MDA_<PATH>_<FILE>_HH, matching #define,\n"
+    "       no 'using namespace' in headers, no <iostream> in model\n"
+    "       headers\n"
+    "\n"
+    "Suppress one finding with a reasoned comment on the same line\n"
+    "or the line above: // MDA_LINT_ALLOW(<rule>): <reason>\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Context ctx;
+    Options &opts = ctx.opts;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *name) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "mda-lint: " << name
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            opts.root = value("--root");
+        } else if (arg == "--compdb") {
+            opts.compdb = value("--compdb");
+        } else if (arg == "--under") {
+            opts.under = value("--under");
+        } else if (arg == "--debug-header") {
+            opts.debugHeader = value("--debug-header");
+        } else if (arg == "--baseline") {
+            opts.baselinePath = value("--baseline");
+        } else if (arg == "--write-baseline") {
+            opts.writeBaselinePath = value("--write-baseline");
+        } else if (arg == "--list-rules") {
+            std::cout << ruleCatalog;
+            return 0;
+        } else if (arg == "-q" || arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "-h" || arg == "--help") {
+            std::cout << usage;
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "mda-lint: unknown option: " << arg << "\n"
+                      << usage;
+            return 2;
+        } else {
+            opts.inputs.push_back(arg);
+        }
+    }
+    if (opts.inputs.empty() && opts.compdb.empty()) {
+        std::cerr << usage;
+        return 2;
+    }
+
+    // Collect the file set (sorted, deduplicated, filtered).
+    std::set<std::string> files;
+    auto addFile = [&](const fs::path &p) {
+        if (!lintableExtension(p))
+            return;
+        std::string rel = relativeTo(opts.root, p);
+        if (!opts.under.empty() &&
+            rel.rfind(opts.under, 0) != 0) {
+            return;
+        }
+        files.insert((opts.root / rel).generic_string());
+    };
+    for (const std::string &input : opts.inputs) {
+        fs::path p = input;
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (auto it = fs::recursive_directory_iterator(p, ec);
+                 !ec && it != fs::recursive_directory_iterator();
+                 ++it) {
+                if (it->is_regular_file())
+                    addFile(it->path());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            addFile(p);
+        } else {
+            std::cerr << "mda-lint: no such file or directory: "
+                      << input << "\n";
+            return 2;
+        }
+    }
+    if (!opts.compdb.empty()) {
+        for (const std::string &f : compdbFiles(opts.compdb))
+            addFile(f);
+    }
+
+    // OBS-1 flag registry.
+    std::string reg = opts.debugHeader;
+    if (reg.empty()) {
+        fs::path def = opts.root / "src" / "sim" / "debug.hh";
+        std::error_code ec;
+        if (fs::exists(def, ec))
+            reg = def.string();
+    }
+    if (!reg.empty()) {
+        ctx.haveFlagRegistry = loadFlagRegistry(ctx, reg);
+        if (!ctx.haveFlagRegistry) {
+            std::cerr << "mda-lint: warning: no Flag declarations in "
+                      << reg << "; OBS-1 flag check disabled\n";
+        }
+    }
+
+    // Scan and check.
+    std::vector<ScanFile> scanned;
+    scanned.reserve(files.size());
+    for (const std::string &path : files) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "mda-lint: cannot read: " << path << "\n";
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        ScanFile sf;
+        sf.path = path;
+        sf.relpath = relativeTo(opts.root, path);
+        std::string ext = fs::path(path).extension().string();
+        sf.isHeader = ext == ".hh" || ext == ".h" || ext == ".hpp";
+        scanSource(ss.str(), sf);
+        scanned.push_back(std::move(sf));
+    }
+    for (const ScanFile &sf : scanned) {
+        checkDet1(ctx, sf);
+        checkDet2(ctx, sf);
+        checkEvt1(ctx, sf);
+        checkObs1(ctx, sf);
+        checkHdr1(ctx, sf);
+    }
+    finishObs1(ctx);
+
+    std::sort(ctx.findings.begin(), ctx.findings.end(),
+              findingBefore);
+
+    if (!opts.writeBaselinePath.empty()) {
+        std::ofstream out(opts.writeBaselinePath);
+        out << "# mda-lint baseline: RULE<TAB>file<TAB>key triples.\n"
+            << "# Findings listed here are grandfathered; refresh\n"
+            << "# with --write-baseline (see ci/LINT.md).\n";
+        std::set<std::string> keys;
+        for (const Finding &f : ctx.findings)
+            keys.insert(baselineKey(f));
+        for (const std::string &k : keys)
+            out << k << "\n";
+    }
+
+    std::set<std::string> baseline;
+    if (!opts.baselinePath.empty())
+        baseline = loadBaseline(opts.baselinePath);
+
+    int fresh = 0, grandfathered = 0;
+    for (const Finding &f : ctx.findings) {
+        if (baseline.count(baselineKey(f))) {
+            ++grandfathered;
+            continue;
+        }
+        ++fresh;
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    }
+
+    if (fresh > 0) {
+        std::cout << "mda-lint: " << fresh << " finding(s)";
+        if (grandfathered)
+            std::cout << " (+" << grandfathered << " in baseline)";
+        std::cout << " in " << scanned.size() << " file(s)\n";
+        return 1;
+    }
+    if (!opts.quiet) {
+        std::cout << "mda-lint: clean (" << scanned.size()
+                  << " file(s)";
+        if (grandfathered)
+            std::cout << ", " << grandfathered
+                      << " baseline-suppressed";
+        std::cout << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * mda-lint-ast: Clang AST engine for the type-aware subset of the
+ * mda-lint rules.
+ *
+ * The tokenizer engine (mda_lint.cc) is the always-available CI gate;
+ * this LibTooling/AST-matchers engine is built only when Clang dev
+ * libraries are found (see tools/lint/CMakeLists.txt) and adds
+ * precision the tokenizer cannot: it resolves the *type* behind
+ * aliases, so `using Clock = std::chrono::steady_clock; Clock::now()`
+ * or a typedef'd unordered_map cannot slip through, and it reports
+ * range-for iteration over unordered containers specifically (the
+ * ordering hazard) rather than every mention.
+ *
+ * Findings use the same stable rule IDs and file:line output format
+ * as the tokenizer engine; suppression and baselining are handled by
+ * re-running the tokenizer, so this binary is the deep-audit tier.
+ *
+ * Usage: mda-lint-ast -p <build-dir> <file>...
+ */
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include <string>
+
+using namespace clang;
+using namespace clang::ast_matchers;
+using namespace clang::tooling;
+
+namespace
+{
+
+llvm::cl::OptionCategory lintCategory("mda-lint-ast options");
+
+int findingCount = 0;
+
+void
+report(const SourceManager &sm, SourceLocation loc,
+       const std::string &rule, const std::string &message)
+{
+    if (loc.isInvalid() || !sm.isInFileID(sm.getExpansionLoc(loc),
+                                          sm.getMainFileID())) {
+        return;
+    }
+    SourceLocation expansion = sm.getExpansionLoc(loc);
+    llvm::outs() << sm.getFilename(expansion) << ":"
+                 << sm.getExpansionLineNumber(loc) << ": [" << rule
+                 << "] " << message << "\n";
+    ++findingCount;
+}
+
+/** DET-1: calls to global-state / wall-clock functions. */
+class Det1CallCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *call = result.Nodes.getNodeAs<CallExpr>("call");
+        const auto *fn =
+            result.Nodes.getNodeAs<FunctionDecl>("callee");
+        if (!call || !fn)
+            return;
+        report(*result.SourceManager, call->getBeginLoc(), "DET-1",
+               "call to nondeterminism source '" +
+                   fn->getQualifiedNameAsString() + "'");
+    }
+};
+
+/** DET-1: any use of a wall-clock or entropy *type*, through any
+ *  alias. */
+class Det1TypeCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *tl = result.Nodes.getNodeAs<TypeLoc>("type");
+        if (!tl)
+            return;
+        report(*result.SourceManager, tl->getBeginLoc(), "DET-1",
+               "use of nondeterministic type '" +
+                   tl->getType().getCanonicalType().getAsString() +
+                   "'");
+    }
+};
+
+/** DET-2: declarations with unordered container type (canonical, so
+ *  aliases are seen through). */
+class Det2DeclCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *vd = result.Nodes.getNodeAs<VarDecl>("var");
+        const auto *fd = result.Nodes.getNodeAs<FieldDecl>("field");
+        const ValueDecl *d =
+            vd ? static_cast<const ValueDecl *>(vd)
+               : static_cast<const ValueDecl *>(fd);
+        if (!d)
+            return;
+        report(*result.SourceManager, d->getBeginLoc(), "DET-2",
+               "'" + d->getNameAsString() +
+                   "' has unordered-container type; iteration order "
+                   "can leak into stats/traces/event order");
+    }
+};
+
+/** DET-2: range-for over an unordered container — the actual leak. */
+class Det2IterCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *loop =
+            result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+        if (!loop)
+            return;
+        report(*result.SourceManager, loop->getBeginLoc(), "DET-2",
+               "range-for over an unordered container: iteration "
+               "order is implementation-defined");
+    }
+};
+
+} // namespace
+
+int
+main(int argc, const char **argv)
+{
+    auto parser =
+        CommonOptionsParser::create(argc, argv, lintCategory);
+    if (!parser) {
+        llvm::errs() << llvm::toString(parser.takeError());
+        return 2;
+    }
+    ClangTool tool(parser->getCompilations(),
+                   parser->getSourcePathList());
+
+    MatchFinder finder;
+    Det1CallCheck det1Call;
+    Det1TypeCheck det1Type;
+    Det2DeclCheck det2Decl;
+    Det2IterCheck det2Iter;
+
+    finder.addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                            "::rand", "::srand", "::time",
+                            "::drand48", "::gettimeofday",
+                            "::clock_gettime", "::localtime",
+                            "::gmtime"))
+                            .bind("callee")))
+            .bind("call"),
+        &det1Call);
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(namedDecl(hasAnyName(
+                    "::std::random_device",
+                    "::std::chrono::system_clock",
+                    "::std::chrono::steady_clock",
+                    "::std::chrono::high_resolution_clock"))))))
+            .bind("type"),
+        &det1Type);
+
+    auto unorderedType = qualType(hasCanonicalType(hasDeclaration(
+        namedDecl(hasAnyName("::std::unordered_map",
+                             "::std::unordered_set",
+                             "::std::unordered_multimap",
+                             "::std::unordered_multiset")))));
+    finder.addMatcher(varDecl(hasType(unorderedType)).bind("var"),
+                      &det2Decl);
+    finder.addMatcher(fieldDecl(hasType(unorderedType)).bind("field"),
+                      &det2Decl);
+    finder.addMatcher(
+        cxxForRangeStmt(hasRangeInit(expr(hasType(unorderedType))))
+            .bind("loop"),
+        &det2Iter);
+
+    int status =
+        tool.run(newFrontendActionFactory(&finder).get());
+    if (status != 0)
+        return 2;
+    if (findingCount > 0) {
+        llvm::outs() << "mda-lint-ast: " << findingCount
+                     << " finding(s)\n";
+        return 1;
+    }
+    llvm::outs() << "mda-lint-ast: clean\n";
+    return 0;
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the compilation database and gate on NEW
+findings only.
+
+Findings are normalized to "check|file|message" fingerprints (no line
+numbers, so unrelated edits above a grandfathered finding don't break
+the gate) and diffed against a checked-in baseline
+(tools/lint/clang_tidy_baseline.txt). Exit codes:
+
+  0  no new findings (or clang-tidy unavailable: the mda-lint gate is
+     the always-on layer; this one degrades gracefully)
+  1  new findings (printed)
+  2  environment/usage error
+
+Refresh the baseline after an intentional change with
+--update-baseline (procedure: ci/LINT.md).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<sev>warning|error):\s+(?P<msg>.*?)\s+\[(?P<check>[^\]]+)\]$"
+)
+
+
+def find_clang_tidy():
+    cand = [os.environ.get("CLANG_TIDY", "clang-tidy")]
+    cand += [f"clang-tidy-{v}" for v in range(20, 13, -1)]
+    for name in cand:
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def compdb_sources(build_dir, under):
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path) as f:
+            entries = json.load(f)
+    except OSError as e:
+        sys.exit(f"run_clang_tidy: cannot read {path}: {e}")
+    files = set()
+    for e in entries:
+        f = os.path.normpath(
+            os.path.join(e.get("directory", "."), e["file"]))
+        rel = os.path.relpath(f, os.getcwd())
+        if not under or rel.startswith(under + os.sep):
+            files.add(rel)
+    return sorted(files)
+
+
+def run_one(args):
+    tidy, build_dir, src = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True)
+    return src, proc.stdout + proc.stderr
+
+
+def fingerprint(match, root):
+    path = os.path.relpath(match.group("file"), root)
+    return f"{match.group('check')}|{path}|{match.group('msg')}"
+
+
+def load_baseline(path):
+    out = set()
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.rstrip("\n")
+                if line and not line.startswith("#"):
+                    out.add(line)
+    except OSError as e:
+        sys.exit(f"run_clang_tidy: cannot read baseline {path}: {e}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--baseline",
+                    default="tools/lint/clang_tidy_baseline.txt")
+    ap.add_argument("--under", default="src",
+                    help="only lint sources under this prefix")
+    ap.add_argument("--jobs", type=int,
+                    default=multiprocessing.cpu_count())
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings")
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found; skipping "
+              "(mda-lint remains the hard gate)")
+        return 0
+
+    sources = compdb_sources(args.build_dir, args.under)
+    if not sources:
+        sys.exit(f"run_clang_tidy: no sources under '{args.under}' "
+                 f"in {args.build_dir}/compile_commands.json")
+
+    root = os.getcwd()
+    findings = {}  # fingerprint -> first "file:line: msg [check]"
+    with multiprocessing.Pool(args.jobs) as pool:
+        for src, output in pool.imap_unordered(
+                run_one,
+                [(tidy, args.build_dir, s) for s in sources]):
+            for line in output.splitlines():
+                m = DIAG_RE.match(line)
+                if not m:
+                    continue
+                fp = fingerprint(m, root)
+                findings.setdefault(
+                    fp,
+                    f"{os.path.relpath(m.group('file'), root)}:"
+                    f"{m.group('line')}: {m.group('msg')} "
+                    f"[{m.group('check')}]")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as f:
+            f.write("# clang-tidy baseline: check|file|message "
+                    "fingerprints.\n"
+                    "# Regenerate with: python3 "
+                    "tools/lint/run_clang_tidy.py "
+                    "--update-baseline (see ci/LINT.md).\n")
+            for fp in sorted(findings):
+                f.write(fp + "\n")
+        print(f"run_clang_tidy: baseline updated "
+              f"({len(findings)} finding(s))")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = {fp: loc for fp, loc in findings.items()
+           if fp not in baseline}
+    stale = baseline - set(findings)
+
+    if new:
+        print(f"run_clang_tidy: {len(new)} NEW finding(s) "
+              f"(not in {args.baseline}):")
+        for fp in sorted(new):
+            print("  " + new[fp])
+        return 1
+    msg = (f"run_clang_tidy: clean ({len(sources)} file(s), "
+           f"{len(findings)} baseline-suppressed)")
+    if stale:
+        msg += (f"; {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} can be removed")
+    print(msg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
