@@ -59,14 +59,14 @@ std::vector<std::string>
 CacheBase::checkDrained() const
 {
     std::vector<std::string> violations;
-    for (const MshrEntry &entry : _mshr.entries()) {
+    _mshr.forEach([&](const MshrEntry &entry) {
         violations.push_back(
             name() + ": MSHR entry for " +
             orientName(entry.line.orient) + " line id " +
             std::to_string(entry.line.id) + " with " +
             std::to_string(entry.targets.size()) +
             " target(s) leaked after drain");
-    }
+    });
     if (!_writeBuffer.empty()) {
         violations.push_back(
             name() + ": " + std::to_string(_writeBuffer.size()) +
@@ -171,9 +171,14 @@ CacheBase::defer(PacketPtr pkt)
 }
 
 void
-CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line)
+CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line,
+                        MshrEntry *entry)
 {
-    MshrEntry *entry = _mshr.find(line);
+    // The caller just looked @p line up in the MSHR (every miss path
+    // does, to make its defer decision) and passes the result in so
+    // the file is not scanned a second time. Slot storage is stable,
+    // so the pointer survives the bookkeeping between the lookup and
+    // this call.
     if (entry) {
         if (!_mshr.canTarget(*entry)) {
             defer(std::move(pkt));
@@ -212,7 +217,9 @@ CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line)
 void
 CacheBase::issuePrefetch(const OrientedLine &line)
 {
-    if (_mshr.full() || _mshr.find(line) || _mshr.conflictsWith(line))
+    // overlaps() covers both "already in flight" (equal lines
+    // intersect) and "crosses an in-flight line" in a single scan.
+    if (_mshr.full() || _mshr.overlaps(line))
         return;
     _mshr.alloc(line, true, curTick());
     ++_prefetchesIssued;
@@ -281,14 +288,14 @@ CacheBase::trySendQueues()
     }
     // Fills may go once no queued writeback overlaps them; with an
     // empty write buffer that is vacuously true.
-    for (MshrEntry *entry : _mshr.unsent()) {
-        auto fill = Packet::makeLineFill(entry->line, entry->isPrefetch,
-                                         curTick());
-        fill->pc = entry->pc;
+    _mshr.visitUnsent([this](MshrEntry &entry) {
+        auto fill = Packet::makeLineFill(entry.line, entry.isPrefetch,
+                                         curTick(), packetPool());
+        fill->pc = entry.pc;
         if (!_downstream->tryRequest(fill))
-            return;
-        entry->sent = true;
-    }
+            return false; // downstream will retry us
+        return true;      // the MSHR file marks the entry sent
+    });
 }
 
 void

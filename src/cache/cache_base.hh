@@ -94,11 +94,14 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
     void defer(PacketPtr pkt);
 
     /**
-     * Record a miss on @p line: coalesce into an existing entry or
-     * allocate a new one and try to send the fill downstream.
-     * @pre the caller has checked conflictsWith().
+     * Record a miss on @p line: coalesce into @p entry — the caller's
+     * MSHR lookup result for @p line, null if none — or allocate a
+     * new entry and try to send the fill downstream.
+     * @pre the caller has checked conflictsWith(), and @p entry is
+     *      the current find(line) result (no MSHR mutation between).
      */
-    void allocateMiss(PacketPtr pkt, const OrientedLine &line);
+    void allocateMiss(PacketPtr pkt, const OrientedLine &line,
+                      MshrEntry *entry);
 
     /** Allocate a prefetch fill for @p line if resources allow. */
     void issuePrefetch(const OrientedLine &line);

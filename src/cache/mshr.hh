@@ -15,8 +15,8 @@
 #ifndef MDA_CACHE_MSHR_HH
 #define MDA_CACHE_MSHR_HH
 
+#include <array>
 #include <cstdint>
-#include <list>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -47,26 +47,72 @@ struct MshrEntry
     Tick allocTick = 0;
 };
 
-/** Fixed-capacity MSHR file. */
+/**
+ * Fixed-capacity MSHR file.
+ *
+ * Entries live in fixed slots; a side list of slot indices maintains
+ * allocation order (which fill-send order, and hence determinism,
+ * depends on). Fills retire roughly FIFO, so an ordered erase from a
+ * vector *of entries* would shift nearly the whole file on every
+ * fill; erasing from the byte-sized index list moves at most
+ * `capacity` bytes, and slot reuse keeps entry storage stable without
+ * any allocation on the miss path.
+ */
 class MshrFile
 {
   public:
     MshrFile(unsigned num_entries, unsigned targets_per_entry)
-        : _capacity(num_entries), _targetCap(targets_per_entry)
-    {}
+        : _capacity(num_entries), _targetCap(targets_per_entry),
+          _slots(num_entries)
+    {
+        mda_assert(num_entries > 0 && num_entries <= 255,
+                   "unsupported MSHR entry count %u", num_entries);
+        _order.reserve(num_entries);
+        _freeSlots.reserve(num_entries);
+        // Reverse order so slot 0 is handed out first; slot choice
+        // never affects simulated behavior (ordering runs off
+        // _order), this just keeps layouts compact.
+        for (unsigned i = num_entries; i-- > 0;)
+            _freeSlots.push_back(static_cast<std::uint8_t>(i));
+    }
 
-    bool full() const { return _entries.size() >= _capacity; }
-    bool empty() const { return _entries.empty(); }
-    std::size_t size() const { return _entries.size(); }
+    bool full() const { return _order.size() >= _capacity; }
+    bool empty() const { return _order.empty(); }
+    std::size_t size() const { return _order.size(); }
 
     /** Find the in-flight entry for @p line, if any. */
     MshrEntry *
     find(const OrientedLine &line)
     {
-        for (auto &e : _entries)
-            if (e.line == line)
-                return &e;
+        if (!mayHoldTile(line.tile()))
+            return nullptr;
+        for (std::uint8_t slot : _order)
+            if (_slots[slot].line == line)
+                return &_slots[slot];
         return nullptr;
+    }
+
+    /**
+     * Single-scan combination of find() and conflictsWith(): returns
+     * the entry for @p line (or null) and sets @p conflicts when some
+     * *other* in-flight entry word-overlaps @p line. The demand-miss
+     * hot path uses this instead of two separate scans.
+     */
+    MshrEntry *
+    findWithConflict(const OrientedLine &line, bool &conflicts)
+    {
+        conflicts = false;
+        if (!mayHoldTile(line.tile()))
+            return nullptr;
+        MshrEntry *found = nullptr;
+        for (std::uint8_t slot : _order) {
+            MshrEntry &e = _slots[slot];
+            if (e.line == line)
+                found = &e;
+            else if (e.line.intersects(line))
+                conflicts = true;
+        }
+        return found;
     }
 
     /** Whether @p entry can absorb one more target. */
@@ -84,18 +130,58 @@ class MshrFile
     bool
     conflictsWith(const OrientedLine &line) const
     {
-        for (const auto &e : _entries)
+        if (!mayHoldTile(line.tile()))
+            return false;
+        for (std::uint8_t slot : _order) {
+            const MshrEntry &e = _slots[slot];
             if (!(e.line == line) && e.line.intersects(line))
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Whether @p line word-overlaps *any* in-flight entry, including
+     * an entry for @p line itself. Equivalent to
+     * `find(line) || conflictsWith(line)` (equal lines intersect), in
+     * one scan — the prefetch-issue hot path uses this.
+     */
+    bool
+    overlaps(const OrientedLine &line) const
+    {
+        if (!mayHoldTile(line.tile()))
+            return false;
+        for (std::uint8_t slot : _order)
+            if (_slots[slot].line.intersects(line))
                 return true;
         return false;
     }
 
-    /** Whether the single word at @p addr overlaps any entry. */
+    /** Whether the single word at @p addr overlaps any entry.
+     *  @pre own_line.containsWord(addr) — any entry covering the word
+     *  therefore shares own_line's tile, which lets the tile filter
+     *  apply here too. */
     bool
     wordConflicts(Addr addr, const OrientedLine &own_line) const
     {
-        for (const auto &e : _entries)
+        if (!mayHoldTile(own_line.tile()))
+            return false;
+        for (std::uint8_t slot : _order) {
+            const MshrEntry &e = _slots[slot];
             if (!(e.line == own_line) && e.line.containsWord(addr))
+                return true;
+        }
+        return false;
+    }
+
+    /** Whether any in-flight entry targets a line of @p tile. */
+    bool
+    pinsTile(std::uint64_t tile) const
+    {
+        if (!mayHoldTile(tile))
+            return false;
+        for (std::uint8_t slot : _order)
+            if (_slots[slot].line.tile() == tile)
                 return true;
         return false;
     }
@@ -106,11 +192,19 @@ class MshrFile
     {
         mda_assert(!full(), "MSHR overflow");
         mda_assert(!find(line), "duplicate MSHR entry");
-        _entries.emplace_back();
-        MshrEntry &e = _entries.back();
+        std::uint8_t slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        MshrEntry &e = _slots[slot];
+        // Slots are reused: reset every field a fresh entry carries.
         e.line = line;
+        e.sent = false;
         e.isPrefetch = is_prefetch;
+        e.pc = 0;
         e.allocTick = now;
+        mda_assert(e.targets.empty(), "reused MSHR slot has targets");
+        _order.push_back(slot);
+        ++_unsentCount;
+        ++_tileCount[line.tile() & (tileBuckets - 1)];
         return e;
     }
 
@@ -119,34 +213,118 @@ class MshrFile
     MshrEntry
     retire(const OrientedLine &line)
     {
-        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
-            if (it->line == line) {
-                MshrEntry entry = std::move(*it);
-                _entries.erase(it);
-                return entry;
-            }
+        for (auto it = _order.begin(); it != _order.end(); ++it) {
+            MshrEntry &e = _slots[*it];
+            if (!(e.line == line))
+                continue;
+            MshrEntry out = std::move(e);
+            if (!out.sent)
+                --_unsentCount;
+            --_tileCount[out.line.tile() & (tileBuckets - 1)];
+            // A moved-from vector's state is unspecified; pin the
+            // slot back to "no targets" for the next alloc.
+            e.targets.clear();
+            _freeSlots.push_back(*it);
+            // Ordered erase so the remaining entries keep allocation
+            // order; shifting byte indices costs at most _capacity
+            // bytes of movement.
+            _order.erase(it);
+            return out;
         }
         panic("retiring unknown MSHR entry");
     }
 
-    /** Entries not yet sent downstream (for retry processing). */
+    /** Whether any entry is still waiting to be sent downstream. */
+    bool hasUnsent() const { return _unsentCount != 0; }
+
+    /**
+     * Visit entries not yet sent downstream, in allocation order;
+     * @p visit returns true when it sent the fill (the file then marks
+     * the entry sent), false to stop early (downstream is full).
+     * Iterates in place — no snapshot, no allocation — which is safe
+     * because sending a fill never re-enters this MSHR file. A live
+     * unsent counter makes the common nothing-to-send call O(1): the
+     * send-retry path runs after every completion, but usually every
+     * entry has already been sent.
+     */
+    template <typename Visit>
+    void
+    visitUnsent(Visit &&visit)
+    {
+        if (_unsentCount == 0)
+            return;
+        for (std::uint8_t slot : _order) {
+            MshrEntry &e = _slots[slot];
+            if (e.sent)
+                continue;
+            if (!visit(e))
+                return;
+            e.sent = true;
+            if (--_unsentCount == 0)
+                return;
+        }
+    }
+
+    /** Entries not yet sent downstream (tests; the simulator proper
+     *  uses the allocation-free visitUnsent). */
     std::vector<MshrEntry *>
     unsent()
     {
         std::vector<MshrEntry *> out;
-        for (auto &e : _entries)
-            if (!e.sent)
-                out.push_back(&e);
+        for (std::uint8_t slot : _order)
+            if (!_slots[slot].sent)
+                out.push_back(&_slots[slot]);
         return out;
     }
 
-    /** All in-flight entries (tests/occupancy probes). */
-    const std::list<MshrEntry> &entries() const { return _entries; }
+    /** Visit every in-flight entry in allocation order (drain checks,
+     *  occupancy probes, tests). */
+    template <typename Visit>
+    void
+    forEach(Visit &&visit) const
+    {
+        for (std::uint8_t slot : _order)
+            visit(_slots[slot]);
+    }
 
   private:
     unsigned _capacity;
     unsigned _targetCap;
-    std::list<MshrEntry> _entries;
+
+    /** Entry storage, indexed by slot; stable for an entry's
+     *  lifetime. */
+    std::vector<MshrEntry> _slots;
+
+    /** Slots of live entries, in allocation order. */
+    std::vector<std::uint8_t> _order;
+
+    /** Recycled slot indices (LIFO by retire order — simulation
+     *  state, never addresses). */
+    std::vector<std::uint8_t> _freeSlots;
+
+    /** Live entries with sent == false (early-out for visitUnsent). */
+    unsigned _unsentCount = 0;
+
+    /** Buckets in the aliased per-tile entry counts. */
+    static constexpr std::size_t tileBuckets = 256;
+
+    /**
+     * Any entry that intersects a line, covers one of its words, or
+     * equals it outright shares that line's tile (equal orientation
+     * implies equal id implies equal tile; crossing orientation tests
+     * tile equality directly). A zero count for the line's aliased
+     * tile therefore rules the whole scan family out in O(1); a
+     * nonzero count (possibly a tile collision) falls through to the
+     * exact scan. Updated only on alloc/retire — simulation state,
+     * never addresses.
+     */
+    bool
+    mayHoldTile(std::uint64_t tile) const
+    {
+        return _tileCount[tile & (tileBuckets - 1)] != 0;
+    }
+
+    std::array<std::uint8_t, tileBuckets> _tileCount{};
 };
 
 } // namespace mda

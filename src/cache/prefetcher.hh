@@ -12,10 +12,12 @@
 #ifndef MDA_CACHE_PREFETCHER_HH
 #define MDA_CACHE_PREFETCHER_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/fastmod.hh"
+#include "sim/logging.hh"
 #include "sim/orientation.hh"
 #include "sim/types.hh"
 
@@ -26,22 +28,55 @@ namespace mda
 class StridePrefetcher
 {
   public:
+    /** Hard cap on the run-ahead degree; keeps the per-observation
+     *  candidate list in fixed storage (observe() is on the demand
+     *  hot path and must not allocate). */
+    static constexpr unsigned maxDegree = 16;
+
+    /** Candidate line base addresses from one observation. */
+    class Candidates
+    {
+      public:
+        const Addr *begin() const { return _addrs.data(); }
+        const Addr *end() const { return _addrs.data() + _count; }
+        unsigned size() const { return _count; }
+        bool empty() const { return _count == 0; }
+
+        Addr
+        operator[](unsigned i) const
+        {
+            mda_assert(i < _count, "candidate index out of range");
+            return _addrs[i];
+        }
+
+      private:
+        friend class StridePrefetcher;
+        void push(Addr a) { _addrs[_count++] = a; }
+
+        std::array<Addr, maxDegree> _addrs;
+        unsigned _count = 0;
+    };
+
     explicit StridePrefetcher(unsigned degree = 4,
                               unsigned table_size = 256)
-        : _degree(degree), _tableSize(table_size)
-    {}
+        : _degree(degree), _tableMod(table_size), _table(table_size)
+    {
+        mda_assert(degree <= maxDegree,
+                   "prefetch degree %u above the supported maximum %u",
+                   degree, maxDegree);
+    }
 
     /**
      * Observe a demand access; return the row-line base addresses to
      * prefetch (empty while the stride is not yet confident).
      */
-    std::vector<Addr>
+    Candidates
     observe(std::uint32_t pc, Addr addr)
     {
-        std::vector<Addr> out;
+        Candidates out;
         if (pc == 0)
             return out;
-        TableEntry &entry = _table[pc % _tableSize];
+        TableEntry &entry = _table[_tableMod.mod(pc)];
         if (entry.pc != pc) {
             // Cold or conflicting slot: rebase.
             entry.pc = pc;
@@ -85,7 +120,7 @@ class StridePrefetcher
             Addr line = alignDown(static_cast<Addr>(target), lineBytes);
             if (line != last_line &&
                 line != alignDown(addr, lineBytes)) {
-                out.push_back(line);
+                out.push(line);
                 last_line = line;
             }
         }
@@ -104,10 +139,12 @@ class StridePrefetcher
     };
 
     unsigned _degree;
-    unsigned _tableSize;
-    // MDA_LINT_ALLOW(DET-2): keyed access by pc % _tableSize only,
-    // never iterated; stride-table order cannot reach any output.
-    std::unordered_map<std::uint32_t, TableEntry> _table;
+    /** Reciprocal for the table index (observe() runs per demand
+     *  access; table sizes need not be powers of two). */
+    FastMod _tableMod;
+    /** Direct-mapped by pc % table_size (the slot's `pc` field
+     *  detects conflicts and rebases, exactly as hardware would). */
+    std::vector<TableEntry> _table;
 };
 
 } // namespace mda

@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -24,7 +25,13 @@
 namespace mda
 {
 
-/** One line frame. */
+/**
+ * One line frame: tag metadata only. The 64 B data block lives in a
+ * separate plane owned by LineStorage, so the tag scans in find() and
+ * victim() — the lookup hot path — stream over ~40 B entries instead
+ * of ~100 B ones. `dataBlock` is wired once at construction and is
+ * stable for the storage's lifetime.
+ */
 struct CacheEntry
 {
     OrientedLine line;
@@ -32,22 +39,25 @@ struct CacheEntry
     bool prefetched = false; ///< Installed by prefetch, not yet used.
     std::uint8_t dirtyMask = 0;
     std::uint64_t lruStamp = 0;
-    std::array<std::uint8_t, lineBytes> data{};
+    std::uint8_t *dataBlock = nullptr;
 
     bool dirty() const { return dirtyMask != 0; }
+
+    std::uint8_t *data() { return dataBlock; }
+    const std::uint8_t *data() const { return dataBlock; }
 
     std::uint64_t
     word(unsigned k) const
     {
         std::uint64_t v;
-        std::memcpy(&v, data.data() + k * wordBytes, wordBytes);
+        std::memcpy(&v, dataBlock + k * wordBytes, wordBytes);
         return v;
     }
 
     void
     setWord(unsigned k, std::uint64_t v, bool mark_dirty)
     {
-        std::memcpy(data.data() + k * wordBytes, &v, wordBytes);
+        std::memcpy(dataBlock + k * wordBytes, &v, wordBytes);
         if (mark_dirty)
             dirtyMask |= static_cast<std::uint8_t>(1u << k);
     }
@@ -59,9 +69,15 @@ class LineStorage
   public:
     LineStorage(std::uint64_t num_sets, unsigned ways)
         : _sets(num_sets), _ways(ways),
-          _entries(num_sets * ways)
+          _entries(num_sets * ways), _data(num_sets * ways)
     {
         mda_assert(num_sets > 0 && ways > 0, "empty storage");
+        // Both vectors are fixed-size for the storage's lifetime, so
+        // the data-plane pointers never dangle.
+        for (std::size_t i = 0; i < _entries.size(); ++i)
+            _entries[i].dataBlock = _data[i].data();
+        for (auto &occ : _tileOcc)
+            occ.assign(tileOccBuckets, 0);
     }
 
     std::uint64_t numSets() const { return _sets; }
@@ -99,6 +115,34 @@ class LineStorage
         return lru;
     }
 
+    /**
+     * victim() fused with a duplicate check: one sweep of @p set that
+     * both picks the victim (same policy as victim(): first invalid
+     * way, else LRU) and panics if @p line is already present. The
+     * fill path uses this instead of a lookup-assert plus a second
+     * victim scan.
+     */
+    CacheEntry *
+    victimForInstall(std::uint64_t set, const OrientedLine &line)
+    {
+        CacheEntry *base = setBase(set);
+        CacheEntry *lru = &base[0];
+        CacheEntry *invalid = nullptr;
+        for (unsigned w = 0; w < _ways; ++w) {
+            CacheEntry &e = base[w];
+            if (!e.valid) {
+                if (!invalid)
+                    invalid = &e;
+                continue;
+            }
+            mda_assert(!(e.line == line),
+                       "fill for an already-present line");
+            if (e.lruStamp < lru->lruStamp)
+                lru = &e;
+        }
+        return invalid ? invalid : lru;
+    }
+
     /** Update recency on @p entry. */
     void touch(CacheEntry *entry) { entry->lruStamp = ++_clock; }
 
@@ -106,15 +150,26 @@ class LineStorage
     void
     invalidate(CacheEntry *entry)
     {
-        if (entry->valid && entry->line.orient == Orientation::Col)
-            --_validColLines;
-        else if (entry->valid)
-            --_validRowLines;
+        if (entry->valid) {
+            if (entry->line.orient == Orientation::Col)
+                --_validColLines;
+            else
+                --_validRowLines;
+            --occSlot(entry->line);
+        }
         entry->valid = false;
         entry->dirtyMask = 0;
     }
 
-    /** Install @p line into @p entry (which must be invalid). */
+    /**
+     * Install @p line into @p entry (which must be invalid).
+     *
+     * The recycled data block is NOT cleared: every installer (fill,
+     * full-line write allocation) overwrites all 64 bytes immediately
+     * after, so zeroing here would be pure overhead on the fill path.
+     * A new caller that installs without writing the whole block must
+     * clear it itself.
+     */
     void
     install(CacheEntry *entry, const OrientedLine &line)
     {
@@ -123,12 +178,25 @@ class LineStorage
         entry->line = line;
         entry->prefetched = false;
         entry->dirtyMask = 0;
-        entry->data.fill(0);
         touch(entry);
         if (line.orient == Orientation::Col)
             ++_validColLines;
         else
             ++_validRowLines;
+        ++occSlot(line);
+    }
+
+    /**
+     * Whether any valid line of orientation @p o and tile @p tile may
+     * be resident. Tiles alias into a fixed table, so `true` can be a
+     * false positive (caller probes and finds nothing) but `false` is
+     * exact — the basis for skipping crossing-line probe sweeps.
+     */
+    bool
+    mayHoldTileLines(Orientation o, std::uint64_t tile) const
+    {
+        const auto &occ = _tileOcc[o == Orientation::Col];
+        return occ[tile & (tileOccBuckets - 1)] != 0;
     }
 
     /** Iterate the ways of a set (for tests and policy probes). */
@@ -149,9 +217,27 @@ class LineStorage
     std::uint64_t validRowLines() const { return _validRowLines; }
 
   private:
+    /** Buckets in the per-orientation tile-occupancy tables. Power of
+     *  two; exact per tile for matrices up to 2048x2048, aliased (and
+     *  therefore conservative) beyond. */
+    static constexpr std::size_t tileOccBuckets = std::size_t{1} << 16;
+
+    std::uint32_t &
+    occSlot(const OrientedLine &line)
+    {
+        return _tileOcc[line.orient == Orientation::Col]
+                       [line.tile() & (tileOccBuckets - 1)];
+    }
+
     std::uint64_t _sets;
     unsigned _ways;
     std::vector<CacheEntry> _entries;
+    /** Data plane, parallel to _entries (see CacheEntry comment). */
+    std::vector<std::array<std::uint8_t, lineBytes>> _data;
+    /** Valid-line counts per (orientation, aliased tile); updated on
+     *  install/invalidate only, so the counts are simulation state,
+     *  never address-derived. */
+    std::array<std::vector<std::uint32_t>, 2> _tileOcc;
     std::uint64_t _clock = 0;
     std::uint64_t _validColLines = 0;
     std::uint64_t _validRowLines = 0;

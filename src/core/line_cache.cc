@@ -1,5 +1,7 @@
 #include "line_cache.hh"
 
+#include <bit>
+#include <cstring>
 #include <map>
 
 #include "sim/debug.hh"
@@ -14,6 +16,7 @@ LineCache::LineCache(const std::string &obj_name, EventQueue &eq,
     : CacheBase(obj_name, eq, sg, config),
       _mapping(mapping),
       _storage(config.numSets(), config.ways),
+      _setMod(config.numSets()),
       _prefetcher(config.prefetchDegree)
 {
     regScalar("dupWritebacks", &_dupWritebacks,
@@ -39,13 +42,12 @@ LineCache::setFor(const OrientedLine &line) const
     // index as a hash of the tile ("index high") bits, spreading the
     // intra-tile index in Different-Set mode.
     if (_mapping == LineMapping::OneD)
-        return line.id % _storage.numSets();
+        return _setMod.mod(line.id);
     std::uint64_t tile_hash =
         (line.tile() * 0x9e3779b97f4a7c15ULL) >> 24;
     if (_mapping == LineMapping::TwoDSameSet)
-        return tile_hash % _storage.numSets();
-    return (tile_hash ^ (line.index() * 0x9e3779b9ULL)) %
-           _storage.numSets();
+        return _setMod.mod(tile_hash);
+    return _setMod.mod(tile_hash ^ (line.index() * 0x9e3779b9ULL));
 }
 
 CacheEntry *
@@ -136,7 +138,7 @@ LineCache::writebackDirty(CacheEntry *entry)
     if (!entry->dirty())
         return;
     auto wb = Packet::makeWriteback(entry->line, entry->dirtyMask,
-                                    curTick());
+                                    curTick(), packetPool());
     for (unsigned k = 0; k < lineWords; ++k)
         if (entry->dirtyMask & (1u << k))
             wb->setWord(k, entry->word(k));
@@ -164,8 +166,20 @@ LineCache::prepareLine(const OrientedLine &line,
 {
     if (!is2D())
         return 0;
-    unsigned probes = 0;
     Orientation cross_orient = flip(line.orient);
+    // Every crossing line probed below belongs to the same tile as
+    // @p line (a line's 8 words all sit in one 8x8 tile), so when the
+    // occupancy table rules that (orientation, tile) out, every probe
+    // would miss and the whole sweep can be skipped. The tag-port
+    // occupancy stat still counts the probes the hardware would issue
+    // — one per covered/written word — exactly what the loop counts.
+    if (!_storage.mayHoldTileLines(cross_orient, line.tile())) {
+        unsigned probes = std::popcount(
+            static_cast<unsigned>(covered_mask | written_mask));
+        _extraTagAccesses += probes;
+        return probes;
+    }
+    unsigned probes = 0;
     for (unsigned k = 0; k < lineWords; ++k) {
         std::uint8_t bit = static_cast<std::uint8_t>(1u << k);
         if (!((covered_mask | written_mask) & bit))
@@ -173,6 +187,8 @@ LineCache::prepareLine(const OrientedLine &line,
         Addr word = line.wordAddr(k);
         OrientedLine cross =
             OrientedLine::containing(word, cross_orient);
+        mda_assert(cross.tile() == line.tile(),
+                   "crossing line left the tile");
         ++probes;
         CacheEntry *entry = lookup(cross);
         if (!entry)
@@ -219,6 +235,12 @@ LineCache::copyOut(CacheEntry *entry, Packet &pkt)
         return;
     }
     mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    if (pkt.wordMask == 0xff) {
+        // Frame data and packet payload share the line-word byte
+        // layout, so a full-mask read is one copy.
+        std::memcpy(pkt.payload.data(), entry->data(), lineBytes);
+        return;
+    }
     for (unsigned k = 0; k < lineWords; ++k)
         if (pkt.wordMask & (1u << k))
             pkt.setWord(k, entry->word(k));
@@ -233,6 +255,11 @@ LineCache::performWrite(CacheEntry *entry, const Packet &pkt)
         return;
     }
     mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    if (pkt.wordMask == 0xff) {
+        std::memcpy(entry->data(), pkt.payload.data(), lineBytes);
+        entry->dirtyMask = 0xff;
+        return;
+    }
     for (unsigned k = 0; k < lineWords; ++k)
         if (pkt.wordMask & (1u << k))
             entry->setWord(k, pkt.word(k), true);
@@ -370,9 +397,9 @@ LineCache::handleDemand(PacketPtr pkt)
     // ---- miss ----
     // Every deferral decision happens before the miss is counted so
     // deferred packets are counted exactly once, on final resolution.
-    MshrEntry *inflight = _mshr.find(line);
-    if (!inflight &&
-        (_mshr.conflictsWith(line) || _mshr.full())) {
+    bool conflict = false;
+    MshrEntry *inflight = _mshr.findWithConflict(line, conflict);
+    if (!inflight && (conflict || _mshr.full())) {
         defer(std::move(pkt));
         return;
     }
@@ -395,7 +422,7 @@ LineCache::handleDemand(PacketPtr pkt)
 
     // Coalesce onto an in-flight fill of the same line.
     if (inflight) {
-        allocateMiss(std::move(pkt), line);
+        allocateMiss(std::move(pkt), line, inflight);
         return;
     }
 
@@ -429,7 +456,7 @@ LineCache::handleDemand(PacketPtr pkt)
         return;
     }
 
-    allocateMiss(std::move(pkt), line);
+    allocateMiss(std::move(pkt), line, nullptr);
 }
 
 void
@@ -441,8 +468,10 @@ LineCache::handleWriteback(PacketPtr pkt)
                    "column writeback reached a 1P1L cache");
     }
 
-    // Order against any in-flight fill touching these words.
-    if (_mshr.find(line) || _mshr.conflictsWith(line)) {
+    // Order against any in-flight fill touching these words (an
+    // entry for the line itself intersects it, so one scan covers
+    // both cases).
+    if (_mshr.overlaps(line)) {
         defer(std::move(pkt));
         return;
     }
@@ -483,14 +512,15 @@ LineCache::handleFill(PacketPtr pkt)
             (unsigned long long)pkt->addr, retired.targets.size());
     auto targets = std::move(retired.targets);
 
-    mda_assert(!lookup(line), "fill for an already-present line");
-    std::uint64_t set = setFor(line);
-    CacheEntry *victim = _storage.victim(set);
+    // One sweep picks the victim and asserts the line is absent.
+    CacheEntry *victim =
+        _storage.victimForInstall(setFor(line), line);
     if (victim->valid)
         evict(victim);
     _storage.install(victim, line);
-    for (unsigned k = 0; k < lineWords; ++k)
-        victim->setWord(k, pkt->word(k), false);
+    // Fills are always full-mask (asserted above) and install clean
+    // data: one copy replaces the word-by-word loop.
+    std::memcpy(victim->data(), pkt->payload.data(), lineBytes);
     victim->prefetched = pkt->isPrefetch && targets.empty();
 
     for (auto &target : targets) {

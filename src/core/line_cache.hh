@@ -35,6 +35,7 @@
 #include "cache/cache_base.hh"
 #include "cache/prefetcher.hh"
 #include "cache/storage.hh"
+#include "sim/fastmod.hh"
 
 namespace mda
 {
@@ -136,6 +137,9 @@ class LineCache : public CacheBase
 
     LineMapping _mapping;
     LineStorage _storage;
+    /** Reciprocal for the `% numSets` in setFor() — on the lookup
+     *  hot path, and the set count need not be a power of two. */
+    FastMod _setMod;
     StridePrefetcher _prefetcher;
 
     stats::Scalar _gatherHits;

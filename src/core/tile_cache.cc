@@ -13,6 +13,7 @@ TileCache::TileCache(const std::string &obj_name, EventQueue &eq,
                      TileFillPolicy fill)
     : CacheBase(obj_name, eq, sg, config),
       _sets(config.numTileSets()),
+      _setMod(config.numTileSets()),
       _fill(fill),
       _frames(config.numTileSets() * config.ways)
 {
@@ -92,7 +93,7 @@ TileCache::setFor(std::uint64_t tile) const
 {
     // Same index hashing rationale as LineCache::setFor: narrow tile
     // bands (HTAP fields) would otherwise collapse into a few sets.
-    return ((tile * 0x9e3779b97f4a7c15ULL) >> 24) % _sets;
+    return _setMod.mod((tile * 0x9e3779b97f4a7c15ULL) >> 24);
 }
 
 TileEntry *
@@ -110,10 +111,7 @@ TileCache::find(std::uint64_t tile)
 bool
 TileCache::pinned(std::uint64_t tile) const
 {
-    for (const auto &entry : _mshr.entries())
-        if (entry.line.tile() == tile)
-            return true;
-    return false;
+    return _mshr.pinsTile(tile);
 }
 
 TileEntry *
@@ -173,7 +171,8 @@ TileCache::evictFrame(TileEntry *entry)
         if (!mask)
             continue;
         OrientedLine row(Orientation::Row, (entry->tile << 3) | r);
-        auto wb = Packet::makeWriteback(row, mask, curTick());
+        auto wb = Packet::makeWriteback(row, mask, curTick(),
+                                        packetPool());
         for (unsigned c = 0; c < lineWords; ++c)
             if (mask & (1u << c))
                 wb->setWord(c, entry->word(tileWordBit(r, c)));
@@ -338,7 +337,7 @@ TileCache::handleDemand(PacketPtr pkt)
     }
 
     bool fresh_entry = (inflight == nullptr);
-    allocateMiss(std::move(pkt), line);
+    allocateMiss(std::move(pkt), line, inflight);
     // Stream the rest of the block after the demand line has its
     // entry; prefetches that no longer fit are dropped (best effort).
     if (fresh_entry && _fill == TileFillPolicy::Dense)

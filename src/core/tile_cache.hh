@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cache/cache_base.hh"
+#include "sim/fastmod.hh"
 
 namespace mda
 {
@@ -161,6 +162,9 @@ class TileCache : public CacheBase
     void notePresenceDelta(std::int64_t delta);
 
     std::uint64_t _sets;
+    /** Reciprocal for the `% _sets` in setFor() (lookup hot path;
+     *  tile-set counts need not be powers of two). */
+    FastMod _setMod;
     TileFillPolicy _fill;
     std::vector<TileEntry> _frames;
     std::uint64_t _clock = 0;

@@ -9,6 +9,7 @@
 #include "mem/mda_memory.hh"
 #include "reference_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/packet_pool.hh"
 #include "sim/stats.hh"
 
 namespace mda::fuzz
@@ -104,6 +105,11 @@ class DesignRun
             below->setUpstream(_levels[n].get());
         }
         _levels.front()->setUpstream(&_cpu);
+        if (opts.packetPooling) {
+            for (auto &level : _levels)
+                level->setPacketPool(&_pool);
+            _mem->setPacketPool(&_pool);
+        }
     }
 
     const std::vector<Failure> &failures() const { return _failures; }
@@ -152,7 +158,7 @@ class DesignRun
         for (Addr addr : touched) {
             auto pkt = Packet::makeScalar(MemCmd::Read, addr,
                                           Orientation::Row, 0,
-                                          _eq.curTick());
+                                          _eq.curTick(), cpuPool());
             if (!send(std::move(pkt), npos) || !runToQuiescence(npos))
                 return false;
             if (_cpu.responses.size() != 1) {
@@ -253,14 +259,14 @@ class DesignRun
         auto pc = static_cast<std::uint32_t>(i + 1);
         if (op.vector) {
             auto pkt = Packet::makeVector(cmd, op.line(), pc,
-                                          _eq.curTick());
+                                          _eq.curTick(), cpuPool());
             if (op.write)
                 for (unsigned k = 0; k < lineWords; ++k)
                     pkt->setWord(k, writeValue(_scenario.seed, i, k));
             return pkt;
         }
         auto pkt = Packet::makeScalar(cmd, op.addr, op.orient, pc,
-                                      _eq.curTick());
+                                      _eq.curTick(), cpuPool());
         if (op.write)
             pkt->setWord(0, writeValue(_scenario.seed, i, 0));
         return pkt;
@@ -336,12 +342,24 @@ class DesignRun
         return true;
     }
 
+    /** CPU-side packet source (nullptr when pooling is disabled). */
+    PacketPool *
+    cpuPool()
+    {
+        return _opts.packetPooling ? &_pool : nullptr;
+    }
+
     DesignPoint _design;
     const Scenario &_scenario;
     const OracleOptions &_opts;
 
     EventQueue _eq;
     stats::StatGroup _sg;
+
+    /** Declared before the packet-holding components (cpu, caches,
+     *  memory) so they drop their packets while the slabs live. */
+    PacketPool _pool;
+
     FuzzCpu _cpu;
     std::vector<std::unique_ptr<CacheBase>> _levels;
     std::unique_ptr<MdaMemory> _mem;

@@ -71,6 +71,12 @@ struct OracleOptions
 
     /** Event budget per design run (deadlock/runaway guard). */
     std::uint64_t maxSteps = 50'000'000;
+
+    /** Recycle packets through a per-design-run PacketPool (mirrors
+     *  SystemConfig::packetPooling). Off/on must be indistinguishable
+     *  to every oracle check; the fuzz determinism tests compare
+     *  campaigns both ways. */
+    bool packetPooling = true;
 };
 
 /**

@@ -37,6 +37,13 @@ System::System(const SystemConfig &config,
                                       *_levels.front(), cpu_params);
     _levels.front()->setUpstream(_cpu.get());
 
+    if (config.packetPooling) {
+        _cpu->setPacketPool(&_pool);
+        for (auto &cache : _caches)
+            cache->setPacketPool(&_pool);
+        _memory->setPacketPool(&_pool);
+    }
+
     // Fig. 15 occupancy series, one per LineCache level.
     _occupancy.resize(_levels.size());
     for (std::size_t n = 0; n < _levels.size(); ++n) {

@@ -13,6 +13,7 @@
 #include "core/line_cache.hh"
 #include "core/tile_cache.hh"
 #include "mem/mda_memory.hh"
+#include "sim/packet_pool.hh"
 #include "system_config.hh"
 #include "trace_cpu.hh"
 
@@ -51,6 +52,7 @@ class System
     EventQueue &eventQueue() { return _eq; }
     TraceCpu &cpu() { return *_cpu; }
     MdaMemory &memory() { return *_memory; }
+    PacketPool &packetPool() { return _pool; }
 
     /** LineCache levels, CPU side first (empty slots for TileCache). */
     const std::vector<CacheBase *> &cacheLevels() const
@@ -68,6 +70,11 @@ class System
     SystemConfig _config;
     EventQueue _eq;
     stats::StatGroup _stats;
+
+    /** Declared before every packet-holding component so those are
+     *  destroyed (and release their packets) while the pool's slabs
+     *  are still alive. */
+    PacketPool _pool;
 
     std::unique_ptr<compiler::TraceGenerator> _gen;
     std::vector<std::unique_ptr<CacheBase>> _caches;

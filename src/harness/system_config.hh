@@ -92,6 +92,12 @@ struct SystemConfig
      *  held rather than coalesced. (Modeled as MSHR target cap 1.) */
     bool disableMshrCoalescing = false;
 
+    /** Recycle packet storage through the per-System PacketPool
+     *  instead of heap-allocating each transaction. Pure host-side
+     *  optimization: simulated behavior and stats are identical
+     *  either way (the determinism tests pin this). */
+    bool packetPooling = true;
+
     /** Compiler options implied by the design point. */
     compiler::CompileOptions
     compileOptions() const

@@ -54,11 +54,12 @@ TraceCpu::makePacket(const compiler::TraceOp &op)
     MemCmd cmd = op.isWrite ? MemCmd::Write : MemCmd::Read;
     if (op.isVector) {
         OrientedLine line = OrientedLine::containing(op.addr, op.orient);
-        pkt = Packet::makeVector(cmd, line, op.pc, curTick());
+        pkt = Packet::makeVector(cmd, line, op.pc, curTick(),
+                                 packetPool());
         pkt->wordMask = op.wordMask;
     } else {
         pkt = Packet::makeScalar(cmd, op.addr, op.orient, op.pc,
-                                 curTick());
+                                 curTick(), packetPool());
     }
 
     if (_params.checkData) {

@@ -78,9 +78,25 @@ class BackingStore
             return;
         }
         OrientedLine line = pkt.line();
-        for (unsigned w = 0; w < lineWords; ++w)
-            if (pkt.wordMask & (1u << w))
-                pkt.setWord(w, readWord(line.wordAddr(w)));
+        Addr frame_addr = frameOf(line);
+        auto it = _frames.find(frame_addr);
+        if (it == _frames.end()) {
+            // Untouched memory reads as zero.
+            for (unsigned w = 0; w < lineWords; ++w)
+                if (pkt.wordMask & (1u << w))
+                    pkt.setWord(w, 0);
+            return;
+        }
+        const Frame &frame = *it->second;
+        for (unsigned w = 0; w < lineWords; ++w) {
+            if (!(pkt.wordMask & (1u << w)))
+                continue;
+            std::uint64_t v;
+            std::memcpy(&v,
+                        frame.data() + (line.wordAddr(w) - frame_addr),
+                        wordBytes);
+            pkt.setWord(w, v);
+        }
     }
 
     /** Apply a write packet's payload to the store. */
@@ -92,9 +108,20 @@ class BackingStore
             return;
         }
         OrientedLine line = pkt.line();
-        for (unsigned w = 0; w < lineWords; ++w)
-            if (pkt.wordMask & (1u << w))
-                writeWord(line.wordAddr(w), pkt.word(w));
+        Addr frame_addr = frameOf(line);
+        auto &slot = _frames[frame_addr];
+        if (!slot) {
+            slot = std::make_unique<Frame>();
+            slot->fill(0);
+        }
+        Frame &frame = *slot;
+        for (unsigned w = 0; w < lineWords; ++w) {
+            if (!(pkt.wordMask & (1u << w)))
+                continue;
+            std::uint64_t v = pkt.word(w);
+            std::memcpy(frame.data() + (line.wordAddr(w) - frame_addr),
+                        &v, wordBytes);
+        }
     }
 
     /** Number of frames materialized (for footprint assertions). */
@@ -103,6 +130,23 @@ class BackingStore
   private:
     static constexpr Addr frameBytes = 4096;
     using Frame = std::array<std::uint8_t, frameBytes>;
+
+    /**
+     * The one frame holding every word of @p line. A row line is 64
+     * contiguous 64-byte-aligned bytes and a column line stays inside
+     * its 512-byte-aligned tile, so neither can straddle a 4 KiB
+     * frame — one map lookup serves the whole transfer instead of
+     * one per word.
+     */
+    static Addr
+    frameOf(const OrientedLine &line)
+    {
+        Addr frame_addr = alignDown(line.wordAddr(0), frameBytes);
+        mda_assert(alignDown(line.wordAddr(lineWords - 1),
+                             frameBytes) == frame_addr,
+                   "line straddles a backing-store frame");
+        return frame_addr;
+    }
     // MDA_LINT_ALLOW(DET-2): keyed find/emplace by frame address
     // only, never iterated (size() alone feeds footprint stats) —
     // per-word-access hot path.

@@ -255,6 +255,9 @@ MdaMemory::issue(Channel &channel, QueuedReq req)
             trace::log().asyncEnd(name(), cmdName(pkt.cmd), pkt.id,
                                   done);
         // Hand the packet back to the upstream client at completion.
+        // The pool membership (if any) rides inside the packet, so
+        // re-wrapping the raw pointer below restores the exact
+        // recycle-vs-free semantics of the original PacketPtr.
         auto *raw = req.pkt.release();
         eventq().schedule(
             done,

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Small-buffer-optimized one-shot callback for the event kernel.
+ *
+ * Every simulator event used to be a std::function<void()>, which
+ * heap-allocates for captures beyond two pointers. All real simulator
+ * lambdas capture at most a couple of raw pointers plus a small
+ * integer, so InlineCallback stores the callable in fixed inline
+ * storage instead: scheduling an event never touches the allocator,
+ * and a callable that does not fit is a compile error (static_assert),
+ * not a silent slow path.
+ */
+
+#ifndef MDA_SIM_CALLBACK_HH
+#define MDA_SIM_CALLBACK_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mda
+{
+
+/**
+ * A move-only callable holder with fixed inline storage and no heap
+ * fallback.
+ *
+ * Trivially-copyable callables (the common case: captures of raw
+ * pointers and integers) are relocated with memcpy and need no
+ * destructor call; anything else (e.g. a test scheduling a
+ * std::function by value) pays two extra indirect calls but still
+ * lives inline. One-shot semantics are the caller's contract — the
+ * queue invokes each callback exactly once.
+ */
+class InlineCallback
+{
+  public:
+    /** Inline capture budget. Sized so the whole object is 64 bytes
+     *  (one cache line) including the dispatch pointers. */
+    static constexpr std::size_t storageBytes = 40;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&f)  // NOLINT: implicit, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= storageBytes,
+                      "callable capture exceeds InlineCallback inline "
+                      "storage; shrink the capture list");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callable");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "callable must be nothrow-movable (events are "
+                      "relocated inside the queue)");
+        ::new (static_cast<void *>(_storage)) Fn(std::forward<F>(f));
+        _invoke = [](void *buf) { (*static_cast<Fn *>(buf))(); };
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn>) {
+            _relocate = nullptr;  // memcpy fast path
+            _destroy = nullptr;
+        } else {
+            _relocate = [](void *dst, void *src) {
+                Fn *from = static_cast<Fn *>(src);
+                ::new (dst) Fn(std::move(*from));
+                from->~Fn();
+            };
+            _destroy = [](void *buf) { static_cast<Fn *>(buf)->~Fn(); };
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            if (_destroy)
+                _destroy(_storage);
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback()
+    {
+        if (_destroy)
+            _destroy(_storage);
+    }
+
+    /** Invoke the stored callable. */
+    void operator()() { _invoke(_storage); }
+
+  private:
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        _invoke = other._invoke;
+        _relocate = other._relocate;
+        _destroy = other._destroy;
+        if (_relocate)
+            _relocate(_storage, other._storage);
+        else
+            std::memcpy(_storage, other._storage, storageBytes);
+        // The moved-from holder is empty: it must neither destroy nor
+        // relocate the (already moved or merely copied) bytes.
+        other._invoke = nullptr;
+        other._relocate = nullptr;
+        other._destroy = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char _storage[storageBytes];
+    void (*_invoke)(void *) = nullptr;
+    void (*_relocate)(void *, void *) = nullptr;
+    void (*_destroy)(void *) = nullptr;
+};
+
+static_assert(sizeof(InlineCallback) == 64,
+              "InlineCallback should stay exactly one cache line");
+static_assert(std::is_nothrow_move_constructible_v<InlineCallback>);
+
+} // namespace mda
+
+#endif // MDA_SIM_CALLBACK_HH

@@ -4,18 +4,34 @@
  *
  * A single global-per-simulation EventQueue orders callbacks by
  * (tick, priority, insertion sequence). Components capture what they
- * need in a std::function and schedule it; the queue guarantees
- * deterministic ordering so simulations are exactly reproducible.
+ * need in an InlineCallback (fixed inline storage, no heap allocation
+ * on schedule) and the queue guarantees deterministic ordering so
+ * simulations are exactly reproducible.
+ *
+ * Internally the queue is a hybrid of two structures tuned for the
+ * simulator's scheduling mix:
+ *
+ *  - a 4-ary min-heap on the packed (tick, priority, sequence) key for
+ *    future events (shallower than a binary heap: ~half the levels,
+ *    and the 4 children of a node share a cache line pair);
+ *  - per-priority FIFO buckets for events scheduled AT the current
+ *    tick (retry storms, CPU issue chains): insertion is an O(1)
+ *    append, and because the global sequence counter is monotone the
+ *    bucket is sorted by construction.
+ *
+ * Same-tick bucket events always belong to the earliest pending tick
+ * (nothing can be scheduled in the past), so the only ordering work at
+ * pop time is a single key comparison against the heap top.
  */
 
 #ifndef MDA_SIM_EVENT_QUEUE_HH
 #define MDA_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "callback.hh"
 #include "debug.hh"
 #include "logging.hh"
 #include "types.hh"
@@ -39,13 +55,13 @@ enum class EventPriority : std::uint8_t
 /**
  * Deterministic discrete-event scheduler.
  *
- * Events are one-shot std::function callbacks. The queue is not
+ * Events are one-shot InlineCallback callbacks. The queue is not
  * thread-safe; the whole simulator is single-threaded by design.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -55,48 +71,71 @@ class EventQueue
     Tick curTick() const { return _curTick; }
 
     /**
-     * Schedule @p cb to run at absolute tick @p when.
+     * Schedule @p fn to run at absolute tick @p when.
+     *
+     * Takes the callable by forwarding reference and constructs the
+     * InlineCallback directly inside the queue's storage: a by-value
+     * Callback parameter would cost two extra 64-byte moves per event
+     * (conversion temporary, then parameter into slot), and this is
+     * the hottest entry point in the simulator.
      *
      * @pre when >= curTick(); scheduling in the past is a bug.
      */
+    template <typename Fn>
     void
-    schedule(Tick when, Callback cb,
+    schedule(Tick when, Fn &&fn,
              EventPriority prio = EventPriority::Default)
     {
         mda_assert(when >= _curTick,
                    "event scheduled in the past (%llu < %llu)",
                    (unsigned long long)when,
                    (unsigned long long)_curTick);
-        if (MDA_UNLIKELY(_traceEvents)) {
+        // Consulted directly (not cached at run() entry) so events
+        // scheduled before the first run() slice — e.g. during system
+        // construction — are traced too. A relaxed bool load is cheap
+        // enough for the schedule path.
+        if (MDA_UNLIKELY(debug::Event.enabled())) {
             debug::detail::print(debug::Event, _curTick, "eventq",
                                  "schedule seq %llu at %llu prio %u",
                                  (unsigned long long)_nextSeq,
                                  (unsigned long long)when,
                                  static_cast<unsigned>(prio));
         }
-        _events.push(Event{when, static_cast<std::uint8_t>(prio),
-                           _nextSeq++, std::move(cb)});
+        const std::uint64_t seq = _nextSeq++;
+        const auto p = static_cast<unsigned>(prio);
+        if (when == _curTick) {
+            // Same-tick fast path: the global sequence counter is
+            // monotone, so appending keeps each bucket FIFO-sorted.
+            _now[p].items.emplace_back(seq, std::forward<Fn>(fn));
+            ++_nowCount;
+        } else {
+            heapEmplace(when, packOrder(p, seq),
+                        std::forward<Fn>(fn));
+        }
     }
 
-    /** Schedule @p cb to run @p delta ticks from now. */
+    /** Schedule @p fn to run @p delta ticks from now. */
+    template <typename Fn>
     void
-    scheduleAfter(Tick delta, Callback cb,
+    scheduleAfter(Tick delta, Fn &&fn,
                   EventPriority prio = EventPriority::Default)
     {
-        schedule(_curTick + delta, std::move(cb), prio);
+        schedule(_curTick + delta, std::forward<Fn>(fn), prio);
     }
 
     /** Whether any events remain. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return _nowCount == 0 && _heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return _events.size(); }
+    std::size_t size() const { return _nowCount + _heap.size(); }
 
     /** Tick of the next pending event (maxTick if none). */
     Tick
     nextTick() const
     {
-        return _events.empty() ? maxTick : _events.top().when;
+        if (_nowCount != 0)
+            return _curTick;
+        return _heap.empty() ? maxTick : _heap.front().when;
     }
 
     /**
@@ -108,25 +147,15 @@ class EventQueue
     std::uint64_t
     run(Tick limit = maxTick)
     {
-        // The Event debug flag is sampled once per run() call and the
-        // loop is split: the untraced loop carries no per-event
-        // observation work at all — this is the hottest loop in the
-        // simulator. Flags set mid-run take effect at the next run()
-        // slice.
-        _traceEvents = debug::Event.enabled();
-        if (MDA_UNLIKELY(_traceEvents))
+        // The Event flag is checked once per run() call and the loop
+        // is split: the untraced loop carries no per-event observation
+        // work at all — this is the hottest loop in the simulator.
+        // Flags set mid-run take effect at the next run() slice.
+        if (MDA_UNLIKELY(debug::Event.enabled()))
             return runTraced(limit);
         std::uint64_t executed = 0;
-        while (!_events.empty() && _events.top().when <= limit) {
-            // Move the callback out before popping so the event can
-            // safely schedule further events.
-            Event ev = std::move(const_cast<Event &>(_events.top()));
-            _events.pop();
-            mda_assert(ev.when >= _curTick, "time went backwards");
-            _curTick = ev.when;
-            ev.cb();
+        while (executeOne<false>(limit))
             ++executed;
-        }
         return executed;
     }
 
@@ -134,72 +163,247 @@ class EventQueue
     bool
     step()
     {
-        if (_events.empty())
-            return false;
-        Event ev = std::move(const_cast<Event &>(_events.top()));
-        _events.pop();
-        _curTick = ev.when;
-        ev.cb();
-        return true;
+        // Same shared execute path as run(): single-stepped tests get
+        // the "time went backwards" assert and the per-event trace
+        // line too.
+        if (MDA_UNLIKELY(debug::Event.enabled()))
+            return executeOne<true>(maxTick);
+        return executeOne<false>(maxTick);
     }
 
     /** Discard all pending events and reset time to zero. */
     void
     reset()
     {
-        _events = {};
+        _heap.clear();
+        _cbSlab.clear();
+        _cbFree.clear();
+        for (NowBucket &bucket : _now) {
+            bucket.items.clear();
+            bucket.head = 0;
+        }
+        _nowCount = 0;
         _curTick = 0;
         _nextSeq = 0;
     }
 
   private:
-    struct Event
+    /** Priority and sequence packed into one comparable word. seq is
+     *  process-monotone and cannot realistically reach 2^56. */
+    static std::uint64_t
+    packOrder(unsigned prio, std::uint64_t seq)
+    {
+        return (static_cast<std::uint64_t>(prio) << seqBits) | seq;
+    }
+
+    static constexpr unsigned seqBits = 56;
+    static constexpr unsigned numPriorities = 4;
+    static constexpr std::size_t heapArity = 4;
+
+    /**
+     * Heap node: ordering key plus a slot index into the callback
+     * slab. Keeping the 64-byte callbacks out of the heap nodes cuts
+     * each sift move from 80 bytes to 24 — the heap's memory traffic
+     * is almost entirely sift moves.
+     */
+    struct HeapKey
     {
         Tick when;
-        std::uint8_t prio;
+        std::uint64_t order;  ///< packOrder(prio, seq)
+        std::uint32_t slot;   ///< index into _cbSlab
+    };
+
+    struct NowEvent
+    {
         std::uint64_t seq;
         Callback cb;
+
+        template <typename Fn>
+        NowEvent(std::uint64_t s, Fn &&fn)
+            : seq(s), cb(std::forward<Fn>(fn))
+        {
+        }
     };
+
+    /** FIFO of same-tick events of one priority. Popped entries leave
+     *  the storage in place (head index) so a drain-refill cycle never
+     *  reallocates. */
+    struct NowBucket
+    {
+        std::vector<NowEvent> items;
+        std::size_t head = 0;
+
+        bool drained() const { return head == items.size(); }
+    };
+
+    static bool
+    keyLess(Tick a_when, std::uint64_t a_order, const HeapKey &b)
+    {
+        if (a_when != b.when)
+            return a_when < b.when;
+        return a_order < b.order;
+    }
+
+    template <typename Fn>
+    void
+    heapEmplace(Tick when, std::uint64_t order, Fn &&fn)
+    {
+        // Construct the callback in a stable slab slot; only the key
+        // participates in sifting. Slot choice never affects event
+        // ordering (the key carries it), and the free list is LIFO by
+        // execution order — simulation state, never addresses.
+        std::uint32_t slot;
+        if (!_cbFree.empty()) {
+            slot = _cbFree.back();
+            _cbFree.pop_back();
+            Callback *dst = &_cbSlab[slot];
+            dst->~Callback();  // moved-from holder: no-op destroy
+            ::new (static_cast<void *>(dst))
+                Callback(std::forward<Fn>(fn));
+        } else {
+            slot = static_cast<std::uint32_t>(_cbSlab.size());
+            _cbSlab.emplace_back(std::forward<Fn>(fn));
+        }
+        _heap.push_back(HeapKey{when, order, slot});
+        std::size_t i = _heap.size() - 1;
+        if (i == 0 ||
+            !keyLess(_heap[i].when, _heap[i].order,
+                     _heap[(i - 1) / heapArity]))
+            return;
+        HeapKey hole = _heap[i];
+        do {
+            const std::size_t parent = (i - 1) / heapArity;
+            if (!keyLess(hole.when, hole.order, _heap[parent]))
+                break;
+            _heap[i] = _heap[parent];
+            i = parent;
+        } while (i != 0);
+        _heap[i] = hole;
+    }
+
+    /** Remove and return the heap minimum's key. @pre !_heap.empty()
+     *  The callback stays in its slab slot; the caller moves it out
+     *  and releases the slot. */
+    HeapKey
+    heapPop()
+    {
+        HeapKey top = _heap.front();
+        HeapKey tail = _heap.back();
+        _heap.pop_back();
+        const std::size_t n = _heap.size();
+        if (n != 0) {
+            std::size_t i = 0;
+            for (;;) {
+                const std::size_t first = i * heapArity + 1;
+                if (first >= n)
+                    break;
+                const std::size_t fence =
+                    std::min(first + heapArity, n);
+                std::size_t best = first;
+                for (std::size_t c = first + 1; c < fence; ++c) {
+                    if (keyLess(_heap[c].when, _heap[c].order,
+                                _heap[best]))
+                        best = c;
+                }
+                if (!keyLess(_heap[best].when, _heap[best].order,
+                             tail))
+                    break;
+                _heap[i] = _heap[best];
+                i = best;
+            }
+            _heap[i] = tail;
+        }
+        return top;
+    }
+
+    /**
+     * Execute the globally earliest event if its tick is <= @p limit.
+     *
+     * Bucket events are all at _curTick, which is <= every heap tick,
+     * so the cross-structure ordering decision reduces to one key
+     * comparison when the heap top shares the current tick.
+     *
+     * @return true if an event ran.
+     */
+    template <bool Traced>
+    bool
+    executeOne(Tick limit)
+    {
+        if (_nowCount != 0) {
+            if (MDA_UNLIKELY(_curTick > limit))
+                return false;
+            unsigned p = 0;
+            while (_now[p].drained())
+                ++p;
+            NowBucket &bucket = _now[p];
+            const std::uint64_t seq = bucket.items[bucket.head].seq;
+            if (!_heap.empty() && _heap.front().when == _curTick &&
+                _heap.front().order < packOrder(p, seq))
+                return executeHeapTop<Traced>();
+            Callback cb = std::move(bucket.items[bucket.head].cb);
+            if (++bucket.head == bucket.items.size()) {
+                bucket.items.clear();
+                bucket.head = 0;
+            }
+            --_nowCount;
+            if constexpr (Traced)
+                traceExecute(seq, p);
+            cb();
+            return true;
+        }
+        if (_heap.empty() || _heap.front().when > limit)
+            return false;
+        return executeHeapTop<Traced>();
+    }
+
+    template <bool Traced>
+    bool
+    executeHeapTop()
+    {
+        // Move the callback out and release its slot before running,
+        // so the callback can safely schedule further events (and
+        // even reset() the queue) without touching live slab state.
+        HeapKey ev = heapPop();
+        Callback cb = std::move(_cbSlab[ev.slot]);
+        _cbFree.push_back(ev.slot);
+        mda_assert(ev.when >= _curTick, "time went backwards");
+        _curTick = ev.when;
+        if constexpr (Traced) {
+            traceExecute(ev.order & ((std::uint64_t{1} << seqBits) - 1),
+                         static_cast<unsigned>(ev.order >> seqBits));
+        }
+        cb();
+        return true;
+    }
+
+    __attribute__((cold, noinline)) static void
+    traceExecute(std::uint64_t seq, unsigned prio)
+    {
+        debug::detail::print(debug::Event, 0 /* unused by print */,
+                             "eventq", "execute seq %llu prio %u",
+                             (unsigned long long)seq, prio);
+    }
 
     /** run() with per-event Event-flag trace lines (cold path). */
     __attribute__((cold, noinline)) std::uint64_t
     runTraced(Tick limit)
     {
         std::uint64_t executed = 0;
-        while (!_events.empty() && _events.top().when <= limit) {
-            Event ev = std::move(const_cast<Event &>(_events.top()));
-            _events.pop();
-            mda_assert(ev.when >= _curTick, "time went backwards");
-            _curTick = ev.when;
-            debug::detail::print(debug::Event, _curTick, "eventq",
-                                 "execute seq %llu prio %u",
-                                 (unsigned long long)ev.seq,
-                                 static_cast<unsigned>(ev.prio));
-            ev.cb();
+        while (executeOne<true>(limit))
             ++executed;
-        }
         return executed;
     }
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<Event, std::vector<Event>, Later> _events;
+    std::vector<HeapKey> _heap;
+    /** Callback storage for heap events, indexed by HeapKey::slot.
+     *  Slots are stable while their event is pending. */
+    std::vector<Callback> _cbSlab;
+    /** Recycled slab slots (LIFO by execution order). */
+    std::vector<std::uint32_t> _cbFree;
+    std::array<NowBucket, numPriorities> _now;
+    std::size_t _nowCount = 0;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
-
-    /** Cached debug::Event.enabled(), refreshed at each run(). */
-    bool _traceEvents = false;
 };
 
 } // namespace mda

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Exact remainder by a runtime-constant divisor without the divide.
+ *
+ * Set mappings take `x % numSets` on every lookup, and the paper's
+ * geometries include non-power-of-two set counts (the 1.5 MB LLC), so
+ * the modulo cannot be reduced to a mask. Precomputing a 128-bit
+ * fixed-point reciprocal turns each remainder into a few multiplies
+ * (Lemire & Kaser, "Faster Remainder by Direct Computation", 2019):
+ * with c = ceil(2^128 / d),
+ *
+ *   n mod d = floor(((c * n) mod 2^128) * d / 2^128),
+ *
+ * exact for every 64-bit n and d >= 1 because the 128 fraction bits
+ * exceed log2(n) + log2(d).
+ */
+
+#ifndef MDA_SIM_FASTMOD_HH
+#define MDA_SIM_FASTMOD_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace mda
+{
+
+/** Remainder by a divisor fixed at construction. */
+class FastMod
+{
+  public:
+    FastMod() : FastMod(1) {}
+
+    explicit FastMod(std::uint64_t divisor)
+        : _d(divisor),
+          // ceil(2^128 / d). For d == 1 the +1 wraps c to 0, and
+          // mod() then correctly returns 0 for every input.
+          _c(~static_cast<unsigned __int128>(0) / checked(divisor) + 1)
+    {
+    }
+
+    std::uint64_t divisor() const { return _d; }
+
+    /** n % divisor(). */
+    std::uint64_t
+    mod(std::uint64_t n) const
+    {
+        unsigned __int128 lowbits = _c * n;
+        // floor(lowbits * d / 2^128): the high 64 bits of a 128x64
+        // multiply, composed from two 64x64 multiplies.
+        std::uint64_t lo = static_cast<std::uint64_t>(lowbits);
+        std::uint64_t hi = static_cast<std::uint64_t>(lowbits >> 64);
+        unsigned __int128 mid =
+            static_cast<unsigned __int128>(lo) * _d;
+        unsigned __int128 top =
+            static_cast<unsigned __int128>(hi) * _d + (mid >> 64);
+        return static_cast<std::uint64_t>(top >> 64);
+    }
+
+  private:
+    static std::uint64_t
+    checked(std::uint64_t divisor)
+    {
+        mda_assert(divisor != 0, "modulo by zero");
+        return divisor;
+    }
+
+    std::uint64_t _d;
+    unsigned __int128 _c;
+};
+
+} // namespace mda
+
+#endif // MDA_SIM_FASTMOD_HH

@@ -55,11 +55,14 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** panic() unless @p cond holds; @p msg is a printf format string. */
+// The condition text is passed as a %s argument, not spliced into the
+// format: a '%' inside the condition (e.g. `a % b == 0`) must not be
+// parsed as a conversion.
 #define mda_assert(cond, msg, ...)                                      \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::mda::panic("assertion '" #cond "' failed at "             \
-                         __FILE__ ": " msg, ##__VA_ARGS__);             \
+            ::mda::panic("assertion '%s' failed at " __FILE__ ": " msg, \
+                         #cond, ##__VA_ARGS__);                         \
         }                                                               \
     } while (0)
 

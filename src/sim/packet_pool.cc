@@ -1,0 +1,21 @@
+#include "packet_pool.hh"
+
+namespace mda::pool_detail
+{
+
+// Out-of-line so packet.hh (included nearly everywhere) can route
+// through a PacketPool without seeing its definition.
+
+Packet *
+allocFrom(PacketPool *pool)
+{
+    return pool->alloc().release();
+}
+
+void
+releaseTo(PacketPool *pool, Packet *pkt)
+{
+    pool->release(pkt);
+}
+
+} // namespace mda::pool_detail

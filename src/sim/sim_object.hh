@@ -19,6 +19,8 @@
 namespace mda
 {
 
+class PacketPool;
+
 /** Base class for all timing components. */
 class SimObject
 {
@@ -36,6 +38,15 @@ class SimObject
     EventQueue &eventq() { return _eventq; }
     Tick curTick() const { return _eventq.curTick(); }
     stats::StatGroup &statGroup() { return _statGroup; }
+
+    /** Packet arena this component allocates from (nullptr = heap).
+     *  Passed straight to the Packet::make* factories, which accept
+     *  nullptr, so call sites need no branching. */
+    PacketPool *packetPool() const { return _packetPool; }
+
+    /** Install the packet arena (the owning System does this once,
+     *  before any packets are created). */
+    void setPacketPool(PacketPool *pool) { _packetPool = pool; }
 
   protected:
     /** Register a scalar stat as "<name>.<local>". */
@@ -64,6 +75,7 @@ class SimObject
     std::string _name;
     EventQueue &_eventq;
     stats::StatGroup &_statGroup;
+    PacketPool *_packetPool = nullptr;
 };
 
 } // namespace mda

@@ -88,10 +88,19 @@ TEST(MshrFile, UnsentTracking)
     MshrEntry &a = mshr.alloc(OrientedLine(Orientation::Row, 1), false,
                               0);
     mshr.alloc(OrientedLine(Orientation::Row, 2), true, 0);
-    a.sent = true;
+    EXPECT_TRUE(mshr.hasUnsent());
+    // "Send" only the first entry: the visitor accepts it (the file
+    // then marks it sent) and stops on the second.
+    mshr.visitUnsent([&](MshrEntry &e) { return &e == &a; });
+    EXPECT_TRUE(a.sent);
+    EXPECT_TRUE(mshr.hasUnsent());
     auto unsent = mshr.unsent();
     ASSERT_EQ(unsent.size(), 1u);
     EXPECT_TRUE(unsent[0]->isPrefetch);
+    // Send the rest; the O(1) early-out state must agree.
+    mshr.visitUnsent([](MshrEntry &) { return true; });
+    EXPECT_FALSE(mshr.hasUnsent());
+    EXPECT_TRUE(mshr.unsent().empty());
 }
 
 TEST(MshrFileDeathTest, DuplicateAlloc)

@@ -53,6 +53,68 @@ INSTANTIATE_TEST_SUITE_P(
         return std::string(designName(info.param));
     });
 
+/**
+ * Packet pooling is a pure allocation strategy: turning it off must
+ * not move a single statistic. Any divergence means pool state leaked
+ * into simulated behavior (stale payload, address-ordered free list).
+ */
+TEST(Determinism, PacketPoolingDoesNotChangeStats)
+{
+    RunSpec spec;
+    spec.workload = "htap1";
+    spec.n = 32;
+    spec.system.design = DesignPoint::D1_1P2L;
+
+    RunSpec no_pool = spec;
+    no_pool.system.packetPooling = false;
+
+    PreparedRun pooled(spec);
+    auto rp = pooled.system.run();
+    PreparedRun heap(no_pool);
+    auto rh = heap.system.run();
+
+    EXPECT_EQ(rp.cycles, rh.cycles);
+    EXPECT_EQ(rp.ops, rh.ops);
+    EXPECT_EQ(rp.llcAccesses, rh.llcAccesses);
+    EXPECT_EQ(rp.memBytes, rh.memBytes);
+
+    auto names = pooled.system.statGroup().scalarNames();
+    for (const auto &name : names) {
+        EXPECT_DOUBLE_EQ(pooled.system.statGroup().scalar(name),
+                         heap.system.statGroup().scalar(name))
+            << name;
+    }
+}
+
+/**
+ * Fill/writeback classification pinning: a capacity-stressed run must
+ * report both fills and writebacks, and every writeback leaving L1
+ * must arrive at L2 as a writeback — not be absorbed into L2's fill
+ * count. Regression for makeWriteback tagging packets as line fills.
+ */
+TEST(Determinism, WritebacksAreNotCountedAsFills)
+{
+    RunSpec spec;
+    spec.workload = "sgemm";
+    spec.n = 32;
+    spec.system.design = DesignPoint::D1_1P2L;
+
+    PreparedRun run(spec);
+    run.system.run();
+    const auto &stats = run.system.statGroup();
+
+    const double l1_fills = stats.scalar("l1.fills");
+    const double l1_wb_out = stats.scalar("l1.writebacksOut");
+    const double l1_wb_bytes = stats.scalar("l1.bytesWrittenBack");
+    const double l2_wb_in = stats.scalar("l2.writebacksIn");
+
+    EXPECT_GT(l1_fills, 0.0);
+    EXPECT_GT(l1_wb_out, 0.0);
+    EXPECT_GT(l1_wb_bytes, 0.0);
+    // The two packet classes stay distinct across the level boundary.
+    EXPECT_DOUBLE_EQ(l2_wb_in, l1_wb_out);
+}
+
 TEST(Determinism, DifferentSeedsChangeHtapButNotBlas)
 {
     RunSpec a, b;

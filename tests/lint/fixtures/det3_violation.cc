@@ -1,0 +1,24 @@
+// Fixture: DET-3 — address-derived ordering. Sorting entries by
+// their heap address "works" on one run and reorders on the next.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Entry { int id; };
+
+void
+drainInAddressOrder(std::vector<Entry *> &pending)
+{
+    std::sort(pending.begin(), pending.end(),
+              [](const Entry *a, const Entry *b) {
+                  return reinterpret_cast<std::uintptr_t>(a) < // line 14
+                         reinterpret_cast<std::uintptr_t>(b);  // line 15
+              });
+}
+
+std::uint64_t
+hashByAddress(const Entry *e)
+{
+    return static_cast<std::intptr_t>(                         // line 22
+        reinterpret_cast<std::uintptr_t>(e));                  // line 23
+}

@@ -108,6 +108,19 @@ TEST(MdaLint, Det2CatchesUnorderedContainers)
     EXPECT_EQ(countFindings(r, "DET-2"), 2) << r.output;
 }
 
+TEST(MdaLint, Det3CatchesAddressDerivedOrdering)
+{
+    RunResult r = lintFixture("det3_violation.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    std::string f = fixprefix + "det3_violation.cc";
+    expectFinding(r, f, 14, "DET-3"); // uintptr_t in sort comparator
+    expectFinding(r, f, 15, "DET-3"); // uintptr_t in sort comparator
+    expectFinding(r, f, 22, "DET-3"); // intptr_t cast
+    expectFinding(r, f, 23, "DET-3"); // uintptr_t cast
+    // The #include <cstdint> line must NOT be flagged.
+    EXPECT_EQ(countFindings(r, "DET-3"), 4) << r.output;
+}
+
 TEST(MdaLint, Evt1CatchesNegativeTicksAndBlockingCalls)
 {
     RunResult r = lintFixture("evt1_violation.cc");
@@ -205,7 +218,7 @@ TEST(MdaLint, ListRulesNamesEveryFamily)
     RunResult r = run("--list-rules");
     EXPECT_EQ(r.exitCode, 0);
     for (const char *rule :
-         {"DET-1", "DET-2", "EVT-1", "OBS-1", "HDR-1"}) {
+         {"DET-1", "DET-2", "DET-3", "EVT-1", "OBS-1", "HDR-1"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n" << r.output;
     }

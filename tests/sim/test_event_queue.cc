@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <sstream>
 #include <vector>
 
+#include "sim/debug.hh"
 #include "sim/event_queue.hh"
 
 namespace mda
@@ -98,6 +103,153 @@ TEST(EventQueue, SameTickSamePriorityFifo)
     eq.run();
     for (int i = 0; i < 16; ++i)
         EXPECT_EQ(order[i], i);
+}
+
+/**
+ * Ordering torture: thousands of events with colliding ticks and
+ * priorities, scheduled in a scrambled order, must execute exactly as
+ * a stable sort by (tick, priority) predicts — the contract the
+ * same-tick buckets and the d-ary heap jointly implement.
+ */
+TEST(EventQueue, TortureMatchesStableSortOrder)
+{
+    struct Planned
+    {
+        Tick when;
+        unsigned prio;
+        int id;
+    };
+    constexpr int numEvents = 2048;
+
+    // Deterministic xorshift so the scramble is reproducible.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto rnd = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+
+    std::vector<Planned> planned;
+    planned.reserve(numEvents);
+    for (int i = 0; i < numEvents; ++i) {
+        // 64 distinct ticks x 4 priorities: heavy collisions.
+        planned.push_back({rnd() % 64,
+                           static_cast<unsigned>(rnd() % 4), i});
+    }
+
+    // Expected order: stable sort on (tick, priority); ties keep
+    // insertion (schedule) order.
+    std::vector<Planned> expected = planned;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Planned &a, const Planned &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.prio < b.prio;
+                     });
+
+    EventQueue eq;
+    std::vector<int> executed;
+    executed.reserve(numEvents);
+    for (const Planned &p : planned) {
+        eq.schedule(p.when, [&executed, id = p.id] {
+            executed.push_back(id);
+        }, static_cast<EventPriority>(p.prio));
+    }
+    eq.run();
+
+    ASSERT_EQ(executed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(executed[i], expected[i].id) << "position " << i;
+}
+
+/**
+ * Same-tick events arrive from both structures: some pre-scheduled
+ * from an earlier tick (heap residents), some created during the tick
+ * itself (bucket residents). They must still interleave strictly by
+ * (priority, sequence), exercising the bucket-vs-heap comparison at
+ * pop time.
+ */
+TEST(EventQueue, HeapAndBucketInterleaveOnSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+
+    // Heap residents for tick 5, scheduled at tick 0: sequences 0..3.
+    eq.schedule(5, [&] { order.push_back(10); }, EventPriority::Stats);
+    eq.schedule(5, [&] { order.push_back(11); },
+                EventPriority::Response);
+    eq.schedule(5, [&] { order.push_back(12); }, EventPriority::Stats);
+    eq.schedule(5, [&] { order.push_back(13); },
+                EventPriority::Response);
+
+    // At tick 5 the first Response event adds same-tick bucket events
+    // with later sequences, at both sweeping and lagging priorities.
+    eq.schedule(0, [&eq, &order] {
+        eq.schedule(5, [&eq, &order] {
+            order.push_back(20);
+            eq.scheduleAfter(0, [&order] { order.push_back(21); },
+                             EventPriority::Response);
+            eq.scheduleAfter(0, [&order] { order.push_back(22); },
+                             EventPriority::Stats);
+        }, EventPriority::Response);
+    });
+
+    eq.run();
+
+    // Tick 5 ordering: Response events by sequence (11, 13, then the
+    // nested 20 and its same-tick child 21), then Stats (10, 12, 22).
+    EXPECT_EQ(order,
+              (std::vector<int>{11, 13, 20, 21, 10, 12, 22}));
+}
+
+/** A long same-tick cascade (each event spawning the next) must stay
+ *  FIFO and never starve the bucket's head-index reuse. */
+TEST(EventQueue, DeepSameTickCascade)
+{
+    EventQueue eq;
+    constexpr int depth = 10000;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < depth)
+            eq.scheduleAfter(0, chain);
+    };
+    eq.schedule(3, chain);
+    eq.run();
+    EXPECT_EQ(fired, depth);
+    EXPECT_EQ(eq.curTick(), 3u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduled in the past");
+}
+
+/**
+ * Regression: schedule-time tracing must consult the debug flag
+ * directly, so events scheduled before the first run() slice (system
+ * construction) are traced too.
+ */
+TEST(EventQueue, TracesSchedulesBeforeFirstRun)
+{
+    std::ostringstream os;
+    debug::setOutput(&os);
+    debug::Event.enable();
+
+    EventQueue eq;
+    eq.schedule(42, [] {});
+
+    debug::Event.disable();
+    debug::setOutput(nullptr);
+
+    EXPECT_NE(os.str().find("schedule seq 0 at 42"),
+              std::string::npos)
+        << "trace was: " << os.str();
 }
 
 } // namespace

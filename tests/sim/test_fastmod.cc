@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the Lemire-Kaser fast-remainder helper.
+ *
+ * FastMod::mod must agree with the hardware % for every divisor the
+ * set mappings can see — powers of two, the paper's non-power-of-two
+ * set counts (the 1.5 MB LLC's 3072), and adversarial values near the
+ * 64-bit edges where a reciprocal with too few fraction bits breaks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/fastmod.hh"
+
+namespace mda
+{
+namespace
+{
+
+TEST(FastMod, AgreesWithHardwareRemainder)
+{
+    const std::vector<std::uint64_t> divisors = {
+        1,    2,    3,    4,   5,    7,    8,    16,   63,
+        64,   65,   127,  128, 1024, 3072, 4096, 6144, 65521,
+        (1ull << 32) - 1, (1ull << 32), (1ull << 32) + 1,
+        (1ull << 63), ~0ull - 1, ~0ull,
+    };
+    std::vector<std::uint64_t> values = {
+        0, 1, 2, 62, 63, 64, 65, 3071, 3072, 3073,
+        (1ull << 32) - 1, (1ull << 32), (1ull << 32) + 1,
+        (1ull << 63) - 1, (1ull << 63), ~0ull - 1, ~0ull,
+    };
+    // A spread of deterministic pseudo-random 64-bit values.
+    std::uint64_t state = 0x243f6a8885a308d3ull;
+    for (int i = 0; i < 64; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        values.push_back(state);
+    }
+
+    for (std::uint64_t d : divisors) {
+        FastMod fm(d);
+        EXPECT_EQ(fm.divisor(), d);
+        for (std::uint64_t n : values)
+            ASSERT_EQ(fm.mod(n), n % d)
+                << n << " mod " << d;
+    }
+}
+
+TEST(FastMod, DefaultIsDivisorOne)
+{
+    FastMod fm;
+    EXPECT_EQ(fm.divisor(), 1u);
+    EXPECT_EQ(fm.mod(0), 0u);
+    EXPECT_EQ(fm.mod(~0ull), 0u);
+}
+
+TEST(FastMod, ExhaustiveSmallCross)
+{
+    // Every (n, d) pair in a dense small range: catches off-by-one
+    // reciprocal rounding that sparse sampling can miss.
+    for (std::uint64_t d = 1; d <= 128; ++d) {
+        FastMod fm(d);
+        for (std::uint64_t n = 0; n <= 1024; ++n)
+            ASSERT_EQ(fm.mod(n), n % d) << n << " mod " << d;
+    }
+}
+
+TEST(FastModDeathTest, ZeroDivisorPanics)
+{
+    EXPECT_DEATH(FastMod(0), "modulo by zero");
+}
+
+} // namespace
+} // namespace mda

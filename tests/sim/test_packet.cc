@@ -47,6 +47,11 @@ TEST(Packet, LineFillAndWriteback)
     auto wb = Packet::makeWriteback(line, 0b10100000, 0);
     EXPECT_EQ(wb->cmd, MemCmd::Writeback);
     EXPECT_EQ(wb->wordMask, 0b10100000);
+    // Regression: a writeback is not a fill. makeWriteback used to
+    // set isLineFill, which let receiving caches misclassify evicted
+    // dirty lines as fills in the fill/writeback stats.
+    EXPECT_FALSE(wb->isLineFill);
+    EXPECT_FALSE(wb->isPrefetch);
 }
 
 TEST(Packet, PayloadWordRoundTrip)

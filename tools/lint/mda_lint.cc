@@ -16,6 +16,12 @@
  *          iteration order is implementation-defined and leaks into
  *          stats, traces, and event order. Keyed-lookup-only uses may
  *          be annotated.
+ *   DET-3  No address-derived ordering: uintptr_t / intptr_t tokens
+ *          in simulator code. Casting a pointer to an integer is how
+ *          heap addresses sneak into sort keys, hashes, and stats —
+ *          and addresses vary run to run (ASLR, allocator state).
+ *          Non-ordering uses (e.g. alignment checks) may be
+ *          annotated.
  *   EVT-1  Event discipline: schedule()/scheduleAfter() must not
  *          receive a provably negative tick (Tick is unsigned; a
  *          negative literal wraps), and simulator code must not call
@@ -494,6 +500,39 @@ checkDet2(Context &ctx, const ScanFile &sf)
 }
 
 // ---------------------------------------------------------------------
+// DET-3: address-derived ordering.
+
+const std::set<std::string> det3Banned = {
+    "uintptr_t", "intptr_t",
+};
+
+void
+checkDet3(Context &ctx, const ScanFile &sf)
+{
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue; // #include <cstdint> is not a use site.
+        int line = static_cast<int>(i) + 1;
+        std::set<std::string> seen; // One finding per line per type.
+        for (const Token &t : tokensOf(sf.code[i])) {
+            if (!det3Banned.count(t.text) || seen.count(t.text))
+                continue;
+            seen.insert(t.text);
+            if (allowed(sf, line, "DET-3"))
+                continue;
+            ctx.report(sf, line, "DET-3", t.text,
+                       t.text + " converts a pointer to an integer; " +
+                           "heap addresses vary run to run (ASLR, " +
+                           "allocator state), so any ordering, hash, " +
+                           "or stat derived from one breaks " +
+                           "reproducibility. Order by simulation " +
+                           "state (ids, ticks, sequence numbers), or " +
+                           "annotate a non-ordering use");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // EVT-1: event discipline.
 
 const std::map<std::string, const char *> evt1Blocking = {
@@ -948,6 +987,8 @@ const char *ruleCatalog =
     "       random_device) in simulator code\n"
     "DET-2  no unordered_map/unordered_set (iteration order leaks\n"
     "       into stats, traces, event order)\n"
+    "DET-3  no uintptr_t/intptr_t (address-derived ordering; heap\n"
+    "       addresses vary run to run)\n"
     "EVT-1  event discipline: no negative schedule()/scheduleAfter()\n"
     "       ticks, no blocking calls in simulator code\n"
     "OBS-1  DPRINTF flags must exist in the debug::Flag registry;\n"
@@ -1083,6 +1124,7 @@ main(int argc, char **argv)
     for (const ScanFile &sf : scanned) {
         checkDet1(ctx, sf);
         checkDet2(ctx, sf);
+        checkDet3(ctx, sf);
         checkEvt1(ctx, sf);
         checkObs1(ctx, sf);
         checkHdr1(ctx, sf);
