@@ -59,6 +59,17 @@ struct BenchOptions
      *  are archived as JSON here (CI bench trajectories). */
     std::string statsJsonPath;
 
+    /** Enable the per-level/orientation/stage latency breakdown
+     *  ("telemetry.*" stats; rides into the --stats-json archive). */
+    bool telemetry = false;
+
+    /** Interval-stats period in ticks (0 = off). */
+    Tick statsInterval = 0;
+
+    /** When set (requires statsInterval), every cell's interval JSONL
+     *  stream is archived here, key-sorted like the stats archive. */
+    std::string statsJsonlPath;
+
     static BenchOptions
     parse(int argc, char **argv)
     {
@@ -86,6 +97,13 @@ struct BenchOptions
                 jobs_given = true;
             } else if (arg == "--stats-json") {
                 opts.statsJsonPath = next();
+            } else if (arg == "--telemetry") {
+                opts.telemetry = true;
+            } else if (arg == "--stats-interval") {
+                opts.statsInterval =
+                    static_cast<Tick>(std::atoll(next()));
+            } else if (arg == "--stats-jsonl") {
+                opts.statsJsonlPath = next();
             } else if (arg == "--debug-flags") {
                 debug::setFlags(next());
             } else if (arg == "--workloads") {
@@ -99,6 +117,9 @@ struct BenchOptions
                              " --workloads a,b,c |"
                              " --jobs <N> (0 = all cores) |"
                              " --stats-json <path> |"
+                             " --telemetry |"
+                             " --stats-interval <ticks> |"
+                             " --stats-jsonl <path> |"
                              " --debug-flags <f,g>\n";
                 std::exit(0);
             } else {
@@ -108,6 +129,8 @@ struct BenchOptions
         }
         if (opts.n % 8 != 0 || opts.n < 16)
             fatal("--n must be a multiple of 8, at least 16");
+        if (!opts.statsJsonlPath.empty() && opts.statsInterval == 0)
+            fatal("--stats-jsonl requires --stats-interval");
         if (obs::hot) {
             // Debug tracing interleaves across workers; keep traced
             // runs readable by defaulting to one job, and refuse an
@@ -131,6 +154,8 @@ struct BenchOptions
         s.n = n;
         s.system.design = design;
         s.system.l3Size = llc_bytes;
+        s.system.telemetry = telemetry;
+        s.system.statsInterval = statsInterval;
         s.autoScaleCaches = !paper;
         return s;
     }
@@ -169,7 +194,9 @@ class CellRunner
 
     explicit CellRunner(const BenchOptions &opts)
         : CellRunner(opts.statsJsonPath, opts.jobs)
-    {}
+    {
+        _statsJsonlPath = opts.statsJsonlPath;
+    }
 
     CellRunner(std::string stats_json_path, unsigned jobs)
         : _statsJsonPath(std::move(stats_json_path)), _jobs(jobs)
@@ -177,27 +204,42 @@ class CellRunner
 
     ~CellRunner()
     {
-        if (_statsJsonPath.empty())
-            return;
-        std::ofstream os(_statsJsonPath);
-        if (!os) {
-            std::cerr << "cannot write stats JSON: " << _statsJsonPath
-                      << '\n';
-            return;
+        if (!_statsJsonPath.empty()) {
+            std::ofstream os(_statsJsonPath);
+            if (!os) {
+                std::cerr << "cannot write stats JSON: "
+                          << _statsJsonPath << '\n';
+            } else {
+                os << "{";
+                bool first = true;
+                for (const auto &[key, json] : _cellJson) {
+                    os << (first ? "\n" : ",\n") << "\"" << key
+                       << "\": " << json;
+                    first = false;
+                }
+                os << "}\n";
+            }
         }
-        os << "{";
-        bool first = true;
-        for (const auto &[key, json] : _cellJson) {
-            os << (first ? "\n" : ",\n") << "\"" << key
-               << "\": " << json;
-            first = false;
+        if (!_statsJsonlPath.empty()) {
+            std::ofstream os(_statsJsonlPath);
+            if (!os) {
+                std::cerr << "cannot write stats JSONL: "
+                          << _statsJsonlPath << '\n';
+            } else {
+                // Key-sorted concatenation of the per-cell streams
+                // (each stream's header names its scenario), so the
+                // file is byte-identical for every --jobs value.
+                for (const auto &[key, jsonl] : _cellJsonl)
+                    os << jsonl;
+            }
         }
-        os << "}\n";
     }
 
     /** The cache key for one cell. Must cover every field a bench may
      *  vary, or a cell would silently reuse another configuration's
-     *  result. */
+     *  result. Observation-only fields (telemetry, statsInterval) stay
+     *  out: they cannot change a RunResult, and keeping them out keeps
+     *  archived keys stable across observability settings. */
     static std::string
     cellKey(const RunSpec &spec)
     {
@@ -267,27 +309,34 @@ class CellRunner
         std::string key = cellKey(spec);
         RunResult result;
         std::string json;
-        if (_statsJsonPath.empty()) {
+        std::string jsonl;
+        if (_statsJsonPath.empty() && _statsJsonlPath.empty()) {
             result = runOne(spec);
         } else {
             PreparedRun run(spec);
+            run.system.statGroup().setMeta("scenario", key);
             result = run.system.run();
-            std::ostringstream cell;
-            cell << "{\"result\": {"
-                 << "\"cycles\": " << result.cycles
-                 << ", \"ops\": " << result.ops
-                 << ", \"l1HitRate\": " << result.l1HitRate
-                 << ", \"llcAccesses\": " << result.llcAccesses
-                 << ", \"memBytes\": " << result.memBytes
-                 << ", \"checkFailures\": " << result.checkFailures
-                 << "}, \"stats\": ";
-            run.system.statGroup().dumpJson(cell);
-            cell << "}";
-            json = cell.str();
+            if (!_statsJsonPath.empty()) {
+                std::ostringstream cell;
+                cell << "{\"result\": {"
+                     << "\"cycles\": " << result.cycles
+                     << ", \"ops\": " << result.ops
+                     << ", \"l1HitRate\": " << result.l1HitRate
+                     << ", \"llcAccesses\": " << result.llcAccesses
+                     << ", \"memBytes\": " << result.memBytes
+                     << ", \"checkFailures\": " << result.checkFailures
+                     << "}, \"stats\": ";
+                run.system.statGroup().dumpJson(cell);
+                cell << "}";
+                json = cell.str();
+            }
+            jsonl = run.system.intervalJson();
         }
         std::lock_guard<std::mutex> lock(_mutex);
         if (!json.empty())
             _cellJson.emplace(key, std::move(json));
+        if (!jsonl.empty())
+            _cellJsonl.emplace(key, std::move(jsonl));
         _cache.emplace(key, result);
         return result;
     }
@@ -295,8 +344,10 @@ class CellRunner
     std::mutex _mutex;
     std::map<std::string, RunResult> _cache;
     std::string _statsJsonPath;
+    std::string _statsJsonlPath;
     unsigned _jobs = 0;
     std::map<std::string, std::string> _cellJson;
+    std::map<std::string, std::string> _cellJsonl;
 };
 
 } // namespace mda::bench

@@ -2,9 +2,11 @@
 """Bench-trajectory regression gate.
 
 Compares a freshly produced bench --stats-json archive against a
-committed baseline, cell by cell. Each archive maps a cell key (the
-full configuration string) to {"result": {...}, "stats": {...}}; the
-gate compares result.cycles with a relative tolerance.
+committed baseline, cell by cell, with a relative cycles tolerance.
+Thin wrapper over `tools/report/mdacache_report diff` so CI and
+humans share one comparison engine; the CLI is unchanged:
+
+  check_bench.py <baseline.json> <current.json> [--tolerance T]
 
 Exit status:
   0  every baseline cell present and within tolerance
@@ -16,27 +18,23 @@ refreshed (see EXPERIMENTS.md, "Refreshing the CI bench baseline").
 """
 
 import argparse
-import json
+import importlib.machinery
+import importlib.util
+import pathlib
 import sys
 
-
-def load(path):
-    try:
-        with open(path) as fh:
-            return json.load(fh)
-    except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot load {path}: {err}")
+_REPORT = (pathlib.Path(__file__).resolve().parent.parent
+           / "tools" / "report" / "mdacache_report")
 
 
-def cell_cycles(archive, path):
-    cycles = {}
-    for key, cell in archive.items():
-        try:
-            cycles[key] = cell["result"]["cycles"]
-        except (TypeError, KeyError):
-            sys.exit(f"error: {path}: cell {key!r} has no "
-                     "result.cycles")
-    return cycles
+def load_report_module():
+    spec = importlib.util.spec_from_loader(
+        "mdacache_report",
+        importlib.machinery.SourceFileLoader("mdacache_report",
+                                             str(_REPORT)))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def main():
@@ -48,54 +46,11 @@ def main():
                              "(default 0.02 = ±2%%)")
     args = parser.parse_args()
 
-    base = cell_cycles(load(args.baseline), args.baseline)
-    new = cell_cycles(load(args.current), args.current)
-
-    regressions = []
-    improvements = []
-    missing = sorted(set(base) - set(new))
-    extra = sorted(set(new) - set(base))
-
-    for key in sorted(set(base) & set(new)):
-        if base[key] == 0:
-            continue
-        rel = new[key] / base[key] - 1.0
-        line = (f"  {key}: {base[key]} -> {new[key]} cycles "
-                f"({rel:+.2%})")
-        if rel > args.tolerance:
-            regressions.append(line)
-        elif rel < -args.tolerance:
-            improvements.append(line)
-
-    print(f"bench gate: {len(base)} baseline cells, "
-          f"{len(new)} current cells, "
-          f"tolerance ±{args.tolerance:.1%}")
-
-    failed = False
-    if missing:
-        failed = True
-        print(f"\nFAIL: {len(missing)} baseline cell(s) missing from "
-              "the current run:")
-        for key in missing:
-            print(f"  {key}")
-    if extra:
-        print(f"\nnote: {len(extra)} new cell(s) not in the baseline "
-              "(refresh the baseline to start tracking them):")
-        for key in extra:
-            print(f"  {key}")
-    if regressions:
-        failed = True
-        print(f"\nFAIL: {len(regressions)} cell(s) regressed beyond "
-              "tolerance:")
-        print("\n".join(regressions))
-    if improvements:
-        print(f"\nnote: {len(improvements)} cell(s) improved beyond "
-              "tolerance — the baseline is stale, refresh it:")
-        print("\n".join(improvements))
-
+    report = load_report_module()
+    failed = report.run_diff(args.baseline, args.current,
+                             args.tolerance, metric="result.cycles")
     if failed:
         sys.exit(1)
-    print("bench gate: OK")
 
 
 if __name__ == "__main__":

@@ -57,6 +57,12 @@ usage()
         "  --stats-json <path> write every statistic (scalars,\n"
         "                      distributions, time series) as JSON,\n"
         "                      keyed by workload\n"
+        "  --telemetry         decompose request latency per level x\n"
+        "                      orientation x stage (telemetry.* stats)\n"
+        "  --stats-interval <t> snapshot scalar deltas + occupancy\n"
+        "                      gauges every t ticks\n"
+        "  --stats-jsonl <path> write the interval snapshots as JSONL\n"
+        "                      (requires --stats-interval)\n"
         "  --trace-out <path>  record a Chrome trace-event JSON file\n"
         "                      (load in ui.perfetto.dev)\n"
         "  --trace-max-events <n>  trace buffer bound (default 1M)\n"
@@ -109,6 +115,7 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool jobs_given = false;
     std::string stats_json_path;
+    std::string stats_jsonl_path;
     std::string trace_out_path;
     std::size_t trace_max_events = trace::EventLog::defaultCapacity;
 
@@ -150,6 +157,13 @@ main(int argc, char **argv)
             dump_stats = true;
         } else if (arg == "--stats-json") {
             stats_json_path = next();
+        } else if (arg == "--telemetry") {
+            spec.system.telemetry = true;
+        } else if (arg == "--stats-interval") {
+            spec.system.statsInterval =
+                static_cast<Tick>(std::stoull(next()));
+        } else if (arg == "--stats-jsonl") {
+            stats_jsonl_path = next();
         } else if (arg == "--trace-out") {
             trace_out_path = next();
         } else if (arg == "--trace-max-events") {
@@ -200,6 +214,9 @@ main(int argc, char **argv)
         stats_json << "{";
     }
 
+    if (!stats_jsonl_path.empty() && spec.system.statsInterval == 0)
+        fatal("--stats-jsonl requires --stats-interval");
+
     // Run the sweep across the pool, keeping each prepared system
     // until its stats are emitted; all output is written afterwards
     // in workload order, so it is identical for every job count.
@@ -211,6 +228,8 @@ main(int argc, char **argv)
             RunSpec one = spec;
             one.workload = list[idx];
             runs[idx] = std::make_unique<PreparedRun>(one);
+            runs[idx]->system.statGroup().setMeta("scenario",
+                                                  one.workload);
             results[idx] = runs[idx]->system.run();
         });
     }
@@ -242,6 +261,16 @@ main(int argc, char **argv)
     }
     if (stats_json.is_open())
         stats_json << "}\n";
+    if (!stats_jsonl_path.empty()) {
+        // Each workload's buffered stream in workload order: the file
+        // is identical at any --jobs.
+        std::ofstream jsonl(stats_jsonl_path);
+        if (!jsonl)
+            fatal("cannot write stats JSONL: %s",
+                  stats_jsonl_path.c_str());
+        for (auto &run : runs)
+            jsonl << run->system.intervalJson();
+    }
     if (trace::on())
         trace::log().close();
     report::banner("results");

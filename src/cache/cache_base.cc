@@ -55,6 +55,20 @@ CacheBase::CacheBase(const std::string &obj_name, EventQueue &eq,
                     "sampled)");
 }
 
+void
+CacheBase::regProbes(probe::ProbeManager &pm)
+{
+    pm.reg(name() + ".accepted", &_probes.accepted);
+    pm.reg(name() + ".deferred", &_probes.deferred);
+    pm.reg(name() + ".mshrQueued", &_probes.mshrQueued);
+    pm.reg(name() + ".fillSent", &_probes.fillSent);
+    pm.reg(name() + ".fillRecv", &_probes.fillRecv);
+    pm.reg(name() + ".writebackOut", &_probes.writebackOut);
+    pm.reg(name() + ".responded", &_probes.responded);
+    pm.reg(name() + ".writeValidate", &_probes.writeValidate);
+    pm.reg(name() + ".dupAction", &_probes.dupAction);
+}
+
 std::vector<std::string>
 CacheBase::checkDrained() const
 {
@@ -114,6 +128,8 @@ CacheBase::tryRequest(PacketPtr &pkt)
                                     pkt->id, curTick());
         }
     }
+    MDA_PROBE(_probes.accepted,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
     // Dispatch after the tag-lookup latency. Constant latency plus
     // FIFO event ordering preserves arrival order at the handlers.
     auto *raw = pkt.release();
@@ -144,6 +160,8 @@ CacheBase::recvResponse(PacketPtr pkt)
                "cache received a non-fill response");
     ++_fills;
     _fillBytes += std::popcount(pkt->wordMask) * wordBytes;
+    MDA_PROBE(_probes.fillRecv,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
     DPRINTF(Cache, "fill %#llx (%s)",
             (unsigned long long)pkt->addr,
             orientName(pkt->orient));
@@ -164,6 +182,8 @@ void
 CacheBase::defer(PacketPtr pkt)
 {
     ++_deferrals;
+    MDA_PROBE(_probes.deferred,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
     DPRINTF(MSHR, "defer %s %#llx id %llu (overlap/full)",
             cmdName(pkt->cmd), (unsigned long long)pkt->addr,
             (unsigned long long)pkt->id);
@@ -190,6 +210,8 @@ CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line,
             ++_prefetchesUseful;
         }
         ++_mshrCoalesced;
+        MDA_PROBE(_probes.mshrQueued,
+                  probe::PacketEvent{pkt.get(), curTick(), 0});
         DPRINTF(MSHR, "coalesce id %llu onto %#llx (%zu targets)",
                 (unsigned long long)pkt->id,
                 (unsigned long long)pkt->addr,
@@ -204,6 +226,8 @@ CacheBase::allocateMiss(PacketPtr pkt, const OrientedLine &line,
     }
     MshrEntry &fresh = _mshr.alloc(line, false, curTick());
     fresh.pc = pkt->pc;
+    MDA_PROBE(_probes.mshrQueued,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
     if (MDA_OBSERVED()) {
         DPRINTF(MSHR, "alloc %#llx (%s) for id %llu",
                 (unsigned long long)pkt->addr, orientName(line.orient),
@@ -233,6 +257,8 @@ CacheBase::pushWriteback(PacketPtr wb)
     mda_assert(wb->cmd == MemCmd::Writeback, "not a writeback");
     ++_writebacksOut;
     _bytesWrittenBack += std::popcount(wb->wordMask) * wordBytes;
+    MDA_PROBE(_probes.writebackOut,
+              probe::PacketEvent{wb.get(), curTick(), 0});
     _writeBuffer.push_back(std::move(wb));
     trySendQueues();
 }
@@ -242,6 +268,11 @@ CacheBase::respond(PacketPtr pkt, Cycles delay)
 {
     if (!pkt->isResponse)
         pkt->makeResponse();
+    // Fired at schedule time with the delivery delay, so a listener
+    // sees both when the level finished (curTick()) and when the
+    // requester will (curTick() + delay).
+    MDA_PROBE(_probes.responded,
+              probe::PacketEvent{pkt.get(), curTick(), delay});
     if (MDA_UNLIKELY(trace::on())) {
         trace::log().asyncEnd(name(), cmdName(pkt->cmd), pkt->id,
                               curTick() + delay);
@@ -292,8 +323,14 @@ CacheBase::trySendQueues()
         auto fill = Packet::makeLineFill(entry.line, entry.isPrefetch,
                                          curTick(), packetPool());
         fill->pc = entry.pc;
+        // The raw pointer stays valid past tryRequest: on acceptance
+        // the downstream owns the packet (queued or scheduled), and
+        // the probe fires before any of its events can run.
+        const Packet *sent = fill.get();
         if (!_downstream->tryRequest(fill))
             return false; // downstream will retry us
+        MDA_PROBE(_probes.fillSent,
+                  probe::PacketEvent{sent, curTick(), 0});
         return true;      // the MSHR file marks the entry sent
     });
 }

@@ -27,6 +27,7 @@
 #include "mshr.hh"
 #include "sim/debug.hh"
 #include "sim/port.hh"
+#include "sim/probe.hh"
 #include "sim/sim_object.hh"
 #include "sim/trace_event.hh"
 
@@ -52,6 +53,10 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
     void setDownstream(MemDevice *dev) { _downstream = dev; }
 
     const CacheConfig &config() const { return _config; }
+
+    /** Register this level's lifecycle probe points with @p pm under
+     *  "<name>.<probe>" (e.g. "l1.mshrQueued"). */
+    void regProbes(probe::ProbeManager &pm);
 
     /**
      * Structural-invariant sweep (the mda_fuzz debug hook): verify
@@ -166,6 +171,11 @@ class CacheBase : public SimObject, public MemDevice, public MemClient
 
     /** Resources left for a new request? */
     bool canAccept() const;
+
+    /** Packet-lifecycle probe points (see probe.hh's catalog). The
+     *  subclass-specific points (writeValidate, dupAction) live here
+     *  too so every level exposes the same catalog. */
+    probe::CacheProbes _probes;
 
     CacheConfig _config;
     MshrFile _mshr;

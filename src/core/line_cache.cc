@@ -195,6 +195,9 @@ LineCache::prepareLine(const OrientedLine &line,
             continue;
         if (entry->dirty()) {
             ++_dupWritebacks;
+            MDA_PROBE(_probes.dupAction,
+                      probe::CrossingEvent{word, true, false,
+                                           curTick()});
             if (MDA_OBSERVED()) {
                 DPRINTF(Coherence,
                         "dup writeback: dirty crossing %s line %#llx "
@@ -212,6 +215,9 @@ LineCache::prepareLine(const OrientedLine &line,
         }
         if (written_mask & bit) {
             ++_dupEvictions;
+            MDA_PROBE(_probes.dupAction,
+                      probe::CrossingEvent{word, false, true,
+                                           curTick()});
             DPRINTF(Coherence,
                     "dup evict: crossing %s line %#llx copy of "
                     "written word %#llx",

@@ -273,6 +273,8 @@ TileCache::handleDemand(PacketPtr pkt)
                 had_words ? "hit" : "miss",
                 (unsigned long long)pkt->addr,
                 (unsigned long long)tile);
+        MDA_PROBE(_probes.writeValidate,
+                  probe::PacketEvent{pkt.get(), curTick(), 0});
         performWrite(entry, *pkt);
         touch(entry);
         Cycles delay =

@@ -111,6 +111,9 @@ class TileCache : public CacheBase
     /** Frames (for tests). */
     std::uint64_t numSets() const { return _sets; }
 
+    /** Presence-bit population (interval-stats occupancy gauge). */
+    std::uint64_t presentWords() const { return _presentWords; }
+
     /** Set index of @p tile (hashed; exposed for tests). */
     std::uint64_t setFor(std::uint64_t tile) const;
 

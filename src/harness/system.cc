@@ -44,6 +44,47 @@ System::System(const SystemConfig &config,
         _memory->setPacketPool(&_pool);
     }
 
+    // Every component exposes its packet-lifecycle probe points
+    // unconditionally; with no listeners each fire site is a single
+    // predicted-false branch.
+    _cpu->regProbes(_probes);
+    for (auto &cache : _caches)
+        cache->regProbes(_probes);
+    _memory->regProbes(_probes);
+
+    if (config.telemetry) {
+        std::vector<std::string> telem_levels;
+        for (std::size_t n = 0; n < _levels.size(); ++n)
+            telem_levels.push_back(levelName(n));
+        telem_levels.push_back("mem");
+        _telemetry = std::make_unique<telemetry::LatencyAccountant>(
+            _probes, _stats, telem_levels);
+    }
+
+    if (config.statsInterval > 0) {
+        _interval = std::make_unique<stats::IntervalStats>(
+            _stats, _eq, config.statsInterval);
+        for (std::size_t n = 0; n < _levels.size(); ++n) {
+            if (auto *line = dynamic_cast<LineCache *>(_levels[n])) {
+                _interval->addGauge(
+                    levelName(n) + ".colOccupancy",
+                    [line] { return line->colOccupancy(); });
+            } else if (auto *tile =
+                           dynamic_cast<TileCache *>(_levels[n])) {
+                _interval->addGauge(
+                    levelName(n) + ".presentWords", [tile] {
+                        return static_cast<double>(
+                            tile->presentWords());
+                    });
+            }
+        }
+    }
+
+    // Self-description for archived stats (satellite: meta block).
+    _stats.setMeta("design", designName(config.design));
+    _stats.setMeta("levels", std::to_string(_levels.size()));
+    _stats.setMeta("llc", _llcName);
+
     // Fig. 15 occupancy series, one per LineCache level.
     _occupancy.resize(_levels.size());
     for (std::size_t n = 0; n < _levels.size(); ++n) {
@@ -156,6 +197,8 @@ System::run()
     _cpu->start();
     if (_config.occupancySamplePeriod > 0)
         sampleOccupancy();
+    if (_interval)
+        _interval->start([this] { return !_cpu->done(); });
 
     if (_config.heartbeatSeconds == 0) {
         _eq.run();
@@ -191,6 +234,10 @@ System::run()
     if (!_cpu->done())
         panic("simulation deadlocked at tick %llu",
               (unsigned long long)_eq.curTick());
+    if (_interval)
+        _interval->finalize();
+    _stats.setMeta("finalTick",
+                   std::to_string(_cpu->finishTick()));
 
     RunResult result;
     result.cycles = _cpu->finishTick();

@@ -13,8 +13,11 @@
 #include "core/line_cache.hh"
 #include "core/tile_cache.hh"
 #include "mem/mda_memory.hh"
+#include "sim/interval_stats.hh"
 #include "sim/packet_pool.hh"
+#include "sim/probe.hh"
 #include "system_config.hh"
+#include "telemetry.hh"
 #include "trace_cpu.hh"
 
 namespace mda
@@ -54,6 +57,16 @@ class System
     MdaMemory &memory() { return *_memory; }
     PacketPool &packetPool() { return _pool; }
 
+    /** Packet-lifecycle probe points, by name ("l1.accepted", ...). */
+    probe::ProbeManager &probeManager() { return _probes; }
+
+    /** Interval-stats JSONL captured during run(); empty string when
+     *  SystemConfig::statsInterval is 0. */
+    std::string intervalJson() const
+    {
+        return _interval ? _interval->json() : std::string();
+    }
+
     /** LineCache levels, CPU side first (empty slots for TileCache). */
     const std::vector<CacheBase *> &cacheLevels() const
     {
@@ -81,6 +94,12 @@ class System
     std::vector<CacheBase *> _levels;
     std::unique_ptr<MdaMemory> _memory;
     std::unique_ptr<TraceCpu> _cpu;
+
+    /** Declared after the components so listeners detach before the
+     *  probe points they attach to are destroyed. */
+    probe::ProbeManager _probes;
+    std::unique_ptr<telemetry::LatencyAccountant> _telemetry;
+    std::unique_ptr<stats::IntervalStats> _interval;
 
     std::vector<stats::TimeSeries> _occupancy;
     std::string _llcName;

@@ -92,6 +92,16 @@ struct SystemConfig
      *  held rather than coalesced. (Modeled as MSHR target cap 1.) */
     bool disableMshrCoalescing = false;
 
+    /** Build the LatencyAccountant probe listener and register its
+     *  per-level/orientation/stage breakdown stats ("telemetry.*").
+     *  Off by default: the default --stats-json stays byte-identical
+     *  and the lifecycle probes cost one predicted-false branch. */
+    bool telemetry = false;
+
+    /** Emit an interval-stats JSONL record every N ticks (0 = off);
+     *  retrieved via System::intervalJson() / --stats-jsonl. */
+    Tick statsInterval = 0;
+
     /** Recycle packet storage through the per-System PacketPool
      *  instead of heap-allocating each transaction. Pure host-side
      *  optimization: simulated behavior and stats are identical

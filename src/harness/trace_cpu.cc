@@ -30,6 +30,13 @@ TraceCpu::TraceCpu(const std::string &obj_name, EventQueue &eq,
 }
 
 void
+TraceCpu::regProbes(probe::ProbeManager &pm)
+{
+    pm.reg(name() + ".issued", &_probes.issued);
+    pm.reg(name() + ".retired", &_probes.retired);
+}
+
+void
 TraceCpu::start()
 {
     scheduleIssue(curTick());
@@ -138,12 +145,17 @@ TraceCpu::issue()
             pkt_cmd = pkt->cmd;
             pkt_addr = pkt->addr;
         }
+        // Accepted packets survive inside the L1's scheduled lookup,
+        // so a pointer captured here stays valid for the probe below.
+        const Packet *sent = pkt.get();
         if (!_l1.tryRequest(pkt)) {
             ++_stallRetry;
             _blockedPkt = std::move(pkt);
             _waitingRetry = true;
             return;
         }
+        MDA_PROBE(_probes.issued,
+                  probe::PacketEvent{sent, curTick(), 0});
         if (MDA_UNLIKELY(observed)) {
             DPRINTF(TraceCpu,
                     "issue %s %#llx id %llu (%u outstanding)",
@@ -184,6 +196,8 @@ TraceCpu::recvResponse(PacketPtr pkt)
                                   curTick());
         }
     }
+    MDA_PROBE(_probes.retired,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
     _loadLatency.sample(
         static_cast<double>(curTick() - pkt->issueTick));
 

@@ -24,6 +24,7 @@
 #include "compiler/trace_gen.hh"
 #include "mem/backing_store.hh"
 #include "sim/port.hh"
+#include "sim/probe.hh"
 #include "sim/sim_object.hh"
 
 namespace mda
@@ -66,7 +67,12 @@ class TraceCpu : public SimObject, public MemClient
     void recvResponse(PacketPtr pkt) override;
     void recvRetry() override;
 
+    /** Register the CPU's probe points ("cpu.issued"/"cpu.retired"). */
+    void regProbes(probe::ProbeManager &pm);
+
   private:
+    probe::CpuProbes _probes;
+
     void scheduleIssue(Tick when);
     void issue();
     PacketPtr makePacket(const compiler::TraceOp &op);

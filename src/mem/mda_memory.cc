@@ -33,6 +33,14 @@ MdaMemory::MdaMemory(const std::string &obj_name, EventQueue &eq,
                     "enqueue-to-issue latency");
 }
 
+void
+MdaMemory::regProbes(probe::ProbeManager &pm)
+{
+    pm.reg(name() + ".accepted", &_probes.accepted);
+    pm.reg(name() + ".issued", &_probes.issued);
+    pm.reg(name() + ".responded", &_probes.responded);
+}
+
 Cycles
 MdaMemory::burstCycles(const Packet &pkt) const
 {
@@ -95,6 +103,9 @@ MdaMemory::tryRequest(PacketPtr &pkt)
                                     channel.writeQ.size() + 1));
         }
     }
+
+    MDA_PROBE(_probes.accepted,
+              probe::PacketEvent{pkt.get(), curTick(), 0});
 
     QueuedReq req;
     req.flatBank = dec.flatBank;
@@ -231,6 +242,7 @@ MdaMemory::issue(Channel &channel, QueuedReq req)
     channel.busUntil = bus_start + burst;
     _busBusy += static_cast<double>(burst);
     _queueLatency.sample(static_cast<double>(now - req.enqueueTick));
+    MDA_PROBE(_probes.issued, probe::PacketEvent{&pkt, now, 0});
 
     if (MDA_OBSERVED()) {
         DPRINTF(MDAMem,
@@ -251,6 +263,8 @@ MdaMemory::issue(Channel &channel, QueuedReq req)
 
     if (req.needsResponse) {
         Tick done = bus_start + burst;
+        MDA_PROBE(_probes.responded,
+                  probe::PacketEvent{&pkt, now, done - now});
         if (MDA_UNLIKELY(trace::on()))
             trace::log().asyncEnd(name(), cmdName(pkt.cmd), pkt.id,
                                   done);

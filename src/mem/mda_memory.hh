@@ -25,6 +25,7 @@
 #include "address_decode.hh"
 #include "backing_store.hh"
 #include "sim/port.hh"
+#include "sim/probe.hh"
 #include "sim/sim_object.hh"
 #include "timing_params.hh"
 
@@ -47,7 +48,12 @@ class MdaMemory : public SimObject, public MemDevice
     BackingStore &store() { return _store; }
     const AddressDecoder &decoder() const { return _decoder; }
 
+    /** Register the controller's probe points ("mem.<probe>"). */
+    void regProbes(probe::ProbeManager &pm);
+
   private:
+    probe::MemProbes _probes;
+
     struct Bank
     {
         /** Open row/column buffer tags, most recently used last

@@ -1,0 +1,97 @@
+#include "interval_stats.hh"
+
+#include <limits>
+
+namespace mda::stats
+{
+
+IntervalStats::IntervalStats(StatGroup &stats, EventQueue &eq,
+                             Tick interval)
+    : _stats(stats), _eq(eq), _interval(interval)
+{
+    mda_assert(interval > 0, "stats interval must be positive");
+    _out.precision(std::numeric_limits<double>::max_digits10);
+}
+
+void
+IntervalStats::addGauge(const std::string &name,
+                        std::function<double()> fn)
+{
+    mda_assert(!_started, "gauges must be added before start()");
+    _gauges.emplace_back(name, std::move(fn));
+}
+
+void
+IntervalStats::start(std::function<bool()> active)
+{
+    mda_assert(!_started, "interval stats started twice");
+    _started = true;
+    _active = std::move(active);
+
+    _names = _stats.scalarNames();
+    _last.assign(_names.size(), 0.0);
+    for (std::size_t i = 0; i < _names.size(); ++i)
+        _last[i] = _stats.scalar(_names[i]);
+
+    _out << "{\"type\": \"header\", \"v\": " << version
+         << ", \"interval\": " << _interval;
+    if (_stats.hasMeta("scenario")) {
+        _out << ", \"scenario\": ";
+        writeJsonString(_out, _stats.meta("scenario"));
+    }
+    _out << "}\n";
+
+    _eq.schedule(_eq.curTick() + _interval, [this] { sampleNow(); },
+                 EventPriority::Stats);
+}
+
+void
+IntervalStats::sampleNow()
+{
+    emitRecord("interval");
+    if (_active && _active()) {
+        _eq.schedule(_eq.curTick() + _interval,
+                     [this] { sampleNow(); }, EventPriority::Stats);
+    }
+}
+
+void
+IntervalStats::finalize()
+{
+    if (!_started || _finalized)
+        return;
+    _finalized = true;
+    emitRecord("final");
+}
+
+void
+IntervalStats::emitRecord(const char *type)
+{
+    _out << "{\"type\": \"" << type << "\", \"v\": " << version
+         << ", \"tick\": " << _eq.curTick() << ", \"scalars\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < _names.size(); ++i) {
+        double now = _stats.scalar(_names[i]);
+        double delta = now - _last[i];
+        _last[i] = now;
+        if (delta == 0.0)
+            continue; // unchanged scalars stay off the line
+        _out << (first ? "" : ", ");
+        first = false;
+        writeJsonString(_out, _names[i]);
+        _out << ": ";
+        writeJsonNumber(_out, delta);
+    }
+    _out << "}, \"gauges\": {";
+    first = true;
+    for (const auto &gauge : _gauges) {
+        _out << (first ? "" : ", ");
+        first = false;
+        writeJsonString(_out, gauge.first);
+        _out << ": ";
+        writeJsonNumber(_out, gauge.second());
+    }
+    _out << "}}\n";
+}
+
+} // namespace mda::stats

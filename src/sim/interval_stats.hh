@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Interval statistics: periodic scalar-delta snapshots as JSONL.
+ *
+ * Attached to a System when --stats-interval is given, the engine
+ * samples every registered scalar each N ticks (at EventPriority::
+ * Stats, so it observes settled state) and appends one JSON line per
+ * interval to an in-memory buffer: the delta of every scalar that
+ * changed, plus any registered gauges (tile/column occupancy). A final
+ * record at end of simulation covers the last partial interval, so the
+ * column sums of the stream equal the end-of-run scalar totals.
+ *
+ * The stream is versioned (a header line carries "v" and the interval)
+ * and buffered per System, so output is byte-identical at any --jobs:
+ * sampling runs inside the System's own event queue and the harness
+ * writes the finished buffer out after the run.
+ */
+
+#ifndef MDA_SIM_INTERVAL_STATS_HH
+#define MDA_SIM_INTERVAL_STATS_HH
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace mda::stats
+{
+
+class IntervalStats
+{
+  public:
+    /** Interval JSONL schema version (the header line's "v"). */
+    static constexpr int version = 1;
+
+    /**
+     * @param stats Group whose scalars are snapshotted.
+     * @param eq Queue the sampler schedules itself on.
+     * @param interval Ticks between snapshots (> 0).
+     */
+    IntervalStats(StatGroup &stats, EventQueue &eq, Tick interval);
+
+    /** Register a gauge: an instantaneous value (not a delta) emitted
+     *  with every record, e.g. column occupancy. Call before start(). */
+    void addGauge(const std::string &name, std::function<double()> fn);
+
+    /**
+     * Emit the header line, snapshot the scalar baseline, and schedule
+     * the first sample. @p active keeps the sampler self-rescheduling
+     * while it returns true (typically "CPU not done"), so a drained
+     * queue is not held open forever.
+     */
+    void start(std::function<bool()> active);
+
+    /** Emit the final (partial) interval record. Idempotent. */
+    void finalize();
+
+    /** The accumulated JSONL stream (header + records). */
+    std::string json() const { return _out.str(); }
+
+  private:
+    void sampleNow();
+    void emitRecord(const char *type);
+
+    StatGroup &_stats;
+    EventQueue &_eq;
+    Tick _interval;
+    std::function<bool()> _active;
+    std::vector<std::pair<std::string, std::function<double()>>> _gauges;
+
+    /** Scalar names captured at start(), and their last-emitted
+     *  values, index-aligned. */
+    std::vector<std::string> _names;
+    std::vector<double> _last;
+
+    std::ostringstream _out;
+    bool _started = false;
+    bool _finalized = false;
+};
+
+} // namespace mda::stats
+
+#endif // MDA_SIM_INTERVAL_STATS_HH

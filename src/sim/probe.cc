@@ -1,0 +1,35 @@
+/** @file ProbeManager directory (see probe.hh for the design). */
+
+#include "probe.hh"
+
+namespace mda::probe
+{
+
+void
+ProbeManager::reg(const std::string &name, ProbePointBase *point)
+{
+    mda_assert(point != nullptr, "null probe point '%s'", name.c_str());
+    auto [it, inserted] = _points.emplace(name, point);
+    (void)it;
+    if (!inserted)
+        panic("duplicate probe point '%s'", name.c_str());
+}
+
+ProbePointBase *
+ProbeManager::find(const std::string &name) const
+{
+    auto it = _points.find(name);
+    return it == _points.end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+ProbeManager::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(_points.size());
+    for (const auto &kv : _points)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace mda::probe

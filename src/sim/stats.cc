@@ -26,9 +26,6 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
-namespace
-{
-
 void
 writeJsonString(std::ostream &os, const std::string &s)
 {
@@ -63,8 +60,6 @@ writeJsonNumber(std::ostream &os, double v)
         os << "null";
 }
 
-} // namespace
-
 void
 StatGroup::dumpJson(std::ostream &os) const
 {
@@ -72,8 +67,20 @@ StatGroup::dumpJson(std::ostream &os) const
     auto old_precision =
         os.precision(std::numeric_limits<double>::max_digits10);
 
-    os << "{\n  \"scalars\": {";
+    os << "{\n  \"meta\": {";
     bool first = true;
+    os << "\n    \"schemaVersion\": ";
+    writeJsonString(os, jsonSchemaVersion);
+    for (const auto &kv : _meta) {
+        if (kv.first == "schemaVersion")
+            continue; // the stamped version always wins
+        os << ",\n    ";
+        writeJsonString(os, kv.first);
+        os << ": ";
+        writeJsonString(os, kv.second);
+    }
+    os << "\n  },\n  \"scalars\": {";
+    first = true;
     for (const auto &kv : _scalars) {
         os << (first ? "\n" : ",\n") << "    ";
         first = false;
@@ -100,6 +107,7 @@ StatGroup::dumpJson(std::ostream &os) const
         writeJsonNumber(os, d.minSeen());
         os << ", \"max\": ";
         writeJsonNumber(os, d.maxSeen());
+        os << ", \"overflows\": " << d.overflows();
         os << ", \"bucketMin\": ";
         writeJsonNumber(os, d.bucketMin());
         os << ", \"bucketMax\": ";

@@ -26,6 +26,16 @@
 namespace mda::stats
 {
 
+/** Stats JSON schema version, recorded in every dump's meta block.
+ *  Bump when the dumpJson shape changes incompatibly. */
+constexpr const char *jsonSchemaVersion = "2";
+
+/** Write @p s as a JSON string literal (escapes quotes/controls). */
+void writeJsonString(std::ostream &os, const std::string &s);
+
+/** Write @p v as a JSON number; NaN/Inf become null. */
+void writeJsonNumber(std::ostream &os, double v);
+
 /** A single accumulating counter (integral semantics, double storage). */
 class Scalar
 {
@@ -61,7 +71,9 @@ class Distribution
     }
 
     /** Record one sample. Hot path: division-free (the bucket scale
-     *  is precomputed), since caches sample every hit. */
+     *  is precomputed), since caches sample every hit. Samples outside
+     *  [min, max) clamp into the edge buckets but are counted in
+     *  overflows() so a mis-sized range is visible in the dump. */
     void
     sample(double v)
     {
@@ -75,10 +87,18 @@ class Distribution
         ++_count;
         _sum += v;
         double pos = (v - _min) * _scale;
-        std::size_t idx =
-            pos <= 0.0 ? 0
-                       : std::min(static_cast<std::size_t>(pos),
-                                  _buckets.size() - 1);
+        std::size_t idx;
+        if (pos <= 0.0) {
+            idx = 0;
+            if (v < _min)
+                ++_overflows;
+        } else {
+            idx = static_cast<std::size_t>(pos);
+            if (idx >= _buckets.size()) {
+                idx = _buckets.size() - 1;
+                ++_overflows;
+            }
+        }
         ++_buckets[idx];
     }
 
@@ -91,10 +111,19 @@ class Distribution
     double bucketMax() const { return _max; }
     const std::vector<std::uint64_t> &buckets() const { return _buckets; }
 
+    /** Samples that fell outside [bucketMin, bucketMax) and were
+     *  clamped into an edge bucket. */
+    std::uint64_t overflows() const { return _overflows; }
+
+    /** Restore the exact fresh-object state: counts and moments zero,
+     *  minSeen()/maxSeen() back to their pre-first-sample 0.0 (the
+     *  first sample after reset re-initializes both, so a reset group
+     *  is indistinguishable from a newly built one). */
     void
     reset()
     {
         _count = 0;
+        _overflows = 0;
         _sum = 0.0;
         _minSeen = 0.0;
         _maxSeen = 0.0;
@@ -107,19 +136,45 @@ class Distribution
     double _scale; ///< buckets per unit of sample value.
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _count = 0;
+    std::uint64_t _overflows = 0;
     double _sum = 0.0;
     double _minSeen = 0.0;
     double _maxSeen = 0.0;
 };
 
-/** A sampled (tick, value) series; used for Fig. 15 occupancy plots. */
+/**
+ * A sampled (tick, value) series; used for Fig. 15 occupancy plots.
+ *
+ * By default every sample is kept. Constructing with a capacity bounds
+ * memory for arbitrarily long runs: the series keeps every k-th
+ * offered sample, and whenever the stored points reach the capacity it
+ * drops every other stored point and doubles k. The result is a
+ * uniformly decimated view whose density halves as the run grows —
+ * deterministic, since it depends only on the sample call sequence.
+ */
 class TimeSeries
 {
   public:
+    /** @param capacity Max stored points; 0 keeps everything. */
+    explicit TimeSeries(std::size_t capacity = 0) : _capacity(capacity)
+    {
+        mda_assert(capacity == 0 || capacity >= 2,
+                   "time series capacity must be 0 or >= 2");
+    }
+
     void
     sample(Tick when, double value)
     {
+        if (_capacity != 0) {
+            if (_drop != 0) {
+                --_drop;
+                return;
+            }
+            _drop = _stride - 1;
+        }
         _points.emplace_back(when, value);
+        if (_capacity != 0 && _points.size() >= _capacity)
+            decimate();
     }
 
     const std::vector<std::pair<Tick, double>> &points() const
@@ -127,10 +182,36 @@ class TimeSeries
         return _points;
     }
 
-    void reset() { _points.clear(); }
+    std::size_t capacity() const { return _capacity; }
+
+    /** Current keep-every-kth sampling stride (1 = keep all offered). */
+    std::uint64_t stride() const { return _stride; }
+
+    void
+    reset()
+    {
+        _points.clear();
+        _stride = 1;
+        _drop = 0;
+    }
 
   private:
+    /** Keep every 2nd stored point and double the input stride. */
+    void
+    decimate()
+    {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < _points.size(); r += 2)
+            _points[w++] = _points[r];
+        _points.resize(w);
+        _stride *= 2;
+        _drop = _stride - 1;
+    }
+
     std::vector<std::pair<Tick, double>> _points;
+    std::size_t _capacity = 0;
+    std::uint64_t _stride = 1;
+    std::uint64_t _drop = 0; ///< Offered samples to skip before keeping.
 };
 
 /**
@@ -211,15 +292,40 @@ class StatGroup
         return names;
     }
 
+    /**
+     * Attach a self-description key (scenario, design, finalTick, ...)
+     * included in dumpJson's "meta" block. Re-setting a key replaces
+     * its value. The "schemaVersion" key is stamped automatically.
+     */
+    void setMeta(const std::string &key, const std::string &value)
+    {
+        _meta[key] = value;
+    }
+
+    bool hasMeta(const std::string &key) const
+    {
+        return _meta.count(key) != 0;
+    }
+
+    /** Meta value for @p key; empty string when absent. */
+    std::string
+    meta(const std::string &key) const
+    {
+        auto it = _meta.find(key);
+        return it == _meta.end() ? std::string() : it->second;
+    }
+
     /** Write "name value # desc" lines for every scalar. */
     void dump(std::ostream &os) const;
 
     /**
      * Write every registered statistic as one JSON object:
      *
-     *   {"scalars": {"<name>": {"value": v, "desc": "..."}},
+     *   {"meta": {"schemaVersion": "2", "<key>": "<value>", ...},
+     *    "scalars": {"<name>": {"value": v, "desc": "..."}},
      *    "distributions": {"<name>": {"count", "sum", "mean", "min",
-     *        "max", "bucketMin", "bucketMax", "buckets": [...]}},
+     *        "max", "overflows", "bucketMin", "bucketMax",
+     *        "buckets": [...]}},
      *    "timeSeries": {"<name>": {"ticks": [...], "values": [...]}}}
      *
      * Machine-readable counterpart of dump(); used by --stats-json
@@ -259,6 +365,7 @@ class StatGroup
     std::map<std::string, Entry<Scalar>> _scalars;
     std::map<std::string, Entry<Distribution>> _dists;
     std::map<std::string, Entry<TimeSeries>> _series;
+    std::map<std::string, std::string> _meta;
 };
 
 } // namespace mda::stats

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Interval-statistics engine tests: the JSONL stream is versioned,
+ * parses line by line, its per-scalar deltas sum to the end-of-run
+ * totals, and the whole stream is deterministic run to run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../support/test_json.hh"
+#include "harness/runner.hh"
+
+namespace mda
+{
+namespace
+{
+
+RunSpec
+intervalSpec()
+{
+    RunSpec spec;
+    spec.workload = "htap1";
+    spec.n = 32;
+    spec.system.design = DesignPoint::D1_1P2L;
+    spec.system.statsInterval = 1000;
+    return spec;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    for (std::string line; std::getline(is, line);)
+        if (!line.empty())
+            out.push_back(line);
+    return out;
+}
+
+TEST(IntervalStats, StreamIsVersionedAndParses)
+{
+    PreparedRun run(intervalSpec());
+    run.system.statGroup().setMeta("scenario", "unit-htap1");
+    run.system.run();
+
+    auto recs = lines(run.system.intervalJson());
+    ASSERT_GE(recs.size(), 3u); // header + >= 1 interval + final
+
+    auto header = testjson::parse(recs.front());
+    EXPECT_EQ(header->at("type").string, "header");
+    EXPECT_DOUBLE_EQ(header->at("v").number, 1.0);
+    EXPECT_DOUBLE_EQ(header->at("interval").number, 1000.0);
+    EXPECT_EQ(header->at("scenario").string, "unit-htap1");
+
+    Tick prev_tick = 0;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        auto rec = testjson::parse(recs[i]);
+        bool last = i + 1 == recs.size();
+        EXPECT_EQ(rec->at("type").string,
+                  last ? "final" : "interval");
+        EXPECT_DOUBLE_EQ(rec->at("v").number, 1.0);
+        auto tick = static_cast<Tick>(rec->at("tick").number);
+        EXPECT_GE(tick, prev_tick); // monotone sample ticks
+        prev_tick = tick;
+        EXPECT_TRUE(rec->has("scalars"));
+        EXPECT_TRUE(rec->has("gauges"));
+    }
+}
+
+TEST(IntervalStats, DeltasSumToEndOfRunTotals)
+{
+    PreparedRun run(intervalSpec());
+    run.system.run();
+    const auto &sg = run.system.statGroup();
+
+    auto recs = lines(run.system.intervalJson());
+    ASSERT_GE(recs.size(), 2u);
+
+    // Accumulate every scalar's deltas across all records; the final
+    // partial-interval record closes the books, so the sums must
+    // equal the end-of-run totals exactly (zero deltas are elided
+    // from the stream, which must not break the identity).
+    std::map<std::string, double> totals;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        auto rec = testjson::parse(recs[i]);
+        for (const auto &kv : rec->at("scalars").object)
+            totals[kv.first] += kv.second->number;
+    }
+    for (const auto &name : sg.scalarNames()) {
+        auto it = totals.find(name);
+        double summed = it == totals.end() ? 0.0 : it->second;
+        EXPECT_DOUBLE_EQ(summed, sg.scalar(name)) << name;
+    }
+}
+
+TEST(IntervalStats, GaugesReportOccupancy)
+{
+    PreparedRun run(intervalSpec());
+    run.system.run();
+    auto recs = lines(run.system.intervalJson());
+    ASSERT_GE(recs.size(), 2u);
+    // The LLC occupancy gauge is registered for every design and must
+    // become nonzero once the run has filled some of the cache.
+    bool saw_gauge = false;
+    double max_seen = 0.0;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        auto rec = testjson::parse(recs[i]);
+        for (const auto &kv : rec->at("gauges").object) {
+            saw_gauge = true;
+            max_seen = std::max(max_seen, kv.second->number);
+        }
+    }
+    EXPECT_TRUE(saw_gauge);
+    EXPECT_GT(max_seen, 0.0);
+}
+
+TEST(IntervalStats, StreamIsDeterministic)
+{
+    PreparedRun a(intervalSpec());
+    a.system.run();
+    PreparedRun b(intervalSpec());
+    b.system.run();
+    EXPECT_EQ(a.system.intervalJson(), b.system.intervalJson());
+}
+
+TEST(IntervalStats, DisabledByDefault)
+{
+    RunSpec spec = intervalSpec();
+    spec.system.statsInterval = 0;
+    PreparedRun run(spec);
+    run.system.run();
+    EXPECT_TRUE(run.system.intervalJson().empty());
+}
+
+TEST(IntervalStats, UnitEngineEmitsDeltasAndFinalRecord)
+{
+    // Engine-level test, no System: one scalar bumped between
+    // samples, one gauge, a bounded run driven by a plain event.
+    stats::StatGroup sg;
+    stats::Scalar ops;
+    sg.regScalar("ops", &ops);
+    EventQueue eq;
+    stats::IntervalStats interval(sg, eq, 10);
+    double gauge_value = 1.5;
+    interval.addGauge("occ", [&gauge_value] { return gauge_value; });
+
+    int bumps = 0;
+    std::function<void()> bump = [&] {
+        ops += 3;
+        gauge_value += 1.0;
+        if (++bumps < 4)
+            eq.schedule(eq.curTick() + 10, bump);
+    };
+    eq.schedule(5, bump);
+    interval.start([&bumps] { return bumps < 4; });
+    eq.run();
+    interval.finalize();
+    interval.finalize(); // idempotent
+
+    auto recs = lines(interval.json());
+    ASSERT_GE(recs.size(), 3u);
+    auto header = testjson::parse(recs.front());
+    EXPECT_EQ(header->at("type").string, "header");
+    EXPECT_FALSE(header->has("scenario")); // no meta set
+
+    double total = 0.0;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        auto rec = testjson::parse(recs[i]);
+        if (rec->at("scalars").has("ops"))
+            total += rec->at("scalars").at("ops").number;
+        EXPECT_TRUE(rec->at("gauges").has("occ"));
+    }
+    EXPECT_DOUBLE_EQ(total, 12.0); // 4 bumps x 3
+    EXPECT_EQ(testjson::parse(recs.back())->at("type").string,
+              "final");
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,22 @@
+// Fixture probe registry for OBS-2 tests (stands in for
+// src/sim/probe.hh via --probe-header). One declaration per line,
+// first token ProbePoint, last token the registered name — the same
+// contract the real registry header documents.
+#ifndef MDA_TESTS_LINT_FIXTURES_FAKE_PROBE_HH
+#define MDA_TESTS_LINT_FIXTURES_FAKE_PROBE_HH
+
+namespace mda::probe
+{
+
+template <typename... Args>
+class ProbePoint;
+
+struct FakeProbes
+{
+    ProbePoint<int> accepted;
+    ProbePoint<int> retired;
+};
+
+} // namespace mda::probe
+
+#endif // MDA_TESTS_LINT_FIXTURES_FAKE_PROBE_HH

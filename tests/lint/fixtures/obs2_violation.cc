@@ -1,0 +1,18 @@
+// Fixture: OBS-2 — probe sites naming points that are not in the
+// registry (fake_probe.hh registers only accepted and retired). An
+// unregistered point is invisible to every listener.
+#include "fake_probe.hh"
+
+void
+fireProbes(mda::probe::FakeProbes &probes)
+{
+    MDA_PROBE(probes.accepted, 1);  // registered: clean
+    MDA_PROBE(probes.dropped, 1);   // line 10: unregistered point
+    MDA_PROBE(
+        probes.stalled, 1);         // line 11: wrapped call, flagged
+    probes.retired.fire(2);         // registered direct fire: clean
+    probes.lost.fire(3);            // line 14: unregistered fire
+
+    // MDA_LINT_ALLOW(OBS-2): scratch point for a local experiment.
+    MDA_PROBE(probes.scratch, 4);
+}

@@ -48,12 +48,13 @@ fixture(const std::string &name)
     return std::string(MDA_LINT_FIXTURES) + "/" + name;
 }
 
-/** Lint one fixture with the fixture flag registry and repo root. */
+/** Lint one fixture with the fixture flag/probe registries. */
 RunResult
 lintFixture(const std::string &name)
 {
     return run("--root " + std::string(MDA_SOURCE_ROOT) +
-               " --debug-header " + fixture("fake_debug.hh") + " " +
+               " --debug-header " + fixture("fake_debug.hh") +
+               " --probe-header " + fixture("fake_probe.hh") + " " +
                fixture(name));
 }
 
@@ -154,6 +155,19 @@ TEST(MdaLint, Obs1CatchesUnregisteredStats)
     EXPECT_EQ(countFindings(r, "OBS-1"), 2) << r.output;
 }
 
+TEST(MdaLint, Obs2CatchesUnregisteredProbePoints)
+{
+    RunResult r = lintFixture("obs2_violation.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    std::string f = fixprefix + "obs2_violation.cc";
+    expectFinding(r, f, 10, "OBS-2"); // MDA_PROBE(probes.dropped
+    expectFinding(r, f, 11, "OBS-2"); // wrapped MDA_PROBE( call
+    expectFinding(r, f, 14, "OBS-2"); // probes.lost.fire(
+    // Registered sites (accepted, retired) and the suppressed
+    // scratch point must not be flagged: exactly 3 findings.
+    EXPECT_EQ(countFindings(r, "OBS-2"), 3) << r.output;
+}
+
 TEST(MdaLint, Hdr1CatchesGuardAndUsingNamespace)
 {
     RunResult r = lintFixture("hdr1_violation.hh");
@@ -218,7 +232,8 @@ TEST(MdaLint, ListRulesNamesEveryFamily)
     RunResult r = run("--list-rules");
     EXPECT_EQ(r.exitCode, 0);
     for (const char *rule :
-         {"DET-1", "DET-2", "DET-3", "EVT-1", "OBS-1", "HDR-1"}) {
+         {"DET-1", "DET-2", "DET-3", "EVT-1", "OBS-1", "OBS-2",
+          "HDR-1"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n" << r.output;
     }

@@ -46,6 +46,38 @@ TEST(Stats, DistributionClampsOutOfRange)
     EXPECT_EQ(d.buckets().back(), 1u);
     EXPECT_DOUBLE_EQ(d.minSeen(), -5.0);
     EXPECT_DOUBLE_EQ(d.maxSeen(), 100.0);
+    // Both clamped samples count as overflows; an in-range one does
+    // not, even when it lands in an edge bucket.
+    EXPECT_EQ(d.overflows(), 2u);
+    d.sample(0.0);
+    d.sample(9.5);
+    EXPECT_EQ(d.overflows(), 2u);
+    EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Stats, DistributionResetRestoresFreshState)
+{
+    // A reset distribution must be indistinguishable from a newly
+    // built one — in particular the first sample after reset must
+    // re-initialize minSeen/maxSeen rather than min/max against the
+    // stale pre-reset extremes (the old ambiguity: reset left
+    // _minSeen at 0.0 which a fresh object also reports).
+    Distribution d(0.0, 100.0, 4);
+    d.sample(-7.0);
+    d.sample(42.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.overflows(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minSeen(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 0.0);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+
+    d.sample(60.0); // > 0.0: would stay wrong if min/max'd vs 0.0
+    EXPECT_DOUBLE_EQ(d.minSeen(), 60.0);
+    EXPECT_DOUBLE_EQ(d.maxSeen(), 60.0);
+    EXPECT_EQ(d.overflows(), 0u);
 }
 
 TEST(Stats, TimeSeriesRecordsPoints)
@@ -58,6 +90,53 @@ TEST(Stats, TimeSeriesRecordsPoints)
     EXPECT_DOUBLE_EQ(ts.points()[1].second, 0.7);
     ts.reset();
     EXPECT_TRUE(ts.points().empty());
+}
+
+TEST(Stats, TimeSeriesDecimatesAtCapacity)
+{
+    // Capacity-bounded series: keeps every k-th offered sample and
+    // halves the stored density whenever the capacity is reached.
+    TimeSeries ts(4);
+    EXPECT_EQ(ts.capacity(), 4u);
+    EXPECT_EQ(ts.stride(), 1u);
+    for (Tick t = 0; t < 64; ++t)
+        ts.sample(t, static_cast<double>(t));
+    EXPECT_LE(ts.points().size(), 4u);
+    EXPECT_GE(ts.stride(), 2u);
+    // The kept points are a uniform subsequence: first sample always
+    // survives, ticks strictly increase, values track their tick.
+    ASSERT_FALSE(ts.points().empty());
+    EXPECT_EQ(ts.points().front().first, 0u);
+    for (std::size_t i = 0; i < ts.points().size(); ++i) {
+        if (i > 0) {
+            EXPECT_LT(ts.points()[i - 1].first,
+                      ts.points()[i].first);
+        }
+        EXPECT_DOUBLE_EQ(ts.points()[i].second,
+                         static_cast<double>(ts.points()[i].first));
+    }
+    // reset() restores the keep-everything fresh state.
+    ts.reset();
+    EXPECT_EQ(ts.stride(), 1u);
+    ts.sample(5, 1.0);
+    ts.sample(6, 2.0);
+    ASSERT_EQ(ts.points().size(), 2u);
+    EXPECT_EQ(ts.points()[0].first, 5u);
+}
+
+TEST(Stats, TimeSeriesDeterministicForSameCallSequence)
+{
+    TimeSeries a(8), b(8);
+    for (Tick t = 0; t < 1000; ++t) {
+        a.sample(t * 10, static_cast<double>(t));
+        b.sample(t * 10, static_cast<double>(t));
+    }
+    ASSERT_EQ(a.points().size(), b.points().size());
+    EXPECT_EQ(a.stride(), b.stride());
+    for (std::size_t i = 0; i < a.points().size(); ++i) {
+        EXPECT_EQ(a.points()[i].first, b.points()[i].first);
+        EXPECT_DOUBLE_EQ(a.points()[i].second, b.points()[i].second);
+    }
 }
 
 TEST(Stats, GroupLookupAndReset)
@@ -123,6 +202,7 @@ TEST(Stats, JsonRoundTripsEveryStat)
     EXPECT_DOUBLE_EQ(dist.at("mean").number, 50.0);
     EXPECT_DOUBLE_EQ(dist.at("min").number, 5.0);
     EXPECT_DOUBLE_EQ(dist.at("max").number, 95.0);
+    EXPECT_DOUBLE_EQ(dist.at("overflows").number, 0.0);
     EXPECT_DOUBLE_EQ(dist.at("bucketMin").number, 0.0);
     EXPECT_DOUBLE_EQ(dist.at("bucketMax").number, 100.0);
     ASSERT_EQ(dist.at("buckets").array.size(), 10u);
@@ -133,6 +213,61 @@ TEST(Stats, JsonRoundTripsEveryStat)
     ASSERT_EQ(series.at("ticks").array.size(), 2u);
     EXPECT_DOUBLE_EQ(series.at("ticks").array[1]->number, 20.0);
     EXPECT_DOUBLE_EQ(series.at("values").array[1]->number, 0.75);
+}
+
+TEST(Stats, JsonMetaBlockStampsSchemaVersion)
+{
+    StatGroup g;
+    g.setMeta("scenario", "sgemm");
+    g.setMeta("design", "1P2L");
+    g.setMeta("schemaVersion", "999"); // stamped version must win
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str());
+    const auto &meta = root->at("meta");
+    EXPECT_EQ(meta.at("schemaVersion").string,
+              std::string(jsonSchemaVersion));
+    EXPECT_EQ(meta.at("scenario").string, "sgemm");
+    EXPECT_EQ(meta.at("design").string, "1P2L");
+}
+
+TEST(Stats, JsonMetaPresentEvenWhenUnset)
+{
+    // Every dump self-describes its schema, even with no user keys.
+    StatGroup g;
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str());
+    EXPECT_EQ(root->at("meta").at("schemaVersion").string,
+              std::string(jsonSchemaVersion));
+}
+
+TEST(Stats, JsonReportsDistributionOverflows)
+{
+    StatGroup g;
+    Distribution d(0.0, 10.0, 2);
+    d.sample(-1.0);
+    d.sample(11.0);
+    d.sample(5.0);
+    g.regDistribution("lat", &d);
+    std::ostringstream os;
+    g.dumpJson(os);
+    auto root = testjson::parse(os.str());
+    EXPECT_DOUBLE_EQ(
+        root->at("distributions").at("lat").at("overflows").number,
+        2.0);
+}
+
+TEST(Stats, MetaLookup)
+{
+    StatGroup g;
+    EXPECT_FALSE(g.hasMeta("scenario"));
+    EXPECT_EQ(g.meta("scenario"), "");
+    g.setMeta("scenario", "htap1");
+    EXPECT_TRUE(g.hasMeta("scenario"));
+    EXPECT_EQ(g.meta("scenario"), "htap1");
+    g.setMeta("scenario", "sgemm"); // re-set replaces
+    EXPECT_EQ(g.meta("scenario"), "sgemm");
 }
 
 TEST(Stats, JsonSubstitutesNullForNonFinite)

@@ -33,6 +33,11 @@
  *          Distribution / TimeSeries member must be registered with a
  *          StatGroup via regScalar/regDistribution/regTimeSeries —
  *          otherwise tracing and stats rot silently.
+ *   OBS-2  Probe-registry cross-check: every MDA_PROBE fire site (and
+ *          direct .fire() call) must name a probe point declared in
+ *          the probe registry header (src/sim/probe.hh) — the exact
+ *          mirror of the OBS-1 DPRINTF flag check, so a fire site can
+ *          never reference a point no listener could find.
  *   HDR-1  Header hygiene: include guards must be
  *          MDA_<PATH>_<FILE>_HH (path relative to the repo root, with
  *          the leading src/ stripped), the #define must match the
@@ -357,6 +362,7 @@ struct Options
 {
     fs::path root = fs::current_path();
     std::string debugHeader;
+    std::string probeHeader;
     std::string baselinePath;
     std::string writeBaselinePath;
     std::vector<std::string> inputs;
@@ -372,6 +378,8 @@ struct Context
     std::vector<Finding> findings;
     std::set<std::string> debugFlags; ///< Registered debug::Flag names.
     bool haveFlagRegistry = false;
+    std::set<std::string> probePoints; ///< Declared ProbePoint members.
+    bool haveProbeRegistry = false;
 
     /** stats members declared: name -> (file, line, kind). */
     struct StatDecl
@@ -737,6 +745,130 @@ checkObs1(Context &ctx, const ScanFile &sf)
     }
 }
 
+// ---------------------------------------------------------------------
+// OBS-2: probe-registry cross-check.
+
+/**
+ * Load ProbePoint member names from the probe registry header
+ * (src/sim/probe.hh). The registry contract (documented there): one
+ * `ProbePoint<...> name;` declaration per line, so a registry line is
+ * any line whose first token is ProbePoint and that ends with ';' —
+ * its last identifier is the probe name.
+ */
+bool
+loadProbeRegistry(Context &ctx, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    ScanFile sf;
+    scanSource(ss.str(), sf);
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue;
+        const std::string &line = sf.code[i];
+        std::size_t last = line.find_last_not_of(" \t");
+        if (last == std::string::npos || line[last] != ';')
+            continue;
+        std::vector<Token> toks = tokensOf(line);
+        if (toks.size() < 2 || toks[0].text != "ProbePoint")
+            continue;
+        ctx.probePoints.insert(toks.back().text);
+    }
+    return !ctx.probePoints.empty();
+}
+
+/** Last identifier of an MDA_PROBE call's first macro argument,
+ *  scanning from just after the open paren at (l, c) across line
+ *  breaks up to the first top-level ',' or the closing ')'. */
+std::string
+firstProbeArgName(const ScanFile &sf, std::size_t l, std::size_t c)
+{
+    std::string arg;
+    int depth = 0;
+    for (std::size_t scan = l; scan < sf.code.size() && scan < l + 4;
+         ++scan) {
+        const std::string &s = sf.code[scan];
+        for (std::size_t c2 = scan == l ? c : 0; c2 < s.size(); ++c2) {
+            char ch = s[c2];
+            if (ch == '(' || ch == '[' || ch == '{') {
+                ++depth;
+            } else if (ch == ')' || ch == ']' || ch == '}') {
+                if (ch == ')' && depth == 0) {
+                    scan = sf.code.size();
+                    break;
+                }
+                --depth;
+            } else if (ch == ',' && depth == 0) {
+                scan = sf.code.size();
+                break;
+            } else {
+                arg += ch;
+            }
+        }
+        arg += ' ';
+    }
+    std::vector<Token> toks = tokensOf(arg);
+    return toks.empty() ? std::string() : toks.back().text;
+}
+
+void
+checkObs2(Context &ctx, const ScanFile &sf)
+{
+    if (!ctx.haveProbeRegistry)
+        return;
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue;
+        const std::string &line = sf.code[i];
+        int lineno = static_cast<int>(i) + 1;
+        for (const Token &t : tokensOf(line)) {
+            if (t.text == "MDA_PROBE") {
+                std::size_t l = i, c = t.col + t.text.size();
+                if (nextCharMultiline(sf, l, c, &l, &c) != '(')
+                    continue;
+                std::string name = firstProbeArgName(sf, l, c + 1);
+                if (name.empty() || ctx.probePoints.count(name) ||
+                    allowed(sf, lineno, "OBS-2")) {
+                    continue;
+                }
+                ctx.report(sf, lineno, "OBS-2", name,
+                           "MDA_PROBE point '" + name + "' is not "
+                           "declared in the probe registry header "
+                           "(src/sim/probe.hh); no listener could "
+                           "ever find it");
+            } else if (t.text == "fire" && t.col > 0 &&
+                       line[t.col - 1] == '.' &&
+                       nextCharAfter(line, t.col + t.text.size()) ==
+                           '(') {
+                // <member>.fire(...): the identifier before the dot.
+                std::size_t e = t.col - 1, b = e;
+                while (b > 0 &&
+                       (std::isalnum(static_cast<unsigned char>(
+                            line[b - 1])) ||
+                        line[b - 1] == '_')) {
+                    --b;
+                }
+                if (b == e)
+                    continue;
+                std::string name = line.substr(b, e - b);
+                if (ctx.probePoints.count(name) ||
+                    allowed(sf, lineno, "OBS-2")) {
+                    continue;
+                }
+                ctx.report(sf, lineno, "OBS-2", name,
+                           "probe '" + name + "' fired directly but "
+                           "is not declared in the probe registry "
+                           "header (src/sim/probe.hh); declare it, "
+                           "and prefer MDA_PROBE so the no-listener "
+                           "fast path is kept");
+            }
+        }
+    }
+}
+
 /** After all files are scanned: declared stats never registered. */
 void
 finishObs1(Context &ctx)
@@ -977,6 +1109,8 @@ const char *usage =
     "                       prefix (e.g. src)\n"
     "  --debug-header FILE  debug::Flag registry header for OBS-1\n"
     "                       (default: <root>/src/sim/debug.hh)\n"
+    "  --probe-header FILE  ProbePoint registry header for OBS-2\n"
+    "                       (default: <root>/src/sim/probe.hh)\n"
     "  --baseline FILE      Suppress findings listed in FILE\n"
     "  --write-baseline FILE  Write current findings as a baseline\n"
     "  --list-rules         Print the rule catalog and exit\n"
@@ -993,6 +1127,8 @@ const char *ruleCatalog =
     "       ticks, no blocking calls in simulator code\n"
     "OBS-1  DPRINTF flags must exist in the debug::Flag registry;\n"
     "       stats members must be registered with a StatGroup\n"
+    "OBS-2  MDA_PROBE / .fire() sites must name a ProbePoint declared\n"
+    "       in the probe registry header (src/sim/probe.hh)\n"
     "HDR-1  include guard MDA_<PATH>_<FILE>_HH, matching #define,\n"
     "       no 'using namespace' in headers, no <iostream> in model\n"
     "       headers\n"
@@ -1026,6 +1162,8 @@ main(int argc, char **argv)
             opts.under = value("--under");
         } else if (arg == "--debug-header") {
             opts.debugHeader = value("--debug-header");
+        } else if (arg == "--probe-header") {
+            opts.probeHeader = value("--probe-header");
         } else if (arg == "--baseline") {
             opts.baselinePath = value("--baseline");
         } else if (arg == "--write-baseline") {
@@ -1102,6 +1240,23 @@ main(int argc, char **argv)
         }
     }
 
+    // OBS-2 probe registry.
+    std::string probe_reg = opts.probeHeader;
+    if (probe_reg.empty()) {
+        fs::path def = opts.root / "src" / "sim" / "probe.hh";
+        std::error_code ec;
+        if (fs::exists(def, ec))
+            probe_reg = def.string();
+    }
+    if (!probe_reg.empty()) {
+        ctx.haveProbeRegistry = loadProbeRegistry(ctx, probe_reg);
+        if (!ctx.haveProbeRegistry) {
+            std::cerr << "mda-lint: warning: no ProbePoint "
+                         "declarations in "
+                      << probe_reg << "; OBS-2 check disabled\n";
+        }
+    }
+
     // Scan and check.
     std::vector<ScanFile> scanned;
     scanned.reserve(files.size());
@@ -1127,6 +1282,7 @@ main(int argc, char **argv)
         checkDet3(ctx, sf);
         checkEvt1(ctx, sf);
         checkObs1(ctx, sf);
+        checkObs2(ctx, sf);
         checkHdr1(ctx, sf);
     }
     finishObs1(ctx);
