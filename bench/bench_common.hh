@@ -10,6 +10,10 @@
  *   --workloads a,b,c   restrict the benchmark list
  *   --jobs <N>    worker threads for the sweep (0 = hardware
  *                 concurrency, the default)
+ *   --trace-capture <dir>   record every cell's operation stream as
+ *                 a versioned binary .mdat file while simulating
+ *   --trace-replay <dir>    drive cells from recorded .mdat files,
+ *                 skipping compilation and trace generation
  *
  * Scaled runs divide every cache capacity by (512/n)^2 so the
  * working-set : capacity ratios — which the paper's results hinge on —
@@ -70,6 +74,19 @@ struct BenchOptions
      *  stream is archived here, key-sorted like the stats archive. */
     std::string statsJsonlPath;
 
+    /** Directory for --trace-capture: every cell also records its
+     *  operation stream as a .mdat file named by
+     *  trace::traceFileName(). Design points that compile identically
+     *  share a file; concurrent captures publish identical bytes via
+     *  atomic rename, so any --jobs value is safe. */
+    std::string traceCaptureDir;
+
+    /** Directory for --trace-replay: cells read their .mdat file
+     *  instead of compiling and generating the stream (fatal if a
+     *  cell's file is missing). Results and --stats-json bytes match
+     *  the live run exactly. */
+    std::string traceReplayDir;
+
     static BenchOptions
     parse(int argc, char **argv)
     {
@@ -104,6 +121,10 @@ struct BenchOptions
                     static_cast<Tick>(std::atoll(next()));
             } else if (arg == "--stats-jsonl") {
                 opts.statsJsonlPath = next();
+            } else if (arg == "--trace-capture") {
+                opts.traceCaptureDir = next();
+            } else if (arg == "--trace-replay") {
+                opts.traceReplayDir = next();
             } else if (arg == "--debug-flags") {
                 debug::setFlags(next());
             } else if (arg == "--workloads") {
@@ -120,6 +141,8 @@ struct BenchOptions
                              " --telemetry |"
                              " --stats-interval <ticks> |"
                              " --stats-jsonl <path> |"
+                             " --trace-capture <dir> |"
+                             " --trace-replay <dir> |"
                              " --debug-flags <f,g>\n";
                 std::exit(0);
             } else {
@@ -131,6 +154,11 @@ struct BenchOptions
             fatal("--n must be a multiple of 8, at least 16");
         if (!opts.statsJsonlPath.empty() && opts.statsInterval == 0)
             fatal("--stats-jsonl requires --stats-interval");
+        if (!opts.traceCaptureDir.empty() &&
+            !opts.traceReplayDir.empty()) {
+            fatal("--trace-capture and --trace-replay are mutually "
+                  "exclusive");
+        }
         if (obs::hot) {
             // Debug tracing interleaves across workers; keep traced
             // runs readable by defaulting to one job, and refuse an
@@ -156,6 +184,13 @@ struct BenchOptions
         s.system.l3Size = llc_bytes;
         s.system.telemetry = telemetry;
         s.system.statsInterval = statsInterval;
+        if (!traceCaptureDir.empty()) {
+            s.system.traceMode = TraceMode::Capture;
+            s.system.traceDir = traceCaptureDir;
+        } else if (!traceReplayDir.empty()) {
+            s.system.traceMode = TraceMode::Replay;
+            s.system.traceDir = traceReplayDir;
+        }
         s.autoScaleCaches = !paper;
         return s;
     }

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Zoo bench: YCSB-like zipfian key-value get/put mix. Gets hash to
+ * zipf-popular rows of a wide table and read a handful of fields;
+ * puts rewrite a small prefix. Row-locality-heavy with a skewed hot
+ * set — the serving-shaped counterpoint to the paper's dense kernels.
+ */
+
+#include "bench_zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    return mda::bench::runZooBench(
+        "kv", "Workload zoo — zipfian key-value (YCSB-like)", argc,
+        argv);
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Zoo bench: CSR SpMV power iteration, emitted directly as a trace
+ * (ragged CSR subscripts are not affine — see workloads/emitters.hh).
+ * Streaming colIdx/vals reads with scalar x gathers over a zipf-ish
+ * hot column set; all arrays are 1-D, so this probes how the MDA
+ * hierarchies behave when there is no column dimension to exploit.
+ */
+
+#include "bench_zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    return mda::bench::runZooBench(
+        "spmv", "Workload zoo — CSR SpMV (direct emitter)", argc,
+        argv);
+}

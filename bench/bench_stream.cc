@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Zoo bench: streaming scan/aggregate over a wide row-major table,
+ * followed by a column group-by pass — the mixed-orientation analytics
+ * shape (row scans + column aggregations) MDA hierarchies target.
+ */
+
+#include "bench_zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    return mda::bench::runZooBench(
+        "stream", "Workload zoo — streaming scan/aggregate", argc,
+        argv);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared driver for the serving-shaped workload-zoo benches
+ * (bench_kv, bench_spmv, bench_stream).
+ *
+ * Each zoo bench is a single-workload, Fig. 12-style table: total
+ * cycles of the MDA design points (1P2L, 1P2L_SameSet, 2P2L)
+ * normalized to the prefetching conventional 1P1L baseline, across
+ * LLC capacities. Unlike the figure benches, --workloads is ignored —
+ * the workload is the bench.
+ */
+
+#ifndef MDA_BENCH_BENCH_ZOO_HH
+#define MDA_BENCH_BENCH_ZOO_HH
+
+#include "bench_common.hh"
+
+namespace mda::bench
+{
+
+inline int
+runZooBench(const std::string &workload, const std::string &title,
+            int argc, char **argv)
+{
+    auto opts = BenchOptions::parse(argc, argv);
+    opts.workloads = {workload};
+    CellRunner run(opts);
+
+    const std::vector<std::pair<std::string, std::uint64_t>> llcs{
+        {"1MB", 1024ull * 1024},
+        {"2MB", 2048ull * 1024},
+        {"4MB", 4096ull * 1024},
+    };
+    const std::vector<DesignPoint> designs{
+        DesignPoint::D1_1P2L, DesignPoint::D1_1P2L_SameSet,
+        DesignPoint::D2_2P2L};
+
+    std::cout << title << " (" << opts.describe()
+              << ")\nNormalized total cycles vs 1P1L+prefetch; lower "
+                 "is better.\n";
+
+    std::vector<RunSpec> cells;
+    for (const auto &[llc_name, llc_bytes] : llcs) {
+        cells.push_back(
+            opts.spec(workload, DesignPoint::D0_1P1L, llc_bytes));
+        for (auto design : designs)
+            cells.push_back(opts.spec(workload, design, llc_bytes));
+    }
+    run.warm(cells);
+
+    report::banner(title);
+    report::Table table(
+        {"LLC", "1P1L cycles", "1P2L", "1P2L_SameSet", "2P2L"});
+    for (const auto &[llc_name, llc_bytes] : llcs) {
+        auto base = run(
+            opts.spec(workload, DesignPoint::D0_1P1L, llc_bytes));
+        std::vector<std::string> row{llc_name,
+                                     std::to_string(base.cycles)};
+        for (auto design : designs) {
+            auto result = run(opts.spec(workload, design, llc_bytes));
+            row.push_back(
+                report::fmt(static_cast<double>(result.cycles) /
+                            static_cast<double>(base.cycles)));
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    return 0;
+}
+
+} // namespace mda::bench
+
+#endif // MDA_BENCH_BENCH_ZOO_HH

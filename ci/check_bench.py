@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Bench-trajectory regression gate.
 
-Compares a freshly produced bench --stats-json archive against a
-committed baseline, cell by cell, with a relative cycles tolerance.
+Compares freshly produced bench --stats-json archives against their
+committed baselines, cell by cell, with a relative cycles tolerance.
 Thin wrapper over `tools/report/mdacache_report diff` so CI and
-humans share one comparison engine; the CLI is unchanged:
+humans share one comparison engine. One or more baseline/current
+pairs are checked in a single invocation (every pair runs even after
+a failure, so one CI run reports every regressing family):
 
-  check_bench.py <baseline.json> <current.json> [--tolerance T]
+  check_bench.py <baseline.json> <current.json> \
+      [<baseline2.json> <current2.json> ...] [--tolerance T]
 
 Exit status:
-  0  every baseline cell present and within tolerance
+  0  every baseline cell of every pair present and within tolerance
   1  regression (cycles above tolerance), missing cells, or bad input
 
 Improvements beyond the tolerance do not fail the gate, but are
@@ -39,16 +42,25 @@ def load_report_module():
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("files", nargs="+",
+                        metavar="baseline.json current.json",
+                        help="one or more baseline/current pairs")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="relative cycles tolerance "
                              "(default 0.02 = ±2%%)")
     args = parser.parse_args()
+    if len(args.files) % 2 != 0:
+        parser.error("expected baseline/current pairs, got an odd "
+                     f"number of files ({len(args.files)})")
 
     report = load_report_module()
-    failed = report.run_diff(args.baseline, args.current,
-                             args.tolerance, metric="result.cycles")
+    failed = False
+    for baseline, current in zip(args.files[0::2], args.files[1::2]):
+        print(f"== {baseline} vs {current} "
+              f"(tolerance {args.tolerance:.0%}) ==")
+        if report.run_diff(baseline, current, args.tolerance,
+                           metric="result.cycles"):
+            failed = True
     if failed:
         sys.exit(1)
 

@@ -38,7 +38,8 @@ usage()
         "\n"
         "  --workload <name>   sgemm ssyr2k ssyrk strmm sobel htap1 "
         "htap2\n"
-        "  --all               run every workload\n"
+        "                      (zoo: kv spmv stream)\n"
+        "  --all               run every paper workload\n"
         "  --jobs <N>          sweep worker threads (0 = all cores;\n"
         "                      default 0; tracing forces 1)\n"
         "  --design <name>     1P1L | 1P2L | 1P2L_SameSet | 2P2L |\n"
@@ -52,6 +53,10 @@ usage()
         "  --no-scale          do not scale caches with n\n"
         "  --check             verify all data against a reference\n"
         "  --stats             dump every statistic after the run\n"
+        "  --trace-capture <dir>  record each workload's operation\n"
+        "                      stream as a binary .mdat trace file\n"
+        "  --trace-replay <dir>   drive workloads from recorded .mdat\n"
+        "                      files (skips compile + generation)\n"
         "\n"
         "observability:\n"
         "  --stats-json <path> write every statistic (scalars,\n"
@@ -155,6 +160,16 @@ main(int argc, char **argv)
             spec.system.checkData = true;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--trace-capture" ||
+                   arg == "--trace-replay") {
+            if (spec.system.traceMode != TraceMode::Off) {
+                fatal("--trace-capture and --trace-replay are "
+                      "mutually exclusive");
+            }
+            spec.system.traceMode = arg == "--trace-capture"
+                                        ? TraceMode::Capture
+                                        : TraceMode::Replay;
+            spec.system.traceDir = next();
         } else if (arg == "--stats-json") {
             stats_json_path = next();
         } else if (arg == "--telemetry") {

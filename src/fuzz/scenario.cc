@@ -279,6 +279,7 @@ parseRepro(const std::string &text)
 void
 writeReproFile(const std::string &path, const Scenario &s)
 {
+    // MDA_LINT_ALLOW(TRC-1): text repro file, not a binary trace.
     std::ofstream os(path);
     if (!os)
         fatal("cannot write repro file: %s", path.c_str());
@@ -288,6 +289,7 @@ writeReproFile(const std::string &path, const Scenario &s)
 Scenario
 readReproFile(const std::string &path)
 {
+    // MDA_LINT_ALLOW(TRC-1): text repro file, not a binary trace.
     std::ifstream is(path);
     if (!is)
         fatal("cannot read repro file: %s", path.c_str());

@@ -1,13 +1,15 @@
 /**
  * @file
  * One-call experiment running: workload name + input size + system
- * config -> compiled kernel, simulated system, distilled results.
+ * config -> compiled kernel (or trace source), simulated system,
+ * distilled results.
  */
 
 #ifndef MDA_HARNESS_RUNNER_HH
 #define MDA_HARNESS_RUNNER_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "system.hh"
@@ -33,20 +35,19 @@ struct RunSpec
     bool autoScaleCaches = true;
 };
 
-/** A compiled kernel and the system built around it. */
+/**
+ * An operation stream and the system built around it.
+ *
+ * The stream is picked by SystemConfig::traceMode and the workload
+ * kind: IR workloads compile to a kernel and generate live (optionally
+ * teed into a trace file), direct-emitter workloads synthesize their
+ * stream without the compiler, and replay skips both — kernel
+ * compilation and loop-nest walking — by reading the captured file.
+ */
 class PreparedRun
 {
   public:
-    explicit PreparedRun(const RunSpec &spec)
-        : kernel(compiler::compileKernel(
-              workloads::makeWorkload(spec.workload,
-                                      workloadParams(spec)),
-              spec.system.compileOptions())),
-          system(spec.autoScaleCaches
-                     ? spec.system.scaledForInput(spec.n)
-                     : spec.system,
-                 kernel)
-    {}
+    explicit PreparedRun(const RunSpec &spec);
 
     static workloads::WorkloadParams
     workloadParams(const RunSpec &spec)
@@ -57,8 +58,15 @@ class PreparedRun
         return params;
     }
 
-    compiler::CompiledKernel kernel;
-    System system;
+    /** Engaged for live IR workloads; empty on replay and for direct
+     *  emitters. */
+    std::optional<compiler::CompiledKernel> kernel;
+
+  private:
+    std::unique_ptr<System> _system;
+
+  public:
+    System &system;
 };
 
 /** Compile, build, run, distill. */

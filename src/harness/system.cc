@@ -13,9 +13,13 @@ System::levelName(std::size_t idx)
 
 System::System(const SystemConfig &config,
                const compiler::CompiledKernel &kernel)
-    : _config(config)
+    : System(config, std::make_unique<trace::GeneratorSource>(kernel))
+{}
+
+System::System(const SystemConfig &config,
+               std::unique_ptr<trace::TraceSource> source)
+    : _config(config), _source(std::move(source))
 {
-    _gen = std::make_unique<compiler::TraceGenerator>(kernel);
     _memory = std::make_unique<MdaMemory>(
         "mem", _eq, _stats, config.memTiming, config.memTopo);
     buildCaches(config);
@@ -33,7 +37,7 @@ System::System(const SystemConfig &config,
     CpuParams cpu_params;
     cpu_params.maxOutstanding = config.maxOutstanding;
     cpu_params.checkData = config.checkData;
-    _cpu = std::make_unique<TraceCpu>("cpu", _eq, _stats, *_gen,
+    _cpu = std::make_unique<TraceCpu>("cpu", _eq, _stats, *_source,
                                       *_levels.front(), cpu_params);
     _levels.front()->setUpstream(_cpu.get());
 

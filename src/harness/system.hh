@@ -9,7 +9,7 @@
 #include <memory>
 #include <vector>
 
-#include "compiler/trace_gen.hh"
+#include "compiler/compile.hh"
 #include "core/line_cache.hh"
 #include "core/tile_cache.hh"
 #include "mem/mda_memory.hh"
@@ -40,12 +40,19 @@ struct RunResult
     std::uint64_t checkFailures = 0;
 };
 
-/** One simulated machine executing one compiled kernel. */
+/** One simulated machine executing one operation stream. */
 class System
 {
   public:
+    /** Convenience: live generation from @p kernel (must outlive the
+     *  System). */
     System(const SystemConfig &config,
            const compiler::CompiledKernel &kernel);
+
+    /** Drive the CPU from an arbitrary operation stream: a direct
+     *  workload emitter, a capturing tee, or a trace-file replay. */
+    System(const SystemConfig &config,
+           std::unique_ptr<trace::TraceSource> source);
 
     /** Run to completion and distill the results. */
     RunResult run();
@@ -89,7 +96,7 @@ class System
      *  are still alive. */
     PacketPool _pool;
 
-    std::unique_ptr<compiler::TraceGenerator> _gen;
+    std::unique_ptr<trace::TraceSource> _source;
     std::vector<std::unique_ptr<CacheBase>> _caches;
     std::vector<CacheBase *> _levels;
     std::unique_ptr<MdaMemory> _memory;

@@ -43,6 +43,14 @@ designName(DesignPoint d)
     return "?";
 }
 
+/** Where the CPU's operation stream comes from (see src/trace/). */
+enum class TraceMode : std::uint8_t
+{
+    Off,     ///< Live generation from the compiled kernel.
+    Capture, ///< Live generation, teed into a trace file.
+    Replay,  ///< Replayed from a previously captured trace file.
+};
+
 /** Whole-system parameters. */
 struct SystemConfig
 {
@@ -107,6 +115,15 @@ struct SystemConfig
      *  optimization: simulated behavior and stats are identical
      *  either way (the determinism tests pin this). */
     bool packetPooling = true;
+
+    /** Capture or replay the operation stream instead of (re)walking
+     *  the loop nest every run. Off by default; stats and results are
+     *  byte-identical in all three modes. */
+    TraceMode traceMode = TraceMode::Off;
+
+    /** Directory holding the captured traces; each run derives its
+     *  file name from the trace key (trace::traceFileName). */
+    std::string traceDir;
 
     /** Compiler options implied by the design point. */
     compiler::CompileOptions

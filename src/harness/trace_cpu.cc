@@ -7,10 +7,9 @@ namespace mda
 {
 
 TraceCpu::TraceCpu(const std::string &obj_name, EventQueue &eq,
-                   stats::StatGroup &sg,
-                   compiler::TraceGenerator &gen, MemDevice &l1,
-                   const CpuParams &params)
-    : SimObject(obj_name, eq, sg), _gen(gen), _l1(l1), _params(params)
+                   stats::StatGroup &sg, trace::TraceSource &src,
+                   MemDevice &l1, const CpuParams &params)
+    : SimObject(obj_name, eq, sg), _src(src), _l1(l1), _params(params)
 {
     regScalar("ops", &_ops, "memory operations issued");
     regScalar("vectorOps", &_vectorOps, "SIMD operations issued");
@@ -112,7 +111,7 @@ TraceCpu::issue()
 {
     while (true) {
         if (!_havePending) {
-            if (!_gen.next(_pendingOp)) {
+            if (!_src.next(_pendingOp)) {
                 _traceDone = true;
                 if (_outstanding == 0)
                     _finishTick = curTick();

@@ -6,7 +6,8 @@
  * what matters for the evaluation: one memory operation issued per
  * cycle, compute delays between dependent operations, and a bounded
  * window of outstanding accesses (memory-level parallelism). The
- * trace is pulled from the compiler's streaming generator; nothing is
+ * trace is pulled through a trace::TraceSource — live compiler
+ * generation, a capturing tee, or a replayed file — and nothing is
  * ever materialized.
  *
  * With functional checking enabled, writes carry unique values and a
@@ -21,11 +22,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "compiler/trace_gen.hh"
 #include "mem/backing_store.hh"
 #include "sim/port.hh"
 #include "sim/probe.hh"
 #include "sim/sim_object.hh"
+#include "trace/trace_source.hh"
 
 namespace mda
 {
@@ -45,7 +46,7 @@ class TraceCpu : public SimObject, public MemClient
 {
   public:
     TraceCpu(const std::string &name, EventQueue &eq,
-             stats::StatGroup &sg, compiler::TraceGenerator &gen,
+             stats::StatGroup &sg, trace::TraceSource &src,
              MemDevice &l1, const CpuParams &params);
 
     /** Schedule the first issue event. */
@@ -77,7 +78,7 @@ class TraceCpu : public SimObject, public MemClient
     void issue();
     PacketPtr makePacket(const compiler::TraceOp &op);
 
-    compiler::TraceGenerator &_gen;
+    trace::TraceSource &_src;
     MemDevice &_l1;
     CpuParams _params;
 

@@ -75,6 +75,8 @@ EventLog::close()
     if (_stream) {
         writeJson(*_stream);
     } else {
+        // MDA_LINT_ALLOW(TRC-1): Chrome trace-event JSON, not an
+        // .mdat binary trace.
         std::ofstream file(_path);
         if (!file)
             warn("cannot write trace file: %s", _path.c_str());

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The MDA binary trace format, single-sourced.
+ *
+ * A trace file is a 32-byte little-endian header followed by one
+ * variable-length record per TraceOp:
+ *
+ *   header:
+ *     [ 0..7 ]  magic "MDATRACE"
+ *     [ 8..11]  schemaVersion (currently 1)
+ *     [12..15]  reserved flags (must be 0)
+ *     [16..23]  opCount
+ *     [24..27]  CRC-32 of the payload
+ *     [28..31]  CRC-32 of header bytes [0..27]
+ *
+ *   record:
+ *     flags byte (write / vector / column / compute / pc-changed /
+ *     mask-present; the two high bits are reserved and must be 0),
+ *     then a zigzag varint address delta from the previous record
+ *     (unsigned wraparound, so any address pair encodes), then the
+ *     optional word-mask byte, pc varint, and computeCycles varint.
+ *
+ * Deltas plus field elision make paper-kernel traces ~3-4 bytes per
+ * operation. Readers must reject any deviation (bad magic, version,
+ * CRC, reserved bits, truncation) with a fatal diagnostic; see
+ * TraceReader. This header is the only place encoding knowledge
+ * lives — everything else goes through TraceWriter / TraceReader
+ * (enforced by mda-lint rule TRC-1).
+ */
+
+#ifndef MDA_TRACE_TRACE_FORMAT_HH
+#define MDA_TRACE_TRACE_FORMAT_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mda::trace
+{
+
+constexpr std::array<unsigned char, 8> traceMagic = {
+    'M', 'D', 'A', 'T', 'R', 'A', 'C', 'E'};
+
+constexpr std::uint32_t traceSchemaVersion = 1;
+
+constexpr std::size_t traceHeaderBytes = 32;
+
+/** Header byte offsets. */
+constexpr std::size_t headerMagicOff = 0;
+constexpr std::size_t headerVersionOff = 8;
+constexpr std::size_t headerFlagsOff = 12;
+constexpr std::size_t headerOpCountOff = 16;
+constexpr std::size_t headerPayloadCrcOff = 24;
+constexpr std::size_t headerCrcOff = 28;
+
+/** Record flag bits. */
+constexpr std::uint8_t recIsWrite = 1u << 0;
+constexpr std::uint8_t recIsVector = 1u << 1;
+constexpr std::uint8_t recIsColumn = 1u << 2;
+constexpr std::uint8_t recHasCompute = 1u << 3;
+constexpr std::uint8_t recNewPc = 1u << 4;
+constexpr std::uint8_t recHasMask = 1u << 5;
+constexpr std::uint8_t recReservedBits =
+    static_cast<std::uint8_t>(~(recIsWrite | recIsVector | recIsColumn |
+                                recHasCompute | recNewPc | recHasMask));
+
+/** A varint never needs more than 10 bytes for 64 bits. */
+constexpr std::size_t maxVarintBytes = 10;
+
+inline void
+putLe32(unsigned char *p, std::uint32_t v)
+{
+    for (int b = 0; b < 4; ++b)
+        p[b] = static_cast<unsigned char>(v >> (8 * b));
+}
+
+inline void
+putLe64(unsigned char *p, std::uint64_t v)
+{
+    for (int b = 0; b < 8; ++b)
+        p[b] = static_cast<unsigned char>(v >> (8 * b));
+}
+
+inline std::uint32_t
+getLe32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b)
+        v |= static_cast<std::uint32_t>(p[b]) << (8 * b);
+    return v;
+}
+
+inline std::uint64_t
+getLe64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(p[b]) << (8 * b);
+    return v;
+}
+
+/** Zigzag: map signed deltas to small unsigned varints. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/**
+ * Incremental CRC-32 (IEEE 802.3, reflected 0xEDB88320). Start from
+ * crc32Init, feed chunks, finish with crc32Final.
+ */
+constexpr std::uint32_t crc32Init = 0xffffffffu;
+
+inline std::uint32_t
+crc32Update(std::uint32_t crc, const unsigned char *data,
+            std::size_t len)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    return crc;
+}
+
+inline std::uint32_t
+crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace mda::trace
+
+#endif // MDA_TRACE_TRACE_FORMAT_HH

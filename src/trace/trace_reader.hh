@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Validating binary trace reader.
+ *
+ * Two access modes share one decoder: Mmap maps the file read-only
+ * and decodes straight out of the mapping (the fast path for replay);
+ * Stream reads through a bounded window (for pipes-unfriendly
+ * filesystems or tooling that must not mmap). Construction validates
+ * everything up front — magic, schema version, reserved flags, header
+ * CRC, payload CRC — and every structural violation found while
+ * decoding (reserved record bits, over-long varints, truncated
+ * records, trailing bytes) is a fatal diagnostic, never UB: a
+ * truncated or garbage file can not silently replay as a different
+ * workload.
+ */
+
+#ifndef MDA_TRACE_TRACE_READER_HH
+#define MDA_TRACE_TRACE_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "compiler/trace.hh"
+#include "trace_format.hh"
+
+namespace mda::trace
+{
+
+/** Decodes a trace file back into the TraceOp stream. */
+class TraceReader
+{
+  public:
+    enum class Mode : std::uint8_t
+    {
+        Mmap,   ///< Map the whole file read-only.
+        Stream, ///< Chunked reads through a bounded window.
+    };
+
+    /** Open and fully validate @p path; fatal on any defect. */
+    explicit TraceReader(const std::string &path,
+                         Mode mode = Mode::Mmap);
+
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Decode the next operation.
+     * @return False when all opCount() records were consumed.
+     */
+    bool next(compiler::TraceOp &op);
+
+    /** Restart from the first record. */
+    void reset();
+
+    std::uint64_t opCount() const { return _opCount; }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    void validate();
+    bool byteAt(std::uint64_t payload_off, unsigned char &out);
+    std::uint64_t readVarint();
+
+    std::string _path;
+    Mode _mode;
+
+    // Mmap state.
+    const unsigned char *_map = nullptr;
+    std::uint64_t _fileBytes = 0;
+    int _fd = -1;
+
+    // Stream state: a sliding window over the payload.
+    std::ifstream _in;
+    std::vector<unsigned char> _window;
+    std::uint64_t _windowStart = 0; ///< Payload offset of _window[0].
+
+    std::uint64_t _payloadBytes = 0;
+    std::uint64_t _opCount = 0;
+
+    // Decoder state.
+    std::uint64_t _pos = 0; ///< Next payload byte to decode.
+    std::uint64_t _decoded = 0;
+    Addr _prevAddr = 0;
+    std::uint32_t _prevPc = 0;
+};
+
+} // namespace mda::trace
+
+#endif // MDA_TRACE_TRACE_READER_HH

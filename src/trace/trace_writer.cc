@@ -1,0 +1,141 @@
+#include "trace_writer.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mda::trace
+{
+
+namespace
+{
+
+/** Per-process unique temp suffix: pid + a monotonic counter. No
+ *  wall-clock involved, so capture stays deterministic. */
+std::string
+uniqueSuffix()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return std::to_string(static_cast<long>(::getpid())) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+void
+appendVarint(std::vector<unsigned char> &buf, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<unsigned char>(v) | 0x80u);
+        v >>= 7;
+    }
+    buf.push_back(static_cast<unsigned char>(v));
+}
+
+constexpr std::size_t flushThreshold = 1u << 20;
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : _path(path), _tmpPath(path + ".tmp." + uniqueSuffix())
+{
+    _os.open(_tmpPath, std::ios::binary | std::ios::trunc);
+    if (!_os)
+        fatal("cannot write trace file: %s", _tmpPath.c_str());
+    // Placeholder header; finalize() patches it in place.
+    unsigned char header[traceHeaderBytes] = {};
+    _os.write(reinterpret_cast<const char *>(header), sizeof(header));
+    _buf.reserve(flushThreshold + 64);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!_finalized) {
+        _os.close();
+        std::remove(_tmpPath.c_str());
+    }
+}
+
+void
+TraceWriter::append(const compiler::TraceOp &op)
+{
+    mda_assert(!_finalized, "append after finalize");
+    unsigned char flags = 0;
+    if (op.isWrite)
+        flags |= recIsWrite;
+    if (op.isVector)
+        flags |= recIsVector;
+    if (op.orient == Orientation::Col)
+        flags |= recIsColumn;
+    if (op.computeCycles != 0)
+        flags |= recHasCompute;
+    if (op.pc != _prevPc)
+        flags |= recNewPc;
+    // Scalar ops always carry mask 0x01 and full vector lines are the
+    // common case, so the mask byte is elided for both.
+    bool mask_present = op.isVector && op.wordMask != 0xff;
+    mda_assert(op.isVector || op.wordMask == 0x01,
+               "scalar op with non-unit word mask");
+    if (mask_present)
+        flags |= recHasMask;
+    _buf.push_back(flags);
+
+    // Unsigned wraparound subtraction: any (prev, addr) pair encodes,
+    // including deltas that cross 2^63.
+    appendVarint(_buf, zigzagEncode(static_cast<std::int64_t>(
+                           op.addr - _prevAddr)));
+    _prevAddr = op.addr;
+    if (mask_present)
+        _buf.push_back(op.wordMask);
+    if (flags & recNewPc) {
+        appendVarint(_buf, op.pc);
+        _prevPc = op.pc;
+    }
+    if (flags & recHasCompute)
+        appendVarint(_buf, op.computeCycles);
+
+    ++_count;
+    if (_buf.size() >= flushThreshold)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (_buf.empty())
+        return;
+    _payloadCrc = crc32Update(_payloadCrc, _buf.data(), _buf.size());
+    _os.write(reinterpret_cast<const char *>(_buf.data()),
+              static_cast<std::streamsize>(_buf.size()));
+    _buf.clear();
+}
+
+void
+TraceWriter::finalize()
+{
+    mda_assert(!_finalized, "finalize called twice");
+    flush();
+
+    unsigned char header[traceHeaderBytes] = {};
+    for (std::size_t i = 0; i < traceMagic.size(); ++i)
+        header[headerMagicOff + i] = traceMagic[i];
+    putLe32(header + headerVersionOff, traceSchemaVersion);
+    putLe32(header + headerFlagsOff, 0);
+    putLe64(header + headerOpCountOff, _count);
+    putLe32(header + headerPayloadCrcOff, crc32Final(_payloadCrc));
+    putLe32(header + headerCrcOff,
+            crc32Final(crc32Update(crc32Init, header, headerCrcOff)));
+
+    _os.seekp(0);
+    _os.write(reinterpret_cast<const char *>(header), sizeof(header));
+    _os.close();
+    if (!_os)
+        fatal("error writing trace file: %s", _tmpPath.c_str());
+    if (std::rename(_tmpPath.c_str(), _path.c_str()) != 0)
+        fatal("cannot publish trace file: %s -> %s", _tmpPath.c_str(),
+              _path.c_str());
+    _finalized = true;
+}
+
+} // namespace mda::trace

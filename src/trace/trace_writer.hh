@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Streaming binary trace writer.
+ *
+ * Records are delta-encoded (trace_format.hh) into a buffer that is
+ * flushed to a uniquely named temporary file; finalize() patches the
+ * header with the final op count and CRCs, then atomically renames
+ * the temporary onto the target path. Concurrent captures of the same
+ * trace key are therefore safe: every writer produces identical bytes
+ * (the stream is deterministic) and the last rename wins. A writer
+ * destroyed without finalize() removes its temporary — a partial
+ * trace is never published.
+ */
+
+#ifndef MDA_TRACE_TRACE_WRITER_HH
+#define MDA_TRACE_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "compiler/trace.hh"
+#include "trace_format.hh"
+
+namespace mda::trace
+{
+
+/** Streams TraceOps into a versioned, checksummed binary file. */
+class TraceWriter
+{
+  public:
+    /** Open a temporary alongside @p path; fatal if unwritable. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Removes the temporary when finalize() was never reached. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one operation. */
+    void append(const compiler::TraceOp &op);
+
+    /** Flush, patch the header, and atomically publish the file. */
+    void finalize();
+
+    std::uint64_t opsWritten() const { return _count; }
+
+    const std::string &path() const { return _path; }
+
+  private:
+    void flush();
+
+    std::string _path;
+    std::string _tmpPath;
+    std::ofstream _os;
+
+    std::vector<unsigned char> _buf;
+    Addr _prevAddr = 0;
+    std::uint32_t _prevPc = 0;
+    std::uint64_t _count = 0;
+    std::uint32_t _payloadCrc = crc32Init;
+    bool _finalized = false;
+};
+
+} // namespace mda::trace
+
+#endif // MDA_TRACE_TRACE_WRITER_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Direct trace emitters: workloads whose access pattern is not
+ * affine-expressible in the loop-nest IR.
+ *
+ * CSR SpMV is the canonical case — its ragged, data-dependent row
+ * structure (rowPtr indirection, colIdx gathers) cannot be written as
+ * affine subscripts. Emitter workloads synthesize their TraceOp
+ * stream directly as a trace::TraceSource, using the same address
+ * layouts and determinism rules (seeded Rng only) as compiled
+ * kernels, so they capture, replay, and parallelize identically.
+ */
+
+#ifndef MDA_WORKLOADS_EMITTERS_HH
+#define MDA_WORKLOADS_EMITTERS_HH
+
+#include <memory>
+#include <string>
+
+#include "compiler/compile.hh"
+#include "kernels.hh"
+#include "trace/trace_source.hh"
+
+namespace mda::workloads
+{
+
+/** True when @p name is a direct trace emitter (no loop-nest IR). */
+bool isEmitterWorkload(const std::string &name);
+
+/** Build the emitter's operation stream; fatal on unknown names. */
+std::unique_ptr<trace::TraceSource>
+makeEmitterSource(const std::string &name, const WorkloadParams &params,
+                  const compiler::CompileOptions &opts);
+
+} // namespace mda::workloads
+
+#endif // MDA_WORKLOADS_EMITTERS_HH

@@ -1,7 +1,10 @@
 #include "kernels.hh"
 
+#include <numeric>
+
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "zipf.hh"
 
 namespace mda::workloads
 {
@@ -235,7 +238,91 @@ makeHtap(const std::string &name, const WorkloadParams &params,
     return b.build();
 }
 
+/** Zipfian-hot random rows: rank-sampled, then scattered through the
+ *  table by a seeded permutation so the hot keys land in unrelated
+ *  rows — the access shape of a hashed KV store under YCSB skew. */
+std::vector<std::int64_t>
+zipfRows(std::size_t count, std::int64_t rows, std::uint64_t seed,
+         std::uint64_t salt)
+{
+    Rng rng(Rng::streamSeed(seed, salt));
+    std::vector<std::int64_t> perm(static_cast<std::size_t>(rows));
+    std::iota(perm.begin(), perm.end(), std::int64_t{0});
+    for (std::size_t i = perm.size() - 1; i > 0; --i) {
+        std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+        std::swap(perm[i], perm[j]);
+    }
+    ZipfSampler zipf(static_cast<std::size_t>(rows));
+    std::vector<std::int64_t> out;
+    out.reserve(count);
+    for (std::size_t n = 0; n < count; ++n)
+        out.push_back(perm[zipf(rng)]);
+    return out;
+}
+
 } // namespace
+
+Kernel
+makeKv(const WorkloadParams &params)
+{
+    // YCSB-like get/put mix over a hash-table-shaped (4n x n) table:
+    // zipfian-hot rows, gets read a 16-field projection (row-direction
+    // streams that vectorize), puts read-modify-write the first 4
+    // fields. An 80/20 get/put mix at 10n total requests.
+    std::int64_t rows = 4 * params.n;
+    std::int64_t cols = params.n;
+    std::int64_t fields = std::min<std::int64_t>(16, cols);
+    auto gets = static_cast<std::size_t>(8 * params.n);
+    auto puts = static_cast<std::size_t>(2 * params.n);
+    KernelBuilder b("kv");
+    auto table = b.array("table", rows, cols);
+
+    auto get = b.nest("get");
+    auto g = get.loopOver(
+        "g", zipfRows(gets, rows, params.seed, 11));
+    auto f = get.loop("f", 0, fields);
+    auto &rd = get.stmt(1);
+    get.read(rd, table, AffineExpr::var(g), AffineExpr::var(f));
+
+    auto put = b.nest("put");
+    auto p = put.loopOver(
+        "p", zipfRows(puts, rows, params.seed, 12));
+    auto f2 = put.loop("f2", 0, std::min<std::int64_t>(4, cols));
+    auto &wr = put.stmt(1);
+    put.read(wr, table, AffineExpr::var(p), AffineExpr::var(f2));
+    put.write(wr, table, AffineExpr::var(p), AffineExpr::var(f2));
+    return b.build();
+}
+
+Kernel
+makeStream(const WorkloadParams &params)
+{
+    // Streaming scan/aggregate over a (4n x n) table: a full
+    // row-major scan with a per-row aggregate write (bandwidth-bound
+    // row streams), then a group-by pass summing 8 random columns
+    // (column streams — the MDA sweet spot).
+    std::int64_t rows = 4 * params.n;
+    std::int64_t cols = params.n;
+    KernelBuilder b("stream");
+    auto table = b.array("table", rows, cols);
+    auto out = b.array("out", rows, 8);
+
+    auto scan = b.nest("scan");
+    auto i = scan.loop("i", 0, rows);
+    auto j = scan.loop("j", 0, cols);
+    auto &body = scan.stmt(1);
+    scan.read(body, table, AffineExpr::var(i), AffineExpr::var(j));
+    auto &agg = scan.stmtAt(0, StmtPhase::Post, 1);
+    scan.write(agg, out, AffineExpr::var(i), AffineExpr(0));
+
+    auto group = b.nest("group");
+    auto c = group.loopOver(
+        "c", randomValues(8, cols, params.seed, 21));
+    auto r = group.loop("r", 0, rows);
+    auto &sum = group.stmt(1);
+    group.read(sum, table, AffineExpr::var(r), AffineExpr::var(c));
+    return b.build();
+}
 
 Kernel
 makeHtap1(const WorkloadParams &params)
@@ -265,6 +352,15 @@ workloadNames()
     return names;
 }
 
+const std::vector<std::string> &
+zooWorkloadNames()
+{
+    static const std::vector<std::string> names{
+        "kv", "spmv", "stream",
+    };
+    return names;
+}
+
 Kernel
 makeWorkload(const std::string &name, const WorkloadParams &params)
 {
@@ -282,6 +378,13 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
         return makeHtap1(params);
     if (name == "htap2")
         return makeHtap2(params);
+    if (name == "kv")
+        return makeKv(params);
+    if (name == "stream")
+        return makeStream(params);
+    if (name == "spmv")
+        fatal("spmv is a direct trace emitter, not an IR kernel; "
+              "build it with workloads::makeEmitterSource");
     fatal("unknown workload: %s", name.c_str());
 }
 

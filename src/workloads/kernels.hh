@@ -57,8 +57,18 @@ compiler::Kernel makeHtap1(const WorkloadParams &params);
 /** HTAP, transaction-heavy: random-row reads/updates + a few scans. */
 compiler::Kernel makeHtap2(const WorkloadParams &params);
 
+/** YCSB-like zipfian key-value get/put mix over a hashed table. */
+compiler::Kernel makeKv(const WorkloadParams &params);
+
+/** Streaming scan/aggregate plus a column group-by pass. */
+compiler::Kernel makeStream(const WorkloadParams &params);
+
 /** The paper's benchmark list, in its plotting order. */
 const std::vector<std::string> &workloadNames();
+
+/** The serving-shaped workload zoo (kv, spmv, stream); spmv is a
+ *  direct trace emitter — see workloads/emitters.hh. */
+const std::vector<std::string> &zooWorkloadNames();
 
 /** Build a kernel by name; fatal on unknown names. */
 compiler::Kernel makeWorkload(const std::string &name,

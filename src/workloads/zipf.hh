@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic zipfian sampling for the serving-shaped workloads.
+ *
+ * A precomputed CDF over ranks 0..n-1 with weight 1/(rank+1)^theta,
+ * sampled by binary search over one Rng draw — a pure function of the
+ * seed, so kv traces are identical across runs and --jobs values.
+ * theta = 0.99 is the YCSB default skew.
+ */
+
+#ifndef MDA_WORKLOADS_ZIPF_HH
+#define MDA_WORKLOADS_ZIPF_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace mda::workloads
+{
+
+/** Zipfian rank sampler: rank 0 is the hottest key. */
+class ZipfSampler
+{
+  public:
+    explicit ZipfSampler(std::size_t n, double theta = 0.99)
+        : _cdf(n)
+    {
+        mda_assert(n > 0, "zipf over an empty universe");
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            _cdf[i] = sum;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            _cdf[i] /= sum;
+    }
+
+    /** Draw a rank in [0, n). */
+    std::size_t
+    operator()(Rng &rng) const
+    {
+        double u = rng.real();
+        auto it = std::upper_bound(_cdf.begin(), _cdf.end(), u);
+        if (it == _cdf.end())
+            --it;
+        return static_cast<std::size_t>(it - _cdf.begin());
+    }
+
+    std::size_t size() const { return _cdf.size(); }
+
+  private:
+    std::vector<double> _cdf;
+};
+
+} // namespace mda::workloads
+
+#endif // MDA_WORKLOADS_ZIPF_HH

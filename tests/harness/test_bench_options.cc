@@ -52,6 +52,33 @@ TEST(BenchOptionsDeathTest, MissingValueIsFatal)
                 "missing value for --jobs");
 }
 
+TEST(BenchOptions, TraceFlagsSetModeAndDirectory)
+{
+    auto capture = parseArgs({"--trace-capture", "traces"});
+    EXPECT_EQ(capture.traceCaptureDir, "traces");
+    auto spec = capture.spec("sgemm", DesignPoint::D1_1P2L);
+    EXPECT_EQ(spec.system.traceMode, TraceMode::Capture);
+    EXPECT_EQ(spec.system.traceDir, "traces");
+
+    auto replay = parseArgs({"--trace-replay", "traces"});
+    spec = replay.spec("sgemm", DesignPoint::D1_1P2L);
+    EXPECT_EQ(spec.system.traceMode, TraceMode::Replay);
+    EXPECT_EQ(spec.system.traceDir, "traces");
+}
+
+TEST(BenchOptionsDeathTest, CaptureAndReplayAreExclusive)
+{
+    EXPECT_EXIT(parseArgs({"--trace-capture", "a", "--trace-replay",
+                           "b"}),
+                testing::ExitedWithCode(1), "mutually exclusive");
+    EXPECT_EXIT(parseArgs({"--trace-capture"}),
+                testing::ExitedWithCode(1),
+                "missing value for --trace-capture");
+    EXPECT_EXIT(parseArgs({"--trace-replay"}),
+                testing::ExitedWithCode(1),
+                "missing value for --trace-replay");
+}
+
 TEST(BenchOptionsDeathTest, BadDimensionIsFatal)
 {
     EXPECT_EXIT(parseArgs({"--n", "12"}), testing::ExitedWithCode(1),

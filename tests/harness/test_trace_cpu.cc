@@ -5,6 +5,7 @@
 #include "compiler/compile.hh"
 #include "harness/trace_cpu.hh"
 #include "mem/mda_memory.hh"
+#include "trace/trace_source.hh"
 
 namespace mda
 {
@@ -49,7 +50,7 @@ struct CpuRig
 
     EventQueue eq;
     stats::StatGroup sg;
-    compiler::TraceGenerator gen;
+    trace::GeneratorSource gen;
     MdaMemory mem;
     TraceCpu cpu;
 };

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * End-to-end capture/replay equivalence: a run that replays a
+ * captured trace must reproduce the live run exactly — same
+ * RunResult, same statistics JSON, byte for byte — for compiled
+ * kernels and direct emitters alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "trace/trace_source.hh"
+
+namespace mda
+{
+namespace
+{
+
+RunResult
+runWith(const RunSpec &spec, std::string &stats_json)
+{
+    PreparedRun run(spec);
+    RunResult result = run.system.run();
+    std::ostringstream os;
+    run.system.statGroup().dumpJson(os);
+    stats_json = os.str();
+    return result;
+}
+
+RunSpec
+baseSpec(const std::string &workload, std::int64_t n)
+{
+    RunSpec spec;
+    spec.workload = workload;
+    spec.n = n;
+    spec.system.design = DesignPoint::D1_1P2L;
+    return spec;
+}
+
+TEST(TraceReplay, ReplayReproducesLiveRunExactly)
+{
+    struct Case
+    {
+        const char *workload;
+        std::int64_t n;
+    };
+    // One compiled paper kernel, one compiled zoo kernel, and the
+    // direct emitter (spmv needs n >= 32 for its hot column set).
+    for (const Case &c : {Case{"sgemm", 16}, Case{"kv", 16},
+                          Case{"spmv", 32}}) {
+        RunSpec spec = baseSpec(c.workload, c.n);
+        spec.system.traceMode = TraceMode::Capture;
+        spec.system.traceDir = testing::TempDir();
+
+        std::string live_json;
+        RunResult live = runWith(spec, live_json);
+
+        std::string trace_path =
+            spec.system.traceDir + "/" +
+            trace::traceFileName(c.workload, c.n, spec.seed,
+                                 spec.system.compileOptions());
+        std::ifstream exists(trace_path);
+        ASSERT_TRUE(exists.good())
+            << "capture did not publish " << trace_path;
+        exists.close();
+
+        spec.system.traceMode = TraceMode::Replay;
+        std::string replay_json;
+        RunResult replay = runWith(spec, replay_json);
+
+        EXPECT_EQ(live.cycles, replay.cycles) << c.workload;
+        EXPECT_EQ(live.ops, replay.ops) << c.workload;
+        EXPECT_EQ(live.l1HitRate, replay.l1HitRate) << c.workload;
+        EXPECT_EQ(live.llcAccesses, replay.llcAccesses) << c.workload;
+        EXPECT_EQ(live.memBytes, replay.memBytes) << c.workload;
+        EXPECT_EQ(live_json, replay_json) << c.workload;
+        std::remove(trace_path.c_str());
+    }
+}
+
+TEST(TraceReplay, ReplaySkipsCompilation)
+{
+    RunSpec spec = baseSpec("sgemm", 16);
+    spec.system.traceMode = TraceMode::Capture;
+    spec.system.traceDir = testing::TempDir();
+    {
+        PreparedRun capture(spec);
+        EXPECT_TRUE(capture.kernel.has_value());
+        capture.system.run();
+    }
+    spec.system.traceMode = TraceMode::Replay;
+    PreparedRun replay(spec);
+    EXPECT_FALSE(replay.kernel.has_value());
+    RunResult result = replay.system.run();
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(TraceReplay, FileNameCoversCompileModeNotDesignPoint)
+{
+    compiler::CompileOptions mda;
+    compiler::CompileOptions flat;
+    flat.mdaEnabled = false;
+    EXPECT_EQ(trace::traceFileName("sgemm", 64, 0xc0ffee, mda),
+              "sgemm-n64-sc0ffee-mda.mdat");
+    EXPECT_EQ(trace::traceFileName("sgemm", 64, 0xc0ffee, flat),
+              "sgemm-n64-sc0ffee-flat.mdat");
+}
+
+TEST(TraceReplayDeathTest, MissingTraceFileIsFatal)
+{
+    RunSpec spec = baseSpec("sgemm", 24); // never captured at n = 24
+    spec.system.traceMode = TraceMode::Replay;
+    spec.system.traceDir = testing::TempDir();
+    EXPECT_EXIT(PreparedRun run(spec), testing::ExitedWithCode(1),
+                "cannot open trace file");
+}
+
+TEST(TraceReplayDeathTest, MissingTraceDirIsFatal)
+{
+    RunSpec spec = baseSpec("sgemm", 16);
+    spec.system.traceMode = TraceMode::Capture;
+    EXPECT_EXIT(PreparedRun run(spec), testing::ExitedWithCode(1),
+                "requires a trace directory");
+}
+
+} // namespace
+} // namespace mda

@@ -1,0 +1,22 @@
+// Fixture: TRC-1 — raw file I/O outside src/trace/. A hand-rolled
+// trace reader/writer must be flagged; annotated non-trace I/O
+// passes.
+#include <cstdio>
+#include <fstream>
+#include <sys/mman.h>
+
+void
+homegrownTraceIo(const char *path)
+{
+    FILE *f = fopen(path, "rb");                        // line 11
+    std::ifstream in(path);                             // line 12
+    std::ofstream out(path);                            // line 13
+    std::fstream both(path);                            // line 14
+    void *map = mmap(nullptr, 64, 0, 0, -1, 0);         // line 15
+    (void)f;
+    (void)map;
+
+    // MDA_LINT_ALLOW(TRC-1): stats JSON, not a binary trace.
+    std::ofstream json("stats.json");
+    (void)json;
+}

@@ -185,6 +185,21 @@ TEST(MdaLint, Hdr1AcceptsMatchingGuardRejectsMismatchedDefine)
     EXPECT_EQ(countFindings(clean, "HDR-1"), 0) << clean.output;
 }
 
+TEST(MdaLint, Trc1ConfinesRawFileIo)
+{
+    RunResult r = lintFixture("trc1_violation.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    std::string f = fixprefix + "trc1_violation.cc";
+    expectFinding(r, f, 11, "TRC-1"); // fopen
+    expectFinding(r, f, 12, "TRC-1"); // ifstream
+    expectFinding(r, f, 13, "TRC-1"); // ofstream
+    expectFinding(r, f, 14, "TRC-1"); // fstream
+    expectFinding(r, f, 15, "TRC-1"); // mmap
+    // The annotated stats-JSON write at the bottom is waived: exactly
+    // five findings, none for the allowed line.
+    EXPECT_EQ(countFindings(r, "TRC-1"), 5) << r.output;
+}
+
 TEST(MdaLint, CleanFixturesProduceNoFindings)
 {
     for (const char *name : {"clean.hh", "suppressed.cc"}) {
@@ -233,7 +248,7 @@ TEST(MdaLint, ListRulesNamesEveryFamily)
     EXPECT_EQ(r.exitCode, 0);
     for (const char *rule :
          {"DET-1", "DET-2", "DET-3", "EVT-1", "OBS-1", "OBS-2",
-          "HDR-1"}) {
+          "HDR-1", "TRC-1"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n" << r.output;
     }

@@ -1,0 +1,88 @@
+/** @file Tests for the trace format primitives (trace_format.hh). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "trace/trace_format.hh"
+
+namespace mda::trace
+{
+namespace
+{
+
+TEST(TraceFormat, ZigzagMapsSmallMagnitudesToSmallCodes)
+{
+    // The classic interleaving: 0, -1, 1, -2, 2, ...
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    EXPECT_EQ(zigzagEncode(2), 4u);
+}
+
+TEST(TraceFormat, ZigzagRoundTripsExtremes)
+{
+    const std::int64_t values[] = {
+        0,
+        1,
+        -1,
+        63,
+        -64,
+        64,
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::min() + 1,
+    };
+    for (std::int64_t v : values)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    // int64 min is the worst case: all 64 payload bits set.
+    EXPECT_EQ(zigzagEncode(std::numeric_limits<std::int64_t>::min()),
+              0xffffffffffffffffull);
+}
+
+TEST(TraceFormat, LittleEndianRoundTrips)
+{
+    unsigned char buf[8];
+    putLe32(buf, 0x12345678u);
+    EXPECT_EQ(buf[0], 0x78);
+    EXPECT_EQ(buf[3], 0x12);
+    EXPECT_EQ(getLe32(buf), 0x12345678u);
+
+    putLe64(buf, 0x0123456789abcdefull);
+    EXPECT_EQ(buf[0], 0xef);
+    EXPECT_EQ(buf[7], 0x01);
+    EXPECT_EQ(getLe64(buf), 0x0123456789abcdefull);
+}
+
+TEST(TraceFormat, Crc32MatchesKnownVector)
+{
+    // The standard IEEE 802.3 check value for "123456789".
+    const unsigned char data[] = {'1', '2', '3', '4', '5',
+                                  '6', '7', '8', '9'};
+    EXPECT_EQ(crc32Final(crc32Update(crc32Init, data, sizeof(data))),
+              0xCBF43926u);
+}
+
+TEST(TraceFormat, Crc32IsChunkingInvariant)
+{
+    const unsigned char data[] = {'1', '2', '3', '4', '5',
+                                  '6', '7', '8', '9'};
+    std::uint32_t crc = crc32Init;
+    crc = crc32Update(crc, data, 4);
+    crc = crc32Update(crc, data + 4, 0);
+    crc = crc32Update(crc, data + 4, 5);
+    EXPECT_EQ(crc32Final(crc), 0xCBF43926u);
+}
+
+TEST(TraceFormat, ReservedBitsAreTheTopTwo)
+{
+    EXPECT_EQ(recReservedBits, 0xC0);
+    EXPECT_EQ(recReservedBits & (recIsWrite | recIsVector | recIsColumn |
+                                 recHasCompute | recNewPc | recHasMask),
+              0);
+}
+
+} // namespace
+} // namespace mda::trace

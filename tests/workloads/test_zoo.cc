@@ -1,0 +1,171 @@
+/** @file Tests for the serving-shaped workload zoo (kv, spmv, stream). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/compile.hh"
+#include "compiler/trace_gen.hh"
+#include "workloads/emitters.hh"
+#include "workloads/kernels.hh"
+#include "workloads/zipf.hh"
+
+namespace mda::workloads
+{
+namespace
+{
+
+using compiler::CompileOptions;
+using compiler::compileKernel;
+using compiler::TraceGenerator;
+using compiler::TraceOp;
+
+WorkloadParams
+small()
+{
+    WorkloadParams p;
+    p.n = 32;
+    return p;
+}
+
+void
+expectOpEq(const TraceOp &a, const TraceOp &b, std::uint64_t idx)
+{
+    ASSERT_TRUE(a.addr == b.addr && a.orient == b.orient &&
+                a.isWrite == b.isWrite && a.isVector == b.isVector &&
+                a.wordMask == b.wordMask && a.pc == b.pc &&
+                a.computeCycles == b.computeCycles)
+        << "streams diverge at op " << idx;
+}
+
+TEST(Zipf, DeterministicAndInBounds)
+{
+    ZipfSampler zipf(100);
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 1000; ++i) {
+        std::size_t rank = zipf(a);
+        EXPECT_LT(rank, 100u);
+        EXPECT_EQ(rank, zipf(b));
+    }
+}
+
+TEST(Zipf, SkewsTowardLowRanks)
+{
+    // theta = 0.99 puts far more mass on rank 0 than a uniform draw
+    // would; the top ten ranks take the majority of draws.
+    ZipfSampler zipf(1000);
+    Rng rng(11);
+    std::map<std::size_t, int> hits;
+    const int draws = 10000;
+    for (int i = 0; i < draws; ++i)
+        ++hits[zipf(rng)];
+    int top10 = 0;
+    for (std::size_t r = 0; r < 10; ++r)
+        top10 += hits[r];
+    EXPECT_GT(hits[0], draws / 100);
+    EXPECT_GT(top10, draws / 3);
+}
+
+TEST(Zoo, NamesAndRegistration)
+{
+    EXPECT_EQ(zooWorkloadNames(),
+              (std::vector<std::string>{"kv", "spmv", "stream"}));
+    // The paper list is frozen: fig12 baselines depend on it.
+    EXPECT_EQ(workloadNames().size(), 7u);
+    EXPECT_TRUE(isEmitterWorkload("spmv"));
+    EXPECT_FALSE(isEmitterWorkload("kv"));
+    EXPECT_FALSE(isEmitterWorkload("sgemm"));
+}
+
+TEST(Zoo, IrKernelsBuildAndValidate)
+{
+    for (const char *name : {"kv", "stream"}) {
+        auto kernel = makeWorkload(name, small());
+        EXPECT_EQ(kernel.name, name);
+        kernel.validate(); // fatal on violation
+        auto ck = compileKernel(kernel, CompileOptions{});
+        TraceGenerator gen(ck);
+        TraceOp op;
+        std::uint64_t count = 0;
+        while (gen.next(op))
+            ++count;
+        EXPECT_GT(count, 0u) << name;
+    }
+}
+
+TEST(ZooDeathTest, SpmvIsNotAnIrKernel)
+{
+    EXPECT_EXIT(makeWorkload("spmv", small()),
+                testing::ExitedWithCode(1), "direct trace emitter");
+}
+
+TEST(Zoo, KvStreamsAreSeedDeterministic)
+{
+    auto ck = compileKernel(makeKv(small()), CompileOptions{});
+    TraceGenerator a(ck);
+    TraceGenerator b(ck);
+    TraceOp oa, ob;
+    std::uint64_t idx = 0;
+    while (a.next(oa)) {
+        ASSERT_TRUE(b.next(ob));
+        expectOpEq(oa, ob, idx++);
+    }
+    EXPECT_FALSE(b.next(ob));
+    EXPECT_GT(idx, 0u);
+}
+
+TEST(Zoo, SpmvEmitterIsDeterministicAndResets)
+{
+    auto src_a = makeEmitterSource("spmv", small(), CompileOptions{});
+    auto src_b = makeEmitterSource("spmv", small(), CompileOptions{});
+    TraceOp oa, ob;
+    std::vector<TraceOp> first;
+    std::uint64_t idx = 0;
+    while (src_a->next(oa)) {
+        ASSERT_TRUE(src_b->next(ob));
+        expectOpEq(oa, ob, idx++);
+        if (first.size() < 4096)
+            first.push_back(oa);
+    }
+    EXPECT_FALSE(src_b->next(ob));
+    EXPECT_EQ(src_a->opsEmitted(), idx);
+    EXPECT_GT(idx, 0u);
+
+    // reset() replays the identical stream from the top.
+    src_a->reset();
+    EXPECT_EQ(src_a->opsEmitted(), 0u);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(src_a->next(oa));
+        expectOpEq(oa, first[i], i);
+    }
+}
+
+TEST(Zoo, SpmvMixesVectorStreamsAndScalarGathers)
+{
+    auto src = makeEmitterSource("spmv", small(), CompileOptions{});
+    TraceOp op;
+    std::uint64_t vec_reads = 0, scalar_reads = 0, writes = 0;
+    while (src->next(op)) {
+        if (op.isWrite)
+            ++writes;
+        else if (op.isVector)
+            ++vec_reads;
+        else
+            ++scalar_reads;
+    }
+    EXPECT_GT(vec_reads, 0u);   // colIdx / vals line streams
+    EXPECT_GT(scalar_reads, 0u); // rowPtr lookups + x gathers
+    EXPECT_GT(writes, 0u);      // y accumulates
+    EXPECT_GT(scalar_reads, vec_reads); // 8 gathers per 2 lines
+}
+
+TEST(ZooDeathTest, UnknownEmitterIsFatal)
+{
+    EXPECT_EXIT(
+        makeEmitterSource("nonesuch", small(), CompileOptions{}),
+        testing::ExitedWithCode(1), "unknown emitter workload");
+}
+
+} // namespace
+} // namespace mda::workloads

@@ -43,6 +43,13 @@
  *          the leading src/ stripped), the #define must match the
  *          #ifndef, no `using namespace` in headers, and no
  *          <iostream> in model headers (src/{cache,core,mem,sim}).
+ *   TRC-1  Trace I/O containment: raw file I/O primitives (fopen,
+ *          fstream family, mmap) are confined to src/trace/ — the
+ *          binary trace format has exactly one encoder and one
+ *          decoder, so a stray hand-rolled reader can never drift
+ *          from trace_format.hh. Non-trace file I/O elsewhere
+ *          (stats JSON, fuzz repro files) must carry a reasoned
+ *          annotation.
  *
  * Suppressions: a finding is waived by a comment on the same line or
  * the line directly above:
@@ -1007,6 +1014,55 @@ checkHdr1(Context &ctx, const ScanFile &sf)
 }
 
 // ---------------------------------------------------------------------
+// TRC-1: trace-I/O containment.
+
+const std::map<std::string, const char *> trc1Banned = {
+    {"fopen", "C stream I/O"},
+    {"freopen", "C stream I/O"},
+    {"ifstream", "file read"},
+    {"ofstream", "file write"},
+    {"fstream", "file read/write"},
+    {"mmap", "file mapping"},
+};
+
+/** src/trace/ owns the binary format; tools/ (lint, report) are
+ *  host-side and out of scope. */
+bool
+trc1Exempt(const std::string &relpath)
+{
+    return relpath.rfind("src/trace/", 0) == 0 ||
+           relpath.rfind("tools/", 0) == 0;
+}
+
+void
+checkTrc1(Context &ctx, const ScanFile &sf)
+{
+    if (trc1Exempt(sf.relpath))
+        return;
+    for (std::size_t i = 0; i < sf.code.size(); ++i) {
+        if (sf.preproc[i])
+            continue; // #include <fstream> is not a use site.
+        int line = static_cast<int>(i) + 1;
+        std::set<std::string> seen; // One finding per line per token.
+        for (const Token &t : tokensOf(sf.code[i])) {
+            auto it = trc1Banned.find(t.text);
+            if (it == trc1Banned.end() || seen.count(t.text))
+                continue;
+            seen.insert(t.text);
+            if (allowed(sf, line, "TRC-1"))
+                continue;
+            ctx.report(sf, line, "TRC-1", t.text,
+                       std::string("raw ") + it->second + " ('" +
+                           t.text + "') outside src/trace/; binary "
+                           "traces must go through TraceWriter/"
+                           "TraceReader so the format has one encoder "
+                           "and one decoder. Annotate non-trace file "
+                           "I/O with a reasoned allow");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Input collection.
 
 bool
@@ -1132,6 +1188,9 @@ const char *ruleCatalog =
     "HDR-1  include guard MDA_<PATH>_<FILE>_HH, matching #define,\n"
     "       no 'using namespace' in headers, no <iostream> in model\n"
     "       headers\n"
+    "TRC-1  raw file I/O (fopen/fstream family/mmap) is confined to\n"
+    "       src/trace/; binary traces go through TraceWriter /\n"
+    "       TraceReader, non-trace file I/O needs a reasoned allow\n"
     "\n"
     "Suppress one finding with a reasoned comment on the same line\n"
     "or the line above: // MDA_LINT_ALLOW(<rule>): <reason>\n";
@@ -1284,6 +1343,7 @@ main(int argc, char **argv)
         checkObs1(ctx, sf);
         checkObs2(ctx, sf);
         checkHdr1(ctx, sf);
+        checkTrc1(ctx, sf);
     }
     finishObs1(ctx);
 
