@@ -87,6 +87,11 @@ struct BenchOptions
      *  the live run exactly. */
     std::string traceReplayDir;
 
+    /** SMARTS sampling: ops per period / fully-timed ops per window
+     *  (0 = off, the exact default). See SystemConfig::samplePeriod. */
+    std::uint64_t samplePeriod = 0;
+    std::uint64_t sampleWindow = 0;
+
     static BenchOptions
     parse(int argc, char **argv)
     {
@@ -125,6 +130,12 @@ struct BenchOptions
                 opts.traceCaptureDir = next();
             } else if (arg == "--trace-replay") {
                 opts.traceReplayDir = next();
+            } else if (arg == "--sample-period") {
+                opts.samplePeriod = static_cast<std::uint64_t>(
+                    std::atoll(next()));
+            } else if (arg == "--sample-window") {
+                opts.sampleWindow = static_cast<std::uint64_t>(
+                    std::atoll(next()));
             } else if (arg == "--debug-flags") {
                 debug::setFlags(next());
             } else if (arg == "--workloads") {
@@ -143,6 +154,8 @@ struct BenchOptions
                              " --stats-jsonl <path> |"
                              " --trace-capture <dir> |"
                              " --trace-replay <dir> |"
+                             " --sample-period <ops> |"
+                             " --sample-window <ops> |"
                              " --debug-flags <f,g>\n";
                 std::exit(0);
             } else {
@@ -158,6 +171,22 @@ struct BenchOptions
             !opts.traceReplayDir.empty()) {
             fatal("--trace-capture and --trace-replay are mutually "
                   "exclusive");
+        }
+        if ((opts.samplePeriod == 0) != (opts.sampleWindow == 0))
+            fatal("--sample-period and --sample-window go together");
+        if (opts.samplePeriod != 0) {
+            if (opts.sampleWindow * 2 > opts.samplePeriod)
+                fatal("twice --sample-window must fit in "
+                      "--sample-period: each measured window is "
+                      "preceded by an equal detailed-warming stretch");
+            if (!opts.traceCaptureDir.empty())
+                fatal("--sample-period is incompatible with "
+                      "--trace-capture: a sampled run issues only "
+                      "the measured windows through the timed path");
+            if (opts.statsInterval != 0)
+                fatal("--sample-period is incompatible with "
+                      "--stats-interval: fast-forwarded intervals "
+                      "would skew the series");
         }
         if (obs::hot) {
             // Debug tracing interleaves across workers; keep traced
@@ -191,6 +220,8 @@ struct BenchOptions
             s.system.traceMode = TraceMode::Replay;
             s.system.traceDir = traceReplayDir;
         }
+        s.system.samplePeriod = samplePeriod;
+        s.system.sampleWindow = sampleWindow;
         s.autoScaleCaches = !paper;
         return s;
     }
@@ -298,7 +329,14 @@ class CellRunner
                           static_cast<int>(*sys.layoutOverride))
                     : "auto") +
                "/" + std::to_string(spec.autoScaleCaches) + "/" +
-               std::to_string(spec.seed);
+               std::to_string(spec.seed) +
+               // Sampling changes every RunResult, so it must key the
+               // cell — but only when on, so exact-run archives keep
+               // their historical keys.
+               (sys.sampling()
+                    ? "/smp" + std::to_string(sys.samplePeriod) +
+                          "w" + std::to_string(sys.sampleWindow)
+                    : "");
     }
 
     /**

@@ -55,8 +55,8 @@ BM_LineStorageLookup(benchmark::State &state)
     // Populate.
     for (unsigned n = 0; n < 512; ++n) {
         std::uint64_t set = rng.below(128);
-        CacheEntry *victim = storage.victim(set);
-        if (victim->valid)
+        StorageSlot victim = storage.victim(set);
+        if (storage.valid(victim))
             storage.invalidate(victim);
         storage.install(victim,
                         OrientedLine(Orientation::Row, rng.next() & 0xffff));

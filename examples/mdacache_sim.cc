@@ -68,6 +68,11 @@ usage()
         "                      gauges every t ticks\n"
         "  --stats-jsonl <path> write the interval snapshots as JSONL\n"
         "                      (requires --stats-interval)\n"
+        "  --sample-period <ops>  SMARTS sampled simulation: fully\n"
+        "                      simulate --sample-window of every\n"
+        "                      --sample-period ops, fast-forward the\n"
+        "                      rest (estimates + 95% CIs in meta)\n"
+        "  --sample-window <ops>  timed ops per measured window\n"
         "  --trace-out <path>  record a Chrome trace-event JSON file\n"
         "                      (load in ui.perfetto.dev)\n"
         "  --trace-max-events <n>  trace buffer bound (default 1M)\n"
@@ -179,6 +184,10 @@ main(int argc, char **argv)
                 static_cast<Tick>(std::stoull(next()));
         } else if (arg == "--stats-jsonl") {
             stats_jsonl_path = next();
+        } else if (arg == "--sample-period") {
+            spec.system.samplePeriod = std::stoull(next());
+        } else if (arg == "--sample-window") {
+            spec.system.sampleWindow = std::stoull(next());
         } else if (arg == "--trace-out") {
             trace_out_path = next();
         } else if (arg == "--trace-max-events") {

@@ -68,12 +68,16 @@ class StridePrefetcher
 
     /**
      * Observe a demand access; return the row-line base addresses to
-     * prefetch (empty while the stride is not yet confident).
+     * prefetch (empty while the stride is not yet confident). The
+     * returned reference aliases a member buffer (observe() runs per
+     * demand access; returning the array by value would copy 136 B
+     * each time) and is invalidated by the next observe() call.
      */
-    Candidates
+    const Candidates &
     observe(std::uint32_t pc, Addr addr)
     {
-        Candidates out;
+        Candidates &out = _lastCandidates;
+        out._count = 0;
         if (pc == 0)
             return out;
         TableEntry &entry = _table[_tableMod.mod(pc)];
@@ -145,6 +149,9 @@ class StridePrefetcher
     /** Direct-mapped by pc % table_size (the slot's `pc` field
      *  detects conflicts and rebases, exactly as hardware would). */
     std::vector<TableEntry> _table;
+
+    /** Backing storage for observe()'s result. */
+    Candidates _lastCandidates;
 };
 
 } // namespace mda

@@ -72,6 +72,7 @@ TraceGenerator::buildPlans()
                 if (sp.depth == innermost_depth)
                     sp.vectorized = false;
         }
+        plan.innerVectorized = any_inner && all_inner_vectorized;
         _plans.push_back(std::move(plan));
     }
 
@@ -141,6 +142,34 @@ TraceGenerator::emitVectorRef(const RefPlan &ref)
     std::int64_t r = ref.rowExpr.eval(_vals);
     std::int64_t c = ref.colExpr.eval(_vals);
     bool col_moves = (ref.dir == AccessDirection::RowWise);
+
+    // Fast path: when the first lane sits on word 0 and the last on
+    // word 7 of the same oriented line, the group covers exactly that
+    // line (within-tile addressing is linear in the moving subscript,
+    // so the inner lanes cannot escape a line both ends sit in) and
+    // the lane loop collapses to one full-mask op. This is the
+    // aligned case every unit-stride inner loop hits.
+    Addr first_addr = ref.layout->elementAddr(r, c);
+    Addr last_addr =
+        col_moves
+            ? ref.layout->elementAddr(r, c + VectorPlan::width - 1)
+            : ref.layout->elementAddr(r + VectorPlan::width - 1, c);
+    OrientedLine first_line =
+        OrientedLine::containing(first_addr, ref.orient);
+    if (first_line.wordIndexOf(first_addr) == 0 &&
+        OrientedLine::containing(last_addr, ref.orient) ==
+            first_line &&
+        first_line.wordIndexOf(last_addr) == VectorPlan::width - 1) {
+        TraceOp op;
+        op.addr = first_line.baseAddr();
+        op.orient = ref.orient;
+        op.isWrite = ref.isWrite;
+        op.isVector = true;
+        op.wordMask = 0xff;
+        op.pc = ref.pc;
+        pushOp(op);
+        return;
+    }
 
     OrientedLine cur_line;
     std::uint8_t mask = 0;
@@ -239,11 +268,9 @@ TraceGenerator::refill()
                 bool can_vec = !loop.values &&
                                _vals[loop.id] + VectorPlan::width <=
                                    _hi[_depth];
-                // All-or-nothing per buildPlans; probe any inner stmt.
-                bool nest_vec = false;
-                for (const auto &sp : plan.stmts)
-                    nest_vec |= (sp.depth == inner && sp.vectorized);
-                width = (nest_vec && can_vec) ? VectorPlan::width : 1;
+                width = (plan.innerVectorized && can_vec)
+                            ? VectorPlan::width
+                            : 1;
                 _lastWidth = width;
             }
             for (unsigned idx : plan.preAt[_depth])

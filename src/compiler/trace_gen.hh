@@ -82,6 +82,9 @@ class TraceGenerator
          *  stmts for depth d, in program order. */
         std::vector<std::vector<unsigned>> preAt, postAt;
         std::vector<StmtPlan> stmts;
+        /** Any innermost-depth statement vectorized (all-or-nothing
+         *  per buildPlans, so this decides the whole inner body). */
+        bool innerVectorized = false;
     };
 
     /** Walker position within the current nest. */

@@ -50,7 +50,7 @@ LineCache::setFor(const OrientedLine &line) const
     return _setMod.mod(tile_hash ^ (line.index() * 0x9e3779b9ULL));
 }
 
-CacheEntry *
+StorageSlot
 LineCache::lookup(const OrientedLine &line)
 {
     return _storage.find(setFor(line), line);
@@ -60,44 +60,45 @@ std::vector<std::string>
 LineCache::checkInvariants() const
 {
     std::vector<std::string> violations;
-    auto describe = [](const CacheEntry &e) {
-        return std::string(orientName(e.line.orient)) + " line id " +
-               std::to_string(e.line.id);
+    auto describe = [this](StorageSlot s) {
+        OrientedLine l = _storage.line(s);
+        return std::string(orientName(l.orient)) + " line id " +
+               std::to_string(l.id);
     };
 
-    // One sweep collects every valid entry, a copy count per covered
+    // One sweep collects every valid slot, a copy count per covered
     // word, and the orientation occupancy tallies.
     // std::map, not unordered_map: this is a cold diagnostic path
     // and DET-2 keeps ordered iteration the default everywhere a
     // container could feed output.
-    std::vector<const CacheEntry *> valid;
+    std::vector<StorageSlot> valid;
     std::map<Addr, unsigned> copies;
     std::uint64_t rows = 0, cols = 0;
     for (std::uint64_t set = 0; set < _storage.numSets(); ++set) {
-        const CacheEntry *base = _storage.setBase(set);
         for (unsigned w = 0; w < _storage.ways(); ++w) {
-            const CacheEntry &e = base[w];
-            if (!e.valid) {
-                if (e.dirtyMask != 0) {
+            StorageSlot s = _storage.slotOf(set, w);
+            if (!_storage.valid(s)) {
+                if (_storage.dirtyMask(s) != 0) {
                     violations.push_back(
                         name() + ": invalid frame (set " +
                         std::to_string(set) + " way " +
                         std::to_string(w) + ") carries dirty mask " +
-                        std::to_string(e.dirtyMask));
+                        std::to_string(_storage.dirtyMask(s)));
                 }
                 continue;
             }
-            for (const CacheEntry *other : valid) {
-                if (other->line == e.line) {
+            OrientedLine line = _storage.line(s);
+            for (StorageSlot other : valid) {
+                if (_storage.line(other) == line) {
                     violations.push_back(
                         name() + ": duplicate entries for " +
-                        describe(e));
+                        describe(s));
                 }
             }
-            valid.push_back(&e);
-            (e.line.orient == Orientation::Col ? cols : rows) += 1;
+            valid.push_back(s);
+            (line.orient == Orientation::Col ? cols : rows) += 1;
             for (unsigned k = 0; k < lineWords; ++k)
-                ++copies[e.line.wordAddr(k)];
+                ++copies[line.wordAddr(k)];
         }
     }
 
@@ -105,15 +106,16 @@ LineCache::checkInvariants() const
     // a dirty word is written back (Modified -> Clean) before any
     // intersecting fill — so between events a dirty word must be the
     // only copy of that word in this cache.
-    for (const CacheEntry *e : valid) {
+    for (StorageSlot s : valid) {
+        OrientedLine line = _storage.line(s);
         for (unsigned k = 0; k < lineWords; ++k) {
-            if (!(e->dirtyMask & (1u << k)))
+            if (!(_storage.dirtyMask(s) & (1u << k)))
                 continue;
-            if (copies[e->line.wordAddr(k)] > 1) {
+            if (copies[line.wordAddr(k)] > 1) {
                 violations.push_back(
                     name() + ": dirty word " +
-                    std::to_string(e->line.wordAddr(k)) + " of " +
-                    describe(*e) +
+                    std::to_string(line.wordAddr(k)) + " of " +
+                    describe(s) +
                     " has a second copy in an intersecting line");
             }
         }
@@ -129,34 +131,81 @@ LineCache::checkInvariants() const
             std::to_string(rows) + " rows, " + std::to_string(cols) +
             " cols)");
     }
+
+    // SoA consistency against the debug shadow map (enabled by the
+    // fuzz oracle; disabled — and free — in normal runs).
+    for (const std::string &v : _storage.shadowViolations())
+        violations.push_back(name() + ": " + v);
     return violations;
 }
 
 void
-LineCache::writebackDirty(CacheEntry *entry)
+LineCache::writebackDirty(StorageSlot slot)
 {
-    if (!entry->dirty())
+    std::uint8_t dirty = _storage.dirtyMask(slot);
+    if (!dirty)
         return;
-    auto wb = Packet::makeWriteback(entry->line, entry->dirtyMask,
-                                    curTick(), packetPool());
+    OrientedLine line = _storage.line(slot);
+    auto wb = Packet::makeWriteback(line, dirty, curTick(),
+                                    packetPool());
     for (unsigned k = 0; k < lineWords; ++k)
-        if (entry->dirtyMask & (1u << k))
-            wb->setWord(k, entry->word(k));
-    wb->wordMask = entry->dirtyMask;
-    entry->dirtyMask = 0;
+        if (dirty & (1u << k))
+            wb->setWord(k, _storage.word(slot, k));
+    wb->wordMask = dirty;
+    _storage.setDirtyMask(slot, 0);
     pushWriteback(std::move(wb));
 }
 
 void
-LineCache::evict(CacheEntry *entry)
+LineCache::evict(StorageSlot slot)
 {
     ++_evictions;
-    DPRINTF(Cache, "evict %s line %#llx%s",
-            orientName(entry->line.orient),
-            (unsigned long long)entry->line.baseAddr(),
-            entry->dirty() ? " (dirty)" : "");
-    writebackDirty(entry);
-    _storage.invalidate(entry);
+    if (MDA_OBSERVED()) {
+        OrientedLine line = _storage.line(slot);
+        DPRINTF(Cache, "evict %s line %#llx%s",
+                orientName(line.orient),
+                (unsigned long long)line.baseAddr(),
+                _storage.dirty(slot) ? " (dirty)" : "");
+    }
+    writebackDirty(slot);
+    _storage.invalidate(slot);
+}
+
+void
+LineCache::dupActions(StorageSlot slot, const OrientedLine &cross,
+                      Addr word, bool written)
+{
+    if (_storage.dirty(slot)) {
+        ++_dupWritebacks;
+        MDA_PROBE(_probes.dupAction,
+                  probe::CrossingEvent{word, true, false, curTick()});
+        if (MDA_OBSERVED()) {
+            DPRINTF(Coherence,
+                    "dup writeback: dirty crossing %s line %#llx "
+                    "for word %#llx",
+                    orientName(cross.orient),
+                    (unsigned long long)cross.baseAddr(),
+                    (unsigned long long)word);
+            if (trace::on()) {
+                trace::log().counter(name(), "dupWritebacks",
+                                     curTick(),
+                                     _dupWritebacks.value());
+            }
+        }
+        writebackDirty(slot);
+    }
+    if (written) {
+        ++_dupEvictions;
+        MDA_PROBE(_probes.dupAction,
+                  probe::CrossingEvent{word, false, true, curTick()});
+        DPRINTF(Coherence,
+                "dup evict: crossing %s line %#llx copy of "
+                "written word %#llx",
+                orientName(cross.orient),
+                (unsigned long long)cross.baseAddr(),
+                (unsigned long long)word);
+        _storage.invalidate(slot);
+    }
 }
 
 unsigned
@@ -168,114 +217,106 @@ LineCache::prepareLine(const OrientedLine &line,
         return 0;
     Orientation cross_orient = flip(line.orient);
     // Every crossing line probed below belongs to the same tile as
-    // @p line (a line's 8 words all sit in one 8x8 tile), so when the
-    // occupancy table rules that (orientation, tile) out, every probe
-    // would miss and the whole sweep can be skipped. The tag-port
-    // occupancy stat still counts the probes the hardware would issue
-    // — one per covered/written word — exactly what the loop counts.
-    if (!_storage.mayHoldTileLines(cross_orient, line.tile())) {
-        unsigned probes = std::popcount(
-            static_cast<unsigned>(covered_mask | written_mask));
-        _extraTagAccesses += probes;
+    // @p line (a line's 8 words all sit in one 8x8 tile) and crosses
+    // it at its own tile-local index, so word k's crossing line is
+    // simply (cross_orient, tile << 3 | k). The tag-port occupancy
+    // stat counts the probes the hardware would issue — one per
+    // covered/written word — independent of how many actually find a
+    // resident copy.
+    std::uint8_t probe_mask = covered_mask | written_mask;
+    unsigned probes =
+        std::popcount(static_cast<unsigned>(probe_mask));
+    _extraTagAccesses += probes;
+    // When the occupancy table rules the (orientation, tile) pair
+    // out, every probe would miss and the sweep is skipped entirely.
+    if (!_storage.mayHoldTileLines(cross_orient, line.tile()))
+        return probes;
+
+    if (_mapping == LineMapping::TwoDSameSet) {
+        // Same-Set: all 16 lines of the tile share one set, so one
+        // sweep of the tag array yields the resident-crossing-line
+        // mask, and the dup actions run on its intersection with the
+        // probe mask.
+        std::array<StorageSlot, lineWords> slots;
+        std::uint8_t present = _storage.crossingMask(
+            setFor(line), cross_orient, line.tile(), slots);
+        std::uint8_t hits = present & probe_mask;
+        while (hits) {
+            unsigned k = static_cast<unsigned>(
+                std::countr_zero(static_cast<unsigned>(hits)));
+            hits &= static_cast<std::uint8_t>(hits - 1);
+            OrientedLine cross(cross_orient, (line.tile() << 3) | k);
+            dupActions(slots[k], cross, line.wordAddr(k),
+                       (written_mask & (1u << k)) != 0);
+        }
         return probes;
     }
-    unsigned probes = 0;
+
+    // Different-Set: each crossing line lives in its own set; probe
+    // them word by word.
     for (unsigned k = 0; k < lineWords; ++k) {
         std::uint8_t bit = static_cast<std::uint8_t>(1u << k);
-        if (!((covered_mask | written_mask) & bit))
+        if (!(probe_mask & bit))
             continue;
-        Addr word = line.wordAddr(k);
-        OrientedLine cross =
-            OrientedLine::containing(word, cross_orient);
-        mda_assert(cross.tile() == line.tile(),
-                   "crossing line left the tile");
-        ++probes;
-        CacheEntry *entry = lookup(cross);
-        if (!entry)
+        OrientedLine cross(cross_orient, (line.tile() << 3) | k);
+        StorageSlot slot = lookup(cross);
+        if (slot == kNoSlot)
             continue;
-        if (entry->dirty()) {
-            ++_dupWritebacks;
-            MDA_PROBE(_probes.dupAction,
-                      probe::CrossingEvent{word, true, false,
-                                           curTick()});
-            if (MDA_OBSERVED()) {
-                DPRINTF(Coherence,
-                        "dup writeback: dirty crossing %s line %#llx "
-                        "for word %#llx",
-                        orientName(cross.orient),
-                        (unsigned long long)cross.baseAddr(),
-                        (unsigned long long)word);
-                if (trace::on()) {
-                    trace::log().counter(name(), "dupWritebacks",
-                                         curTick(),
-                                         _dupWritebacks.value());
-                }
-            }
-            writebackDirty(entry);
-        }
-        if (written_mask & bit) {
-            ++_dupEvictions;
-            MDA_PROBE(_probes.dupAction,
-                      probe::CrossingEvent{word, false, true,
-                                           curTick()});
-            DPRINTF(Coherence,
-                    "dup evict: crossing %s line %#llx copy of "
-                    "written word %#llx",
-                    orientName(cross.orient),
-                    (unsigned long long)cross.baseAddr(),
-                    (unsigned long long)word);
-            _storage.invalidate(entry);
-        }
+        dupActions(slot, cross, line.wordAddr(k),
+                   (written_mask & bit) != 0);
     }
-    _extraTagAccesses += probes;
     return probes;
 }
 
 void
-LineCache::copyOut(CacheEntry *entry, Packet &pkt)
+LineCache::copyOut(StorageSlot slot, Packet &pkt)
 {
     if (!pkt.isLine()) {
-        unsigned idx = entry->line.wordIndexOf(pkt.addr);
-        pkt.setWord(0, entry->word(idx));
+        unsigned idx = _storage.line(slot).wordIndexOf(pkt.addr);
+        pkt.setWord(0, _storage.word(slot, idx));
         pkt.wordMask = 0x01;
         return;
     }
-    mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    mda_assert(_storage.line(slot) == pkt.line(),
+               "line identity mismatch");
     if (pkt.wordMask == 0xff) {
         // Frame data and packet payload share the line-word byte
         // layout, so a full-mask read is one copy.
-        std::memcpy(pkt.payload.data(), entry->data(), lineBytes);
+        std::memcpy(pkt.payload.data(), _storage.data(slot),
+                    lineBytes);
         return;
     }
     for (unsigned k = 0; k < lineWords; ++k)
         if (pkt.wordMask & (1u << k))
-            pkt.setWord(k, entry->word(k));
+            pkt.setWord(k, _storage.word(slot, k));
 }
 
 void
-LineCache::performWrite(CacheEntry *entry, const Packet &pkt)
+LineCache::performWrite(StorageSlot slot, const Packet &pkt)
 {
     if (!pkt.isLine()) {
-        unsigned idx = entry->line.wordIndexOf(pkt.addr);
-        entry->setWord(idx, pkt.word(0), true);
+        unsigned idx = _storage.line(slot).wordIndexOf(pkt.addr);
+        _storage.setWord(slot, idx, pkt.word(0), true);
         return;
     }
-    mda_assert(entry->line == pkt.line(), "line identity mismatch");
+    mda_assert(_storage.line(slot) == pkt.line(),
+               "line identity mismatch");
     if (pkt.wordMask == 0xff) {
-        std::memcpy(entry->data(), pkt.payload.data(), lineBytes);
-        entry->dirtyMask = 0xff;
+        std::memcpy(_storage.data(slot), pkt.payload.data(),
+                    lineBytes);
+        _storage.setDirtyMask(slot, 0xff);
         return;
     }
     for (unsigned k = 0; k < lineWords; ++k)
         if (pkt.wordMask & (1u << k))
-            entry->setWord(k, pkt.word(k), true);
+            _storage.setWord(slot, k, pkt.word(k), true);
 }
 
 void
-LineCache::notePrefetchUse(CacheEntry *entry)
+LineCache::notePrefetchUse(StorageSlot slot)
 {
-    if (entry->prefetched) {
-        entry->prefetched = false;
+    if (_storage.prefetched(slot)) {
+        _storage.setPrefetched(slot, false);
         ++_prefetchesUseful;
     }
 }
@@ -285,11 +326,11 @@ LineCache::train(const Packet &pkt)
 {
     if (!_config.prefetch)
         return;
-    auto candidates = _prefetcher.observe(pkt.pc, pkt.addr);
+    const auto &candidates = _prefetcher.observe(pkt.pc, pkt.addr);
     for (Addr line_base : candidates) {
         OrientedLine line =
             OrientedLine::containing(line_base, Orientation::Row);
-        if (!lookup(line))
+        if (lookup(line) == kNoSlot)
             issuePrefetch(line);
     }
 }
@@ -309,12 +350,12 @@ LineCache::handleDemand(PacketPtr pkt)
     }
 
     OrientedLine line = pkt->line();
-    CacheEntry *entry = lookup(line);
+    StorageSlot entry = lookup(line);
     bool mis_oriented = false;
 
     // Scalar accesses may be served by the crossing line: hit is
     // word presence, ignoring alignment (paper Section IV-B).
-    if (!entry && !is_line && is2D()) {
+    if (entry == kNoSlot && !is_line && is2D()) {
         OrientedLine cross =
             OrientedLine::containing(pkt->addr, flip(pkt->orient));
         if (chargesProbes()) {
@@ -322,7 +363,7 @@ LineCache::handleDemand(PacketPtr pkt)
             pkt->extraLatency += _config.tagLatency;
         }
         entry = lookup(cross);
-        mis_oriented = (entry != nullptr);
+        mis_oriented = (entry != kNoSlot);
     }
 
     // Writes also check the other orientation, but stores drain from
@@ -331,7 +372,7 @@ LineCache::handleDemand(PacketPtr pkt)
     // response latency.
     train(*pkt);
 
-    if (entry) {
+    if (entry != kNoSlot) {
         // ---- hit ----
         ++_demandHits;
         if (is_line)
@@ -346,11 +387,12 @@ LineCache::handleDemand(PacketPtr pkt)
         _storage.touch(entry);
         if (is_write) {
             // Evict every other copy of the written words first.
+            OrientedLine held = _storage.line(entry);
             std::uint8_t mask =
                 is_line ? pkt->wordMask
                         : static_cast<std::uint8_t>(
-                              1u << entry->line.wordIndexOf(pkt->addr));
-            prepareLine(entry->line, 0, mask);
+                              1u << held.wordIndexOf(pkt->addr));
+            prepareLine(held, 0, mask);
             performWrite(entry, *pkt);
         } else {
             copyOut(entry, *pkt);
@@ -365,7 +407,7 @@ LineCache::handleDemand(PacketPtr pkt)
     // only; costs 8 sequential tag+data accesses).
     if (_config.gatherHits && is2D() && is_line && !is_write &&
         pkt->cmd == MemCmd::Read) {
-        std::array<CacheEntry *, lineWords> sources{};
+        std::array<StorageSlot, lineWords> sources{};
         bool complete = true;
         for (unsigned k = 0; k < lineWords && complete; ++k) {
             if (!(pkt->wordMask & (1u << k)))
@@ -373,7 +415,7 @@ LineCache::handleDemand(PacketPtr pkt)
             OrientedLine cross = OrientedLine::containing(
                 line.wordAddr(k), flip(line.orient));
             sources[k] = lookup(cross);
-            complete = (sources[k] != nullptr);
+            complete = (sources[k] != kNoSlot);
         }
         _extraTagAccesses += lineWords;
         if (complete) {
@@ -387,9 +429,9 @@ LineCache::handleDemand(PacketPtr pkt)
             for (unsigned k = 0; k < lineWords; ++k) {
                 if (!(pkt->wordMask & (1u << k)))
                     continue;
-                unsigned idx =
-                    sources[k]->line.wordIndexOf(line.wordAddr(k));
-                pkt->setWord(k, sources[k]->word(idx));
+                unsigned idx = _storage.line(sources[k])
+                                   .wordIndexOf(line.wordAddr(k));
+                pkt->setWord(k, _storage.word(sources[k], idx));
                 _storage.touch(sources[k]);
             }
             Cycles delay = _config.hitLatency() +
@@ -452,8 +494,8 @@ LineCache::handleDemand(PacketPtr pkt)
     if (is_write && is_line && pkt->wordMask == 0xff) {
         ++_fullLineWriteAllocs;
         std::uint64_t set = setFor(line);
-        CacheEntry *victim = _storage.victim(set);
-        if (victim->valid)
+        StorageSlot victim = _storage.victim(set);
+        if (_storage.valid(victim))
             evict(victim);
         _storage.install(victim, line);
         performWrite(victim, *pkt);
@@ -482,8 +524,8 @@ LineCache::handleWriteback(PacketPtr pkt)
         return;
     }
 
-    CacheEntry *entry = lookup(line);
-    if (entry) {
+    StorageSlot entry = lookup(line);
+    if (entry != kNoSlot) {
         // Merge: the written words invalidate crossing duplicates.
         prepareLine(line, 0, pkt->wordMask);
         performWrite(entry, *pkt);
@@ -494,8 +536,8 @@ LineCache::handleWriteback(PacketPtr pkt)
         // Full-line writeback allocates without a fetch.
         prepareLine(line, 0, 0xff);
         std::uint64_t set = setFor(line);
-        CacheEntry *victim = _storage.victim(set);
-        if (victim->valid)
+        StorageSlot victim = _storage.victim(set);
+        if (_storage.valid(victim))
             evict(victim);
         _storage.install(victim, line);
         performWrite(victim, *pkt);
@@ -505,6 +547,209 @@ LineCache::handleWriteback(PacketPtr pkt)
     // the written words, then pass it down.
     prepareLine(line, 0, pkt->wordMask);
     pushWriteback(std::move(pkt));
+}
+
+// ---- functional (fast-forward) path ----------------------------------
+//
+// These mirrors replay the *state* effects of the timed handlers —
+// replacement order, dirty masks, Fig. 9 duplicate coherence,
+// prefetcher training — with no packets, MSHRs, latencies, or
+// statistics, so sampled simulation can keep the hierarchy warm
+// between measured windows. Fidelity notes:
+//  - no payload moves (sampling forbids the data checker);
+//  - prefetch candidates fill immediately instead of racing demand
+//    traffic through the MSHR file — warmth, not timing, is modeled;
+//  - a demand miss's post-fill duplicate sweep is skipped: with no
+//    intervening events, the pre-fill sweep already covered it.
+
+void
+LineCache::functionalEvict(StorageSlot slot)
+{
+    std::uint8_t dirty = _storage.dirtyMask(slot);
+    if (dirty) {
+        OrientedLine line = _storage.line(slot);
+        _storage.setDirtyMask(slot, 0);
+        _downstream->functionalWriteback(line, dirty);
+    }
+    _storage.invalidate(slot);
+}
+
+void
+LineCache::functionalDupSweep(const OrientedLine &line,
+                              std::uint8_t covered_mask,
+                              std::uint8_t written_mask)
+{
+    if (!is2D())
+        return;
+    Orientation cross_orient = flip(line.orient);
+    std::uint8_t probe_mask = covered_mask | written_mask;
+    if (!_storage.mayHoldTileLines(cross_orient, line.tile()))
+        return;
+
+    auto act = [&](StorageSlot slot, bool written) {
+        std::uint8_t dirty = _storage.dirtyMask(slot);
+        if (dirty) {
+            OrientedLine held = _storage.line(slot);
+            _storage.setDirtyMask(slot, 0);
+            _downstream->functionalWriteback(held, dirty);
+        }
+        if (written)
+            _storage.invalidate(slot);
+    };
+
+    if (_mapping == LineMapping::TwoDSameSet) {
+        std::array<StorageSlot, lineWords> slots;
+        std::uint8_t present = _storage.crossingMask(
+            setFor(line), cross_orient, line.tile(), slots);
+        std::uint8_t hits = present & probe_mask;
+        while (hits) {
+            unsigned k = static_cast<unsigned>(
+                std::countr_zero(static_cast<unsigned>(hits)));
+            hits &= static_cast<std::uint8_t>(hits - 1);
+            act(slots[k], (written_mask & (1u << k)) != 0);
+        }
+        return;
+    }
+    for (unsigned k = 0; k < lineWords; ++k) {
+        std::uint8_t bit = static_cast<std::uint8_t>(1u << k);
+        if (!(probe_mask & bit))
+            continue;
+        OrientedLine cross(cross_orient, (line.tile() << 3) | k);
+        StorageSlot slot = lookup(cross);
+        if (slot != kNoSlot)
+            act(slot, (written_mask & bit) != 0);
+    }
+}
+
+StorageSlot
+LineCache::functionalFill(const OrientedLine &line)
+{
+    FunctionalReq down;
+    down.line = line;
+    down.addr = line.baseAddr();
+    down.wordMask = 0xff;
+    down.isLine = true;
+    _downstream->functionalAccess(down);
+    StorageSlot victim =
+        _storage.victimForInstall(setFor(line), line);
+    if (_storage.valid(victim))
+        functionalEvict(victim);
+    _storage.install(victim, line);
+    return victim;
+}
+
+void
+LineCache::functionalAccess(const FunctionalReq &req)
+{
+    OrientedLine line = req.line;
+    if (_mapping == LineMapping::OneD && !req.isLine)
+        line = OrientedLine::containing(req.addr, Orientation::Row);
+
+    StorageSlot entry = _storage.find(setFor(line), line);
+
+    // Mis-oriented scalar service from the crossing line.
+    if (entry == kNoSlot && !req.isLine && is2D()) {
+        OrientedLine cross =
+            OrientedLine::containing(req.addr, flip(line.orient));
+        entry = lookup(cross);
+    }
+
+    std::uint8_t written =
+        req.isWrite
+            ? (req.isLine ? req.wordMask
+                          : static_cast<std::uint8_t>(
+                                1u << line.wordIndexOf(
+                                    alignDown(req.addr, wordBytes))))
+            : 0;
+
+    if (entry != kNoSlot) {
+        // ---- hit ----
+        _storage.setPrefetched(entry, false);
+        _storage.touch(entry);
+        if (req.isWrite) {
+            OrientedLine held = _storage.line(entry);
+            std::uint8_t mask =
+                req.isLine
+                    ? req.wordMask
+                    : static_cast<std::uint8_t>(
+                          1u << held.wordIndexOf(req.addr));
+            functionalDupSweep(held, 0, mask);
+            _storage.setDirtyMask(
+                entry, _storage.dirtyMask(entry) | mask);
+        }
+    } else if (_config.gatherHits && is2D() && req.isLine &&
+               !req.isWrite && gatherTouch(line, req.wordMask)) {
+        // Gather hit: served from crossing lines, nothing installed.
+    } else {
+        // ---- miss ----
+        functionalDupSweep(line, 0xff, written);
+        if (req.isWrite && req.isLine && req.wordMask == 0xff) {
+            // Full-line vector write: allocate without a fetch.
+            StorageSlot victim = _storage.victim(setFor(line));
+            if (_storage.valid(victim))
+                functionalEvict(victim);
+            _storage.install(victim, line);
+            _storage.setDirtyMask(victim, 0xff);
+        } else {
+            StorageSlot filled = functionalFill(line);
+            if (written)
+                _storage.setDirtyMask(filled, written);
+        }
+    }
+
+    // Train last: the timed prefetch fills land only after the demand
+    // access completes, so they must not steal this access's frame.
+    if (_config.prefetch) {
+        const auto &candidates = _prefetcher.observe(req.pc, req.addr);
+        for (Addr line_base : candidates) {
+            OrientedLine cand =
+                OrientedLine::containing(line_base, Orientation::Row);
+            if (lookup(cand) == kNoSlot)
+                _storage.setPrefetched(functionalFill(cand), true);
+        }
+    }
+}
+
+bool
+LineCache::gatherTouch(const OrientedLine &line, std::uint8_t mask)
+{
+    std::array<StorageSlot, lineWords> sources{};
+    for (unsigned k = 0; k < lineWords; ++k) {
+        if (!(mask & (1u << k)))
+            continue;
+        OrientedLine cross = OrientedLine::containing(
+            line.wordAddr(k), flip(line.orient));
+        sources[k] = lookup(cross);
+        if (sources[k] == kNoSlot)
+            return false;
+    }
+    for (unsigned k = 0; k < lineWords; ++k)
+        if (mask & (1u << k))
+            _storage.touch(sources[k]);
+    return true;
+}
+
+void
+LineCache::functionalWriteback(const OrientedLine &line,
+                               std::uint8_t mask)
+{
+    StorageSlot entry = lookup(line);
+    functionalDupSweep(line, 0, mask);
+    if (entry != kNoSlot) {
+        _storage.setDirtyMask(entry,
+                              _storage.dirtyMask(entry) | mask);
+        _storage.touch(entry);
+        return;
+    }
+    if (mask == 0xff) {
+        StorageSlot victim = _storage.victim(setFor(line));
+        if (_storage.valid(victim))
+            functionalEvict(victim);
+        _storage.install(victim, line);
+        _storage.setDirtyMask(victim, 0xff);
+        return;
+    }
+    _downstream->functionalWriteback(line, mask);
 }
 
 void
@@ -519,15 +764,15 @@ LineCache::handleFill(PacketPtr pkt)
     auto targets = std::move(retired.targets);
 
     // One sweep picks the victim and asserts the line is absent.
-    CacheEntry *victim =
+    StorageSlot victim =
         _storage.victimForInstall(setFor(line), line);
-    if (victim->valid)
+    if (_storage.valid(victim))
         evict(victim);
     _storage.install(victim, line);
     // Fills are always full-mask (asserted above) and install clean
     // data: one copy replaces the word-by-word loop.
-    std::memcpy(victim->data(), pkt->payload.data(), lineBytes);
-    victim->prefetched = pkt->isPrefetch && targets.empty();
+    std::memcpy(_storage.data(victim), pkt->payload.data(), lineBytes);
+    _storage.setPrefetched(victim, pkt->isPrefetch && targets.empty());
 
     for (auto &target : targets) {
         if (target->cmd == MemCmd::Write) {

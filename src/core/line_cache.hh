@@ -92,6 +92,16 @@ class LineCache : public CacheBase
                static_cast<double>(_config.numLines());
     }
 
+    /**
+     * Sampled-simulation fast-forward: apply the access's state
+     * effects (replacement, dirty bits, Fig. 9 duplicate coherence,
+     * prefetcher training) synchronously, with no timing, MSHRs, or
+     * statistics. Misses recurse into the downstream device.
+     */
+    void functionalAccess(const FunctionalReq &req) override;
+    void functionalWriteback(const OrientedLine &line,
+                             std::uint8_t mask) override;
+
   protected:
     void handleDemand(PacketPtr pkt) override;
     void handleWriteback(PacketPtr pkt) override;
@@ -104,13 +114,14 @@ class LineCache : public CacheBase
         return _mapping == LineMapping::TwoDDiffSet;
     }
 
-    CacheEntry *lookup(const OrientedLine &line);
+    /** Slot of @p line, or kNoSlot. */
+    StorageSlot lookup(const OrientedLine &line);
 
-    /** Write back @p entry's dirty words (partial) and mark it clean. */
-    void writebackDirty(CacheEntry *entry);
+    /** Write back @p slot's dirty words (partial) and mark it clean. */
+    void writebackDirty(StorageSlot slot);
 
-    /** Evict a valid entry: write back dirty words, invalidate. */
-    void evict(CacheEntry *entry);
+    /** Evict a valid slot: write back dirty words, invalidate. */
+    void evict(StorageSlot slot);
 
     /**
      * Prepare the cache for writing/filling the words of @p line:
@@ -123,17 +134,38 @@ class LineCache : public CacheBase
                          std::uint8_t covered_mask,
                          std::uint8_t written_mask);
 
-    /** Copy requested data out of @p entry into @p pkt's payload. */
-    void copyOut(CacheEntry *entry, Packet &pkt);
+    /** Fig. 9 dup actions for one crossing copy at @p slot. */
+    void dupActions(StorageSlot slot, const OrientedLine &cross,
+                    Addr word, bool written);
 
-    /** Apply @p pkt's write data into @p entry (sets dirty bits). */
-    void performWrite(CacheEntry *entry, const Packet &pkt);
+    /** Copy requested data out of @p slot into @p pkt's payload. */
+    void copyOut(StorageSlot slot, Packet &pkt);
+
+    /** Apply @p pkt's write data into @p slot (sets dirty bits). */
+    void performWrite(StorageSlot slot, const Packet &pkt);
 
     /** Record a hit on a prefetched line. */
-    void notePrefetchUse(CacheEntry *entry);
+    void notePrefetchUse(StorageSlot slot);
 
     /** Feed the stride prefetcher and issue candidate fills. */
     void train(const Packet &pkt);
+
+    // ---- functional (fast-forward) mirrors: state, no timing ----
+
+    /** Evict @p slot, forwarding dirty words down functionally. */
+    void functionalEvict(StorageSlot slot);
+
+    /** prepareLine()'s state effects without probes or stats. */
+    void functionalDupSweep(const OrientedLine &line,
+                            std::uint8_t covered_mask,
+                            std::uint8_t written_mask);
+
+    /** Fetch-and-install @p line (recursing down), return its slot. */
+    StorageSlot functionalFill(const OrientedLine &line);
+
+    /** Gather-hit probe: if every word of @p mask sits in a crossing
+     *  line, touch those sources and return true (no fill needed). */
+    bool gatherTouch(const OrientedLine &line, std::uint8_t mask);
 
     LineMapping _mapping;
     LineStorage _storage;

@@ -15,7 +15,7 @@ TileCache::TileCache(const std::string &obj_name, EventQueue &eq,
       _sets(config.numTileSets()),
       _setMod(config.numTileSets()),
       _fill(fill),
-      _frames(config.numTileSets() * config.ways)
+      _storage(config.numTileSets(), config.ways)
 {
     regScalar("denseBlockStreams", &_denseBlockStreams,
               "whole 2-D blocks streamed by the dense fill policy");
@@ -28,7 +28,8 @@ TileCache::TileCache(const std::string &obj_name, EventQueue &eq,
     regScalar("frameEvictions", &_frameEvictions,
               "2-D block frames evicted");
     regScalar("wordsPresent", &_wordsPresent,
-              "sparse-block presence bits currently set");
+              "sparse-block presence bits currently set",
+              stats::StatKind::Gauge);
 }
 
 void
@@ -50,31 +51,35 @@ TileCache::checkInvariants() const
     std::uint64_t present = 0;
     for (std::uint64_t s = 0; s < _sets; ++s) {
         for (unsigned w = 0; w < _config.ways; ++w) {
-            const TileEntry &e = _frames[s * _config.ways + w];
+            StorageSlot slot = _storage.slotOf(s, w);
             std::string where = name() + ": set " + std::to_string(s) +
                                 " way " + std::to_string(w);
-            if (!e.valid) {
-                if (e.wordValid != 0 || e.wordDirty != 0) {
+            if (!_storage.valid(slot)) {
+                if (_storage.wordValid(slot) != 0 ||
+                    _storage.wordDirty(slot) != 0) {
                     violations.push_back(
                         where + ": invalid frame with presence/dirty "
                                 "bits set");
                 }
                 continue;
             }
-            if (e.wordDirty & ~e.wordValid) {
+            std::uint64_t tile = _storage.tile(slot);
+            if (_storage.wordDirty(slot) & ~_storage.wordValid(slot)) {
                 violations.push_back(
-                    where + " (tile " + std::to_string(e.tile) +
+                    where + " (tile " + std::to_string(tile) +
                     "): dirty bits on absent words (dirty " +
-                    std::to_string(e.wordDirty) + ", valid " +
-                    std::to_string(e.wordValid) + ")");
+                    std::to_string(_storage.wordDirty(slot)) +
+                    ", valid " +
+                    std::to_string(_storage.wordValid(slot)) + ")");
             }
-            present += std::popcount(e.wordValid);
+            present += std::popcount(_storage.wordValid(slot));
             for (unsigned w2 = w + 1; w2 < _config.ways; ++w2) {
-                const TileEntry &o = _frames[s * _config.ways + w2];
-                if (o.valid && o.tile == e.tile) {
+                StorageSlot other = _storage.slotOf(s, w2);
+                if (_storage.valid(other) &&
+                    _storage.tile(other) == tile) {
                     violations.push_back(
                         where + ": duplicate frames for tile " +
-                        std::to_string(e.tile));
+                        std::to_string(tile));
                 }
             }
         }
@@ -96,16 +101,10 @@ TileCache::setFor(std::uint64_t tile) const
     return _setMod.mod((tile * 0x9e3779b97f4a7c15ULL) >> 24);
 }
 
-TileEntry *
+StorageSlot
 TileCache::find(std::uint64_t tile)
 {
-    TileEntry *base = setBase(setFor(tile));
-    for (unsigned w = 0; w < _config.ways; ++w) {
-        TileEntry &e = base[w];
-        if (e.valid && e.tile == tile)
-            return &e;
-    }
-    return nullptr;
+    return _storage.find(setFor(tile), tile);
 }
 
 bool
@@ -114,83 +113,80 @@ TileCache::pinned(std::uint64_t tile) const
     return _mshr.pinsTile(tile);
 }
 
-TileEntry *
+StorageSlot
 TileCache::allocFrame(std::uint64_t tile)
 {
-    if (TileEntry *hit = find(tile))
+    if (StorageSlot hit = find(tile); hit != kNoSlot)
         return hit;
-    TileEntry *base = setBase(setFor(tile));
-    TileEntry *victim = nullptr;
+    std::uint64_t set = setFor(tile);
+    StorageSlot victim = kNoSlot;
     for (unsigned w = 0; w < _config.ways; ++w) {
-        TileEntry &e = base[w];
-        if (!e.valid) {
-            victim = &e;
+        StorageSlot slot = _storage.slotOf(set, w);
+        if (!_storage.valid(slot)) {
+            victim = slot;
             break;
         }
-        if (pinned(e.tile))
+        if (pinned(_storage.tile(slot)))
             continue;
-        if (!victim || e.lruStamp < victim->lruStamp)
-            victim = &e;
+        if (victim == kNoSlot ||
+            _storage.lruStamp(slot) < _storage.lruStamp(victim))
+            victim = slot;
     }
-    if (!victim)
-        return nullptr; // every way pinned by in-flight fills
-    if (victim->valid)
+    if (victim == kNoSlot)
+        return kNoSlot; // every way pinned by in-flight fills
+    if (_storage.valid(victim))
         evictFrame(victim);
-    victim->valid = true;
-    victim->tile = tile;
-    victim->wordValid = 0;
-    victim->wordDirty = 0;
-    victim->data.fill(0);
-    touch(victim);
+    _storage.installFrame(victim, tile);
     return victim;
 }
 
 void
-TileCache::evictFrame(TileEntry *entry)
+TileCache::evictFrame(StorageSlot slot)
 {
     ++_frameEvictions;
     ++_evictions;
+    std::uint64_t tile = _storage.tile(slot);
+    std::uint64_t word_valid = _storage.wordValid(slot);
+    std::uint64_t word_dirty = _storage.wordDirty(slot);
     DPRINTF(TileCache, "evict frame tile %llu (%d words present, "
             "%d dirty)",
-            (unsigned long long)entry->tile,
-            std::popcount(entry->wordValid),
-            std::popcount(entry->wordDirty));
-    notePresenceDelta(-std::popcount(entry->wordValid));
+            (unsigned long long)tile,
+            std::popcount(word_valid),
+            std::popcount(word_dirty));
+    notePresenceDelta(-std::popcount(word_valid));
     // Per-row partial writebacks of the dirty words; rows with no
     // dirty words move nothing. Words never filled are never written
     // back — the sparse design's writeback elision.
     std::uint64_t never_filled =
-        ~entry->wordValid & ~0ULL; // bits of absent words
+        ~word_valid & ~0ULL; // bits of absent words
     _writebackBytesElided +=
         std::popcount(never_filled) * wordBytes;
     for (unsigned r = 0; r < tileLines; ++r) {
         std::uint8_t mask = 0;
         for (unsigned c = 0; c < lineWords; ++c)
-            if (entry->wordDirty & (1ULL << tileWordBit(r, c)))
+            if (word_dirty & (1ULL << tileWordBit(r, c)))
                 mask |= static_cast<std::uint8_t>(1u << c);
         if (!mask)
             continue;
-        OrientedLine row(Orientation::Row, (entry->tile << 3) | r);
+        OrientedLine row(Orientation::Row, (tile << 3) | r);
         auto wb = Packet::makeWriteback(row, mask, curTick(),
                                         packetPool());
         for (unsigned c = 0; c < lineWords; ++c)
             if (mask & (1u << c))
-                wb->setWord(c, entry->word(tileWordBit(r, c)));
+                wb->setWord(c, _storage.word(slot, tileWordBit(r, c)));
         wb->wordMask = mask;
         pushWriteback(std::move(wb));
     }
-    entry->valid = false;
-    entry->wordValid = 0;
-    entry->wordDirty = 0;
+    _storage.invalidate(slot);
 }
 
 void
-TileCache::copyOut(TileEntry *entry, Packet &pkt)
+TileCache::copyOut(StorageSlot slot, Packet &pkt)
 {
     if (!pkt.isLine()) {
         unsigned bit = tileWordBit(tileRowOf(pkt.addr),
                                    tileColOf(pkt.addr));
-        pkt.setWord(0, entry->word(bit));
+        pkt.setWord(0, _storage.word(slot, bit));
         pkt.wordMask = 0x01;
         return;
     }
@@ -201,22 +197,23 @@ TileCache::copyOut(TileEntry *entry, Packet &pkt)
         unsigned bit = (line.orient == Orientation::Row)
                            ? tileWordBit(line.index(), k)
                            : tileWordBit(k, line.index());
-        pkt.setWord(k, entry->word(bit));
+        pkt.setWord(k, _storage.word(slot, bit));
     }
 }
 
 void
-TileCache::performWrite(TileEntry *entry, const Packet &pkt)
+TileCache::performWrite(StorageSlot slot, const Packet &pkt)
 {
     if (!pkt.isLine()) {
         unsigned bit = tileWordBit(tileRowOf(pkt.addr),
                                    tileColOf(pkt.addr));
-        entry->setWord(bit, pkt.word(0));
+        _storage.setWord(slot, bit, pkt.word(0));
         std::uint64_t m = 1ULL << bit;
-        unsigned fresh = std::popcount(m & ~entry->wordValid);
+        unsigned fresh =
+            std::popcount(m & ~_storage.wordValid(slot));
         _writeValidates += fresh;
-        entry->wordValid |= m;
-        entry->wordDirty |= m;
+        _storage.orWordValid(slot, m);
+        _storage.orWordDirty(slot, m);
         if (fresh)
             notePresenceDelta(fresh);
         return;
@@ -229,11 +226,11 @@ TileCache::performWrite(TileEntry *entry, const Packet &pkt)
         unsigned bit = (line.orient == Orientation::Row)
                            ? tileWordBit(line.index(), k)
                            : tileWordBit(k, line.index());
-        entry->setWord(bit, pkt.word(k));
+        _storage.setWord(slot, bit, pkt.word(k));
         std::uint64_t m = 1ULL << bit;
-        validated += std::popcount(m & ~entry->wordValid);
-        entry->wordValid |= m;
-        entry->wordDirty |= m;
+        validated += std::popcount(m & ~_storage.wordValid(slot));
+        _storage.orWordValid(slot, m);
+        _storage.orWordDirty(slot, m);
     }
     _writeValidates += validated;
     if (validated)
@@ -252,15 +249,16 @@ TileCache::handleDemand(PacketPtr pkt)
             : (1ULL << tileWordBit(tileRowOf(pkt->addr),
                                    tileColOf(pkt->addr)));
 
-    TileEntry *entry = find(tile);
+    StorageSlot entry = find(tile);
 
     if (is_write) {
         // Word-granular write-validate: no fetch is ever needed.
         bool had_words =
-            entry && (entry->wordValid & needed) == needed;
-        if (!entry) {
+            entry != kNoSlot &&
+            (_storage.wordValid(entry) & needed) == needed;
+        if (entry == kNoSlot) {
             entry = allocFrame(tile);
-            if (!entry) {
+            if (entry == kNoSlot) {
                 defer(std::move(pkt));
                 return;
             }
@@ -276,7 +274,7 @@ TileCache::handleDemand(PacketPtr pkt)
         MDA_PROBE(_probes.writeValidate,
                   probe::PacketEvent{pkt.get(), curTick(), 0});
         performWrite(entry, *pkt);
-        touch(entry);
+        _storage.touch(entry);
         Cycles delay =
             _config.hitLatency() + _writePenalty + pkt->extraLatency;
         if (had_words) {
@@ -290,7 +288,8 @@ TileCache::handleDemand(PacketPtr pkt)
     }
 
     // ---- read ----
-    if (entry && (entry->wordValid & needed) == needed) {
+    if (entry != kNoSlot &&
+        (_storage.wordValid(entry) & needed) == needed) {
         ++_demandHits;
         ++_readHits;
         if (pkt->isLine())
@@ -299,12 +298,12 @@ TileCache::handleDemand(PacketPtr pkt)
                 (unsigned long long)pkt->addr,
                 (unsigned long long)tile);
         copyOut(entry, *pkt);
-        touch(entry);
+        _storage.touch(entry);
         Cycles delay = _config.hitLatency() + pkt->extraLatency;
         respondHit(std::move(pkt), delay);
         return;
     }
-    if (entry && (entry->wordValid & needed) != 0)
+    if (entry != kNoSlot && (_storage.wordValid(entry) & needed) != 0)
         ++_partialHits;
 
     // Defer decisions precede miss accounting (count-once).
@@ -316,7 +315,7 @@ TileCache::handleDemand(PacketPtr pkt)
         }
         // Reserve (and pin) the frame before requesting the fill.
         entry = allocFrame(tile);
-        if (!entry) {
+        if (entry == kNoSlot) {
             defer(std::move(pkt));
             return;
         }
@@ -361,12 +360,147 @@ TileCache::streamBlock(const OrientedLine &line)
     }
 }
 
+// ---- functional (fast-forward) path ----------------------------------
+//
+// State-only mirrors of the timed handlers for sampled simulation's
+// fast-forward phase. No packets, MSHRs, latencies, or counters;
+// the presence gauge (simulation state, audited by checkInvariants)
+// is kept in sync. Timed-mode resource limits do not apply: frames
+// are never pinned (no fills in flight) and dense block streams
+// always complete instead of being dropped on MSHR pressure.
+
+StorageSlot
+TileCache::functionalAllocFrame(std::uint64_t tile)
+{
+    if (StorageSlot hit = find(tile); hit != kNoSlot)
+        return hit;
+    std::uint64_t set = setFor(tile);
+    StorageSlot victim = _storage.slotOf(set, 0);
+    for (unsigned w = 0; w < _config.ways; ++w) {
+        StorageSlot slot = _storage.slotOf(set, w);
+        if (!_storage.valid(slot)) {
+            victim = slot;
+            break;
+        }
+        if (_storage.lruStamp(slot) < _storage.lruStamp(victim))
+            victim = slot;
+    }
+    if (_storage.valid(victim))
+        functionalEvictFrame(victim);
+    _storage.installFrame(victim, tile);
+    return victim;
+}
+
+void
+TileCache::functionalEvictFrame(StorageSlot slot)
+{
+    std::uint64_t tile = _storage.tile(slot);
+    std::uint64_t word_valid = _storage.wordValid(slot);
+    std::uint64_t word_dirty = _storage.wordDirty(slot);
+    notePresenceDelta(-std::popcount(word_valid));
+    for (unsigned r = 0; r < tileLines; ++r) {
+        std::uint8_t mask = 0;
+        for (unsigned c = 0; c < lineWords; ++c)
+            if (word_dirty & (1ULL << tileWordBit(r, c)))
+                mask |= static_cast<std::uint8_t>(1u << c);
+        if (!mask)
+            continue;
+        OrientedLine row(Orientation::Row, (tile << 3) | r);
+        _downstream->functionalWriteback(row, mask);
+    }
+    _storage.invalidate(slot);
+}
+
+void
+TileCache::functionalFillLine(const OrientedLine &line,
+                              StorageSlot slot)
+{
+    FunctionalReq down;
+    down.line = line;
+    down.addr = line.baseAddr();
+    down.wordMask = 0xff;
+    down.isLine = true;
+    _downstream->functionalAccess(down);
+    std::uint64_t fill =
+        tileMaskFor(line, 0xff) & ~_storage.wordValid(slot);
+    if (fill) {
+        _storage.orWordValid(slot, fill);
+        notePresenceDelta(std::popcount(fill));
+    }
+}
+
+void
+TileCache::functionalAccess(const FunctionalReq &req)
+{
+    OrientedLine line = req.line;
+    std::uint64_t tile = line.tile();
+    std::uint64_t needed =
+        req.isLine
+            ? tileMaskFor(line, req.wordMask)
+            : (1ULL << tileWordBit(tileRowOf(req.addr),
+                                   tileColOf(req.addr)));
+
+    if (req.isWrite) {
+        // Word-granular write-validate: no fetch is ever needed.
+        StorageSlot entry = functionalAllocFrame(tile);
+        std::uint64_t fresh = needed & ~_storage.wordValid(entry);
+        _storage.orWordValid(entry, needed);
+        _storage.orWordDirty(entry, needed);
+        if (fresh)
+            notePresenceDelta(std::popcount(fresh));
+        _storage.touch(entry);
+        return;
+    }
+
+    StorageSlot entry = find(tile);
+    if (entry != kNoSlot &&
+        (_storage.wordValid(entry) & needed) == needed) {
+        _storage.touch(entry);
+        return;
+    }
+    entry = functionalAllocFrame(tile);
+    functionalFillLine(line, entry);
+    _storage.touch(entry);
+    if (_fill == TileFillPolicy::Dense) {
+        for (unsigned idx = 0; idx < tileLines; ++idx) {
+            if (idx == line.index())
+                continue;
+            OrientedLine sibling(line.orient, (tile << 3) | idx);
+            functionalFillLine(sibling, entry);
+        }
+    }
+}
+
+void
+TileCache::functionalWriteback(const OrientedLine &line,
+                               std::uint8_t mask)
+{
+    StorageSlot entry = functionalAllocFrame(line.tile());
+    bool was_absent = (_storage.wordValid(entry) == 0);
+    std::uint64_t words = tileMaskFor(line, mask);
+    std::uint64_t fresh = words & ~_storage.wordValid(entry);
+    _storage.orWordValid(entry, words);
+    _storage.orWordDirty(entry, words);
+    if (fresh)
+        notePresenceDelta(std::popcount(fresh));
+    _storage.touch(entry);
+    if (_fill == TileFillPolicy::Dense && was_absent) {
+        for (unsigned idx = 0; idx < tileLines; ++idx) {
+            if (idx == line.index())
+                continue;
+            OrientedLine sibling(line.orient,
+                                 (line.tile() << 3) | idx);
+            functionalFillLine(sibling, entry);
+        }
+    }
+}
+
 void
 TileCache::handleWriteback(PacketPtr pkt)
 {
     OrientedLine line = pkt->line();
-    TileEntry *entry = allocFrame(line.tile());
-    if (!entry) {
+    StorageSlot entry = allocFrame(line.tile());
+    if (entry == kNoSlot) {
         defer(std::move(pkt));
         return;
     }
@@ -374,9 +508,9 @@ TileCache::handleWriteback(PacketPtr pkt)
     // no read fill — the 2P2L sparse advantage for upper-level
     // writebacks that miss (paper Section IV-C, Design 2). The dense
     // policy instead pays to stream in the rest of the block.
-    bool was_absent = (entry->wordValid == 0);
+    bool was_absent = (_storage.wordValid(entry) == 0);
     performWrite(entry, *pkt);
-    touch(entry);
+    _storage.touch(entry);
     if (_fill == TileFillPolicy::Dense && was_absent)
         streamBlock(pkt->line());
 }
@@ -392,8 +526,9 @@ TileCache::handleFill(PacketPtr pkt)
             (unsigned long long)pkt->addr, retired.targets.size());
     auto targets = std::move(retired.targets);
 
-    TileEntry *entry = find(line.tile());
-    mda_assert(entry, "fill arrived for an unpinned/absent frame");
+    StorageSlot entry = find(line.tile());
+    mda_assert(entry != kNoSlot,
+               "fill arrived for an unpinned/absent frame");
     ++_sparseLineFills;
 
     // Only absent words take the fill data: any word validated by a
@@ -404,15 +539,15 @@ TileCache::handleFill(PacketPtr pkt)
                            ? tileWordBit(line.index(), k)
                            : tileWordBit(k, line.index());
         std::uint64_t m = 1ULL << bit;
-        if (entry->wordValid & m)
+        if (_storage.wordValid(entry) & m)
             continue;
-        entry->setWord(bit, pkt->word(k));
-        entry->wordValid |= m;
+        _storage.setWord(entry, bit, pkt->word(k));
+        _storage.orWordValid(entry, m);
         ++filled;
     }
     if (filled)
         notePresenceDelta(filled);
-    touch(entry);
+    _storage.touch(entry);
 
     for (auto &target : targets) {
         mda_assert(target->cmd == MemCmd::Read,

@@ -27,40 +27,11 @@
 #include <vector>
 
 #include "cache/cache_base.hh"
+#include "cache/storage.hh"
 #include "sim/fastmod.hh"
 
 namespace mda
 {
-
-/** One 512-byte 2-D block frame. */
-struct TileEntry
-{
-    std::uint64_t tile = 0;
-    bool valid = false;
-    std::uint64_t lruStamp = 0;
-
-    /** Bit (r*8 + c): word (r, c) of the tile is present. */
-    std::uint64_t wordValid = 0;
-
-    /** Bit (r*8 + c): word (r, c) is dirty. */
-    std::uint64_t wordDirty = 0;
-
-    std::array<std::uint8_t, tileBytes> data{};
-
-    std::uint64_t
-    word(unsigned bit) const
-    {
-        std::uint64_t v;
-        std::memcpy(&v, data.data() + bit * wordBytes, wordBytes);
-        return v;
-    }
-
-    void
-    setWord(unsigned bit, std::uint64_t v)
-    {
-        std::memcpy(data.data() + bit * wordBytes, &v, wordBytes);
-    }
-};
 
 /** Bit position of word (r, c) in a tile's 64-bit masks. */
 constexpr unsigned
@@ -123,13 +94,19 @@ class TileCache : public CacheBase
      *  presence-bit population equal to a full recount. */
     std::vector<std::string> checkInvariants() const override;
 
-    /** Mutable frame access for tests/fuzz corruption probes. */
-    TileEntry &frameAt(std::uint64_t set, unsigned way)
-    {
-        mda_assert(set < _sets && way < _config.ways,
-                   "frame out of range");
-        return _frames[set * _config.ways + way];
-    }
+    /** Storage access for tests/fuzz corruption probes. */
+    TileStorage &storage() { return _storage; }
+    const TileStorage &storage() const { return _storage; }
+
+    /**
+     * Sampled-simulation fast-forward: apply the access's state
+     * effects (frame replacement, word presence/dirty bits, sparse
+     * fills, dense block streaming) synchronously, with no timing,
+     * MSHRs, or statistics beyond the presence gauge.
+     */
+    void functionalAccess(const FunctionalReq &req) override;
+    void functionalWriteback(const OrientedLine &line,
+                             std::uint8_t mask) override;
 
   protected:
     void handleDemand(PacketPtr pkt) override;
@@ -137,25 +114,24 @@ class TileCache : public CacheBase
     void handleFill(PacketPtr pkt) override;
 
   private:
-    TileEntry *find(std::uint64_t tile);
-    TileEntry *setBase(std::uint64_t set) { return &_frames[set * _config.ways]; }
+    /** Slot of @p tile's frame, or kNoSlot. */
+    StorageSlot find(std::uint64_t tile);
 
     /** True when any in-flight fill targets @p tile (frame pinned). */
     bool pinned(std::uint64_t tile) const;
 
     /**
      * Find-or-allocate the frame for @p tile; evicts an unpinned
-     * victim if needed. Returns null when every way is pinned.
+     * victim if needed. Returns kNoSlot when every way is pinned.
      */
-    TileEntry *allocFrame(std::uint64_t tile);
+    StorageSlot allocFrame(std::uint64_t tile);
 
     /** Write back all dirty words (per-row partial writebacks) and
      *  invalidate the frame. */
-    void evictFrame(TileEntry *entry);
+    void evictFrame(StorageSlot slot);
 
-    void copyOut(TileEntry *entry, Packet &pkt);
-    void performWrite(TileEntry *entry, const Packet &pkt);
-    void touch(TileEntry *entry) { entry->lruStamp = ++_clock; }
+    void copyOut(StorageSlot slot, Packet &pkt);
+    void performWrite(StorageSlot slot, const Packet &pkt);
 
     /** Dense mode: stream the rest of @p line's block. */
     void streamBlock(const OrientedLine &line);
@@ -164,13 +140,23 @@ class TileCache : public CacheBase
      *  counter + wordsPresent stat) across validate/fill/evict. */
     void notePresenceDelta(std::int64_t delta);
 
+    // ---- functional (fast-forward) mirrors: state, no timing ----
+
+    /** allocFrame() without MSHR pinning (no fills are in flight). */
+    StorageSlot functionalAllocFrame(std::uint64_t tile);
+
+    /** Evict @p slot, forwarding dirty rows down functionally. */
+    void functionalEvictFrame(StorageSlot slot);
+
+    /** Fetch @p line below and validate its absent words. */
+    void functionalFillLine(const OrientedLine &line, StorageSlot slot);
+
     std::uint64_t _sets;
     /** Reciprocal for the `% _sets` in setFor() (lookup hot path;
      *  tile-set counts need not be powers of two). */
     FastMod _setMod;
     TileFillPolicy _fill;
-    std::vector<TileEntry> _frames;
-    std::uint64_t _clock = 0;
+    TileStorage _storage;
     Cycles _writePenalty = 0;
 
     /** Valid (present) words across all frames, maintained

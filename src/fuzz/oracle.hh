@@ -21,6 +21,12 @@
  *
  * Failures are returned as data (not thrown) so the shrinker can
  * re-run candidate scenarios cheaply.
+ *
+ * Sampled scenarios (FuzzConfig::samplePeriod > 0) interleave the
+ * timed and functional access paths the way SMARTS sampling does.
+ * The functional path moves no payload, so those runs skip every
+ * value check and stand on the structural ones: per-op invariants,
+ * SoA-vs-shadow-map agreement, and drain cleanliness.
  */
 
 #ifndef MDA_FUZZ_ORACLE_HH

@@ -73,6 +73,13 @@ generateScenario(std::uint64_t seed, const GenLimits &limits)
     cfg.gatherHits = rng.chance(0.25);
     cfg.tileWritePenalty = static_cast<Cycles>(rng.below(5));
 
+    // Occasionally interleave the timed and functional paths the way
+    // a sampled run does; short periods maximize boundary crossings.
+    if (rng.chance(0.3)) {
+        cfg.samplePeriod = 4ull << rng.below(3); // 4, 8, or 16
+        cfg.sampleWindow = 1 + rng.below(cfg.samplePeriod / 2);
+    }
+
     // The 1P1L baseline has no column transfers, so it joins the
     // cross-design comparison only when the trace keeps vector ops in
     // the row direction (scalar column *preferences* are fine — the
@@ -110,8 +117,9 @@ generateScenario(std::uint64_t seed, const GenLimits &limits)
                        rng.below(limits.maxOps - min_ops + 1));
     while (s.trace.size() < ops) {
         // Occasionally a burst of concurrent reads (MSHR coalescing,
-        // deferral, and response paths under pressure).
-        bool batch = rng.chance(0.08);
+        // deferral, and response paths under pressure). Sampled
+        // traces stay serialized: a functional op needs idle timing.
+        bool batch = cfg.samplePeriod == 0 && rng.chance(0.08);
         unsigned count =
             batch ? 3 + static_cast<unsigned>(rng.below(14)) : 1;
         for (unsigned k = 0; k < count && s.trace.size() < ops; ++k) {
@@ -161,6 +169,10 @@ reproText(const Scenario &s)
     os << "gather " << (s.config.gatherHits ? 1 : 0) << "\n";
     os << "prefetch " << (s.config.prefetch ? 1 : 0) << "\n";
     os << "write-penalty " << s.config.tileWritePenalty << "\n";
+    if (s.config.samplePeriod > 0) {
+        os << "sample " << s.config.samplePeriod << " "
+           << s.config.sampleWindow << "\n";
+    }
     os << "levels " << s.config.levels.size() << "\n";
     for (const LevelSpec &lvl : s.config.levels) {
         os << "level " << lvl.sizeBytes << " " << lvl.ways << " "
@@ -225,6 +237,13 @@ parseRepro(const std::string &text)
         } else if (key == "write-penalty") {
             if (!(ls >> s.config.tileWritePenalty))
                 bad("bad write-penalty line");
+        } else if (key == "sample") {
+            if (!(ls >> s.config.samplePeriod >>
+                  s.config.sampleWindow) ||
+                s.config.samplePeriod == 0 ||
+                s.config.sampleWindow == 0 ||
+                s.config.sampleWindow >= s.config.samplePeriod)
+                bad("bad sample line");
         } else if (key == "levels") {
             if (!(ls >> expect_levels) || expect_levels == 0 ||
                 expect_levels > 3)
@@ -273,6 +292,11 @@ parseRepro(const std::string &text)
         bad("op count mismatch");
     if (s.config.designs.empty())
         bad("no designs");
+    if (s.config.samplePeriod > 0) {
+        for (const TraceOp &op : s.trace)
+            if (op.concurrent)
+                bad("sampled traces must be serialized");
+    }
     return s;
 }
 

@@ -83,6 +83,20 @@ struct FuzzConfig
 
     /** Extra 2P2L write latency (Fig. 16 asymmetry). */
     Cycles tileWritePenalty = 0;
+
+    /**
+     * SMARTS-style interleave (0 = always timed): of every
+     * samplePeriod ops, the first sampleWindow go through the timed
+     * path and the rest through functionalAccess(), exactly the
+     * alternation a sampled System run performs. Data checks are
+     * meaningless in this mode (the functional path moves no
+     * payload), so the oracle falls back to structural checking:
+     * invariants after every op, shadow-map agreement, drain
+     * cleanliness. Sampled traces are serialized (no concurrent
+     * batches) so the functional path always sees idle timing state.
+     */
+    std::uint64_t samplePeriod = 0;
+    std::uint64_t sampleWindow = 0;
 };
 
 /** A complete differential-oracle input. */

@@ -1,6 +1,9 @@
 #include "system.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <sstream>
 
 namespace mda
 {
@@ -20,6 +23,30 @@ System::System(const SystemConfig &config,
                std::unique_ptr<trace::TraceSource> source)
     : _config(config), _source(std::move(source))
 {
+    if (config.sampling()) {
+        if (config.sampleWindow == 0 ||
+            config.sampleWindow * 2 > config.samplePeriod) {
+            fatal("sampling window (%llu) must be positive with "
+                  "twice the window fitting in the period (%llu): "
+                  "each measured window is preceded by an equally "
+                  "long detailed-warming stretch",
+                  (unsigned long long)config.sampleWindow,
+                  (unsigned long long)config.samplePeriod);
+        }
+        if (config.checkData)
+            fatal("sampling is incompatible with data checking: "
+                  "fast-forward moves no data");
+        if (config.traceMode == TraceMode::Capture)
+            fatal("sampling is incompatible with trace capture: "
+                  "the captured stream would be complete but the "
+                  "timed run of it would not be reproducible");
+        if (config.occupancySamplePeriod > 0 ||
+            config.statsInterval > 0) {
+            fatal("sampling is incompatible with tick-driven "
+                  "samplers (occupancy/interval stats): "
+                  "fast-forwarded intervals would skew the series");
+        }
+    }
     _memory = std::make_unique<MdaMemory>(
         "mem", _eq, _stats, config.memTiming, config.memTopo);
     buildCaches(config);
@@ -193,6 +220,9 @@ System::sampleOccupancy()
 RunResult
 System::run()
 {
+    if (_config.sampling())
+        return runSampled();
+
     // MDA_LINT_ALLOW(DET-1): the ticks/sec heartbeat is the one
     // sanctioned wall-clock read — it paces progress reporting only
     // and can never influence simulated state or event order.
@@ -242,7 +272,12 @@ System::run()
         _interval->finalize();
     _stats.setMeta("finalTick",
                    std::to_string(_cpu->finishTick()));
+    return distill();
+}
 
+RunResult
+System::distill() const
+{
     RunResult result;
     result.cycles = _cpu->finishTick();
     result.ops =
@@ -257,6 +292,173 @@ System::run()
         _stats.scalar("mem.bytesRead") +
         _stats.scalar("mem.bytesWritten"));
     result.checkFailures = _cpu->checkFailures();
+    return result;
+}
+
+RunResult
+System::runSampled()
+{
+    // SMARTS (Wunderlich et al.): each samplePeriod ops, run
+    // 2 x sampleWindow fully timed — a detailed-warming stretch that
+    // refills the transient micro-state (MLP window, MSHRs, row
+    // buffers) after the functional gap, then the measured window
+    // proper — and fast-forward the remainder functionally (state
+    // effects only — replacement, dirty bits, duplicate coherence,
+    // prefetcher training — so the measured windows also see warm
+    // caches). The warm/measure boundary is a mid-run budget hook, so
+    // the pipeline never drains between the two: without the warming,
+    // queue-occupancy stats (issue stalls, row-buffer hits) are
+    // systematically under-counted at every cold window start. Each
+    // whole-run counter is estimated as (mean per-op rate across
+    // windows) x (total ops), with a 95% confidence interval from the
+    // window-to-window variance. Between windows the clock jumps by
+    // the running cycles-per-op estimate so the final tick is itself
+    // an estimate.
+    const std::uint64_t window = _config.sampleWindow;
+    const std::uint64_t warm = _config.sampleWindow;
+    const std::uint64_t skip = _config.samplePeriod - window - warm;
+
+    const std::vector<std::string> names = _stats.scalarNames();
+    std::vector<std::vector<double>> rates(names.size());
+    std::vector<double> before(names.size(), 0.0);
+    std::vector<double> after(names.size(), 0.0);
+    std::vector<double> ticksPerOp;
+
+    std::uint64_t windows = 0;
+    std::uint64_t measuredOps = 0;
+    Tick measuredTicks = 0;
+
+    const auto opsIdx = static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), "cpu.ops") -
+        names.begin());
+    mda_assert(opsIdx < names.size(), "cpu.ops not registered");
+
+    while (true) {
+        // ---- detailed warming + measured window (one timed run) ----
+        // Both measurement boundaries are mid-run budget hooks: the
+        // window opens when warming's last op has issued (pipeline
+        // hot, never drained) and closes when its own last op issues
+        // (before the drain). In-flight traffic thus crosses both
+        // edges symmetrically — closing after the drain instead
+        // over-counts fills by up to maxOutstanding per window.
+        Tick t0 = 0, t1 = 0;
+        bool measuring = false, closed = false;
+        _cpu->setIssueBudget(warm + window);
+        _cpu->setBudgetHook(window, [&] {
+            for (std::size_t i = 0; i < names.size(); ++i)
+                before[i] = _stats.scalar(names[i]);
+            t0 = _eq.curTick();
+            measuring = true;
+            _cpu->setBudgetHook(0, [&] {
+                for (std::size_t i = 0; i < names.size(); ++i)
+                    after[i] = _stats.scalar(names[i]);
+                t1 = _eq.curTick();
+                closed = true;
+            });
+        });
+        const double ops_at_entry = _stats.scalar("cpu.ops");
+        _cpu->start();
+        _eq.run();
+
+        std::uint64_t issued = static_cast<std::uint64_t>(
+            _stats.scalar("cpu.ops") - ops_at_entry);
+        if (!_cpu->done() && issued != warm + window)
+            panic("sampled simulation deadlocked at tick %llu",
+                  (unsigned long long)_eq.curTick());
+        // The trace can dry up during warming (nothing measured this
+        // period) or mid-window — the partial window then closes at
+        // the post-drain state, like the full run's own ending.
+        if (measuring && !closed) {
+            for (std::size_t i = 0; i < names.size(); ++i)
+                after[i] = _stats.scalar(names[i]);
+            t1 = _eq.curTick();
+        }
+        std::uint64_t wops =
+            measuring ? static_cast<std::uint64_t>(after[opsIdx] -
+                                                   before[opsIdx])
+                      : 0;
+        if (wops > 0) {
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                rates[i].push_back((after[i] - before[i]) /
+                                   static_cast<double>(wops));
+            }
+            ticksPerOp.push_back(static_cast<double>(t1 - t0) /
+                                 static_cast<double>(wops));
+            ++windows;
+            measuredOps += wops;
+            measuredTicks += t1 - t0;
+        }
+        if (_cpu->done())
+            break;
+
+        // ---- functional fast-forward ----
+        std::uint64_t skipped = _cpu->fastForward(skip);
+        if (skipped > 0 && measuredOps > 0) {
+            // Advance the clock by the running cycles-per-op estimate
+            // so finishTick / finalTick extrapolate the same way the
+            // counters do.
+            double cpo = static_cast<double>(measuredTicks) /
+                         static_cast<double>(measuredOps);
+            _eq.advanceTo(_eq.curTick() +
+                          static_cast<Tick>(
+                              cpo * static_cast<double>(skipped)));
+        }
+        if (_cpu->done())
+            break;
+    }
+    _cpu->setBudgetHook(~std::uint64_t{0}, nullptr);
+
+    const std::uint64_t totalOps =
+        static_cast<std::uint64_t>(_stats.scalar("cpu.ops")) +
+        _cpu->fastForwardedOps();
+
+    // Scale counters to whole-run estimates; gauges keep their last
+    // observed value. The CI meta block records the sampling design
+    // and the per-stat uncertainty for the analyzers' error bars.
+    std::ostringstream meta;
+    meta << "{\"periodOps\":" << _config.samplePeriod
+         << ",\"windowOps\":" << window << ",\"warmupOps\":" << warm
+         << ",\"windows\":" << windows
+         << ",\"measuredOps\":" << measuredOps
+         << ",\"totalOps\":" << totalOps << ",\"stats\":{";
+    bool first_stat = true;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (_stats.isGauge(names[i]) || rates[i].empty())
+            continue;
+        double mean = 0.0;
+        for (double r : rates[i])
+            mean += r;
+        mean /= static_cast<double>(rates[i].size());
+        double var = 0.0;
+        for (double r : rates[i])
+            var += (r - mean) * (r - mean);
+        std::size_t n = rates[i].size();
+        double stderr_rate =
+            n > 1 ? std::sqrt(var / static_cast<double>(n - 1) /
+                              static_cast<double>(n))
+                  : 0.0;
+        double estimate = mean * static_cast<double>(totalOps);
+        double ci95 =
+            1.96 * stderr_rate * static_cast<double>(totalOps);
+        _stats.setScalar(names[i], estimate);
+        if (!first_stat)
+            meta << ",";
+        first_stat = false;
+        meta << "\"" << names[i] << "\":{\"estimate\":";
+        stats::writeJsonNumber(meta, estimate);
+        meta << ",\"ci95\":";
+        stats::writeJsonNumber(meta, ci95);
+        meta << "}";
+    }
+    meta << "}}";
+    _stats.setMeta("sampling", meta.str());
+    // The clock advanced through the fast-forward phases by the
+    // cycles-per-op estimate, so the current tick *is* the estimated
+    // run length (finishTick would predate the final advance when the
+    // trace dries up mid-fast-forward).
+    _stats.setMeta("finalTick", std::to_string(_eq.curTick()));
+    RunResult result = distill();
+    result.cycles = _eq.curTick();
     return result;
 }
 

@@ -54,7 +54,9 @@ class System
     System(const SystemConfig &config,
            std::unique_ptr<trace::TraceSource> source);
 
-    /** Run to completion and distill the results. */
+    /** Run to completion and distill the results. With
+     *  SystemConfig::sampling() set, dispatches to the SMARTS-style
+     *  sampled loop (runSampled) instead of the exact event loop. */
     RunResult run();
 
     /** All statistics (benches pull extra series/values from here). */
@@ -86,6 +88,13 @@ class System
   private:
     void buildCaches(const SystemConfig &config);
     void sampleOccupancy();
+
+    /** SMARTS loop: alternate measured windows with functional
+     *  fast-forward, then scale counters to whole-run estimates. */
+    RunResult runSampled();
+
+    /** Shared tail of run()/runSampled(): distill RunResult. */
+    RunResult distill() const;
 
     SystemConfig _config;
     EventQueue _eq;

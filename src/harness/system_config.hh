@@ -116,6 +116,30 @@ struct SystemConfig
      *  either way (the determinism tests pin this). */
     bool packetPooling = true;
 
+    /**
+     * SMARTS-style sampled simulation: of every samplePeriod
+     * operations, 2 x sampleWindow are simulated fully timed — a
+     * detailed-warming stretch that refills the transient queue
+     * state after the functional gap, then the measured window —
+     * and the rest are fast-forwarded functionally: cache state
+     * stays warm, no events run. Counter stats are scaled to
+     * whole-run estimates from the per-window rates, with 95%
+     * confidence intervals recorded in the stats JSON's meta
+     * "sampling" block. 0 disables (the default: full runs stay
+     * byte-identical). Requires 2 * sampleWindow <= samplePeriod.
+     *
+     * Incompatible with checkData (fast-forward moves no data),
+     * trace Capture (the captured stream would be incomplete), and
+     * the tick-driven samplers (occupancySamplePeriod,
+     * statsInterval): skipped intervals would skew their series.
+     */
+    std::uint64_t samplePeriod = 0;
+
+    /** Fully-timed operations per measured window (sampling). */
+    std::uint64_t sampleWindow = 0;
+
+    bool sampling() const { return samplePeriod > 0; }
+
     /** Capture or replay the operation stream instead of (re)walking
      *  the loop nest every run. Off by default; stats and results are
      *  byte-identical in all three modes. */

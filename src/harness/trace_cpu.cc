@@ -106,10 +106,44 @@ TraceCpu::makePacket(const compiler::TraceOp &op)
     return pkt;
 }
 
+std::uint64_t
+TraceCpu::fastForward(std::uint64_t count)
+{
+    mda_assert(_outstanding == 0 && !_blockedPkt && !_waitingRetry,
+               "fast-forward with timed work in flight");
+    std::uint64_t applied = 0;
+    while (applied < count) {
+        if (!_havePending) {
+            if (!_src.next(_pendingOp)) {
+                _traceDone = true;
+                _finishTick = curTick();
+                break;
+            }
+            _havePending = true;
+        }
+        FunctionalReq req;
+        req.line = OrientedLine::containing(_pendingOp.addr,
+                                            _pendingOp.orient);
+        req.addr = _pendingOp.addr;
+        req.pc = _pendingOp.pc;
+        req.isLine = _pendingOp.isVector;
+        req.wordMask =
+            _pendingOp.isVector ? _pendingOp.wordMask : 0x01;
+        req.isWrite = _pendingOp.isWrite;
+        _l1.functionalAccess(req);
+        _havePending = false;
+        ++applied;
+    }
+    _ffOps += applied;
+    return applied;
+}
+
 void
 TraceCpu::issue()
 {
-    while (true) {
+    // A spent window budget silences the issue path (sampling): the
+    // in-flight window drains and the event queue goes quiescent.
+    while (_issueBudget != 0) {
         if (!_havePending) {
             if (!_src.next(_pendingOp)) {
                 _traceDone = true;
@@ -167,6 +201,13 @@ TraceCpu::issue()
         }
         ++_ops;
         ++_outstanding;
+        --_issueBudget;
+        if (MDA_UNLIKELY(_issueBudget == _hookAt) && _budgetHook) {
+            // Detach first: the hook may install its successor.
+            auto hook = std::move(_budgetHook);
+            _budgetHook = nullptr;
+            hook();
+        }
         if (_pendingOp.isVector)
             ++_vectorOps;
         (_pendingOp.isWrite ? _writeOps : _readOps) += 1;

@@ -19,6 +19,7 @@
 #ifndef MDA_HARNESS_TRACE_CPU_HH
 #define MDA_HARNESS_TRACE_CPU_HH
 
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,44 @@ class TraceCpu : public SimObject, public MemClient
         return static_cast<std::uint64_t>(_checkFailures.value());
     }
 
+    /**
+     * Cap further timed issues at @p n operations (a sampling
+     * measured window). When the budget is spent, issue() goes
+     * quiescent — in-flight responses drain and the event queue
+     * empties — without marking the trace done. The default (~0)
+     * never exhausts.
+     */
+    void setIssueBudget(std::uint64_t n) { _issueBudget = n; }
+
+    /**
+     * Fire @p hook once, the moment the issue budget drops to
+     * @p remaining — i.e. mid-run, with the pipeline hot. The hook is
+     * detached before it is invoked, so it may re-arm a successor.
+     * Sampled simulation uses this to open and close the measured
+     * window between the detailed-warming ops and the drain, so
+     * neither boundary's in-flight traffic lands in the deltas.
+     */
+    void
+    setBudgetHook(std::uint64_t remaining, std::function<void()> hook)
+    {
+        _hookAt = remaining;
+        _budgetHook = std::move(hook);
+    }
+
+    /**
+     * Functionally apply up to @p count trace operations through the
+     * hierarchy's functionalAccess() path: state effects only, no
+     * events, no statistics. Returns the number applied (short on
+     * trace exhaustion, which marks the trace done).
+     *
+     * @pre The timed machinery is idle: no outstanding responses, no
+     *      blocked packet, no pending retry.
+     */
+    std::uint64_t fastForward(std::uint64_t count);
+
+    /** Operations consumed by fastForward() so far. */
+    std::uint64_t fastForwardedOps() const { return _ffOps; }
+
     // MemClient
     void recvResponse(PacketPtr pkt) override;
     void recvRetry() override;
@@ -91,6 +130,14 @@ class TraceCpu : public SimObject, public MemClient
     unsigned _outstanding = 0;
     Tick _finishTick = 0;
     std::uint64_t _nextValue = 1;
+    /** Timed issues left in the current measured window (sampling);
+     *  the ~0 default behaves as unlimited. */
+    std::uint64_t _issueBudget = ~std::uint64_t{0};
+    std::uint64_t _ffOps = 0;
+    /** Budget level at which _budgetHook fires (~0 = never: a live
+     *  budget can never climb back to its pre-decrement start). */
+    std::uint64_t _hookAt = ~std::uint64_t{0};
+    std::function<void()> _budgetHook;
 
     /** Reference model + per-packet expected read values. */
     BackingStore _reference;

@@ -8,26 +8,37 @@
  * on schedule) and the queue guarantees deterministic ordering so
  * simulations are exactly reproducible.
  *
- * Internally the queue is a hybrid of two structures tuned for the
+ * Internally the queue is a hybrid of three structures tuned for the
  * simulator's scheduling mix:
  *
- *  - a 4-ary min-heap on the packed (tick, priority, sequence) key for
- *    future events (shallower than a binary heap: ~half the levels,
- *    and the 4 children of a node share a cache line pair);
  *  - per-priority FIFO buckets for events scheduled AT the current
  *    tick (retry storms, CPU issue chains): insertion is an O(1)
  *    append, and because the global sequence counter is monotone the
- *    bucket is sorted by construction.
+ *    bucket is sorted by construction;
+ *  - a calendar wheel for near-future events (issue +1, tag/data
+ *    latencies, DRAM service times — virtually everything the
+ *    simulator schedules): one slot per tick in a fixed window,
+ *    insertion is an O(1) append and each slot is sorted once when
+ *    its tick is reached (slots hold a handful of events and arrive
+ *    almost sorted, so this is a near-no-op insertion sort);
+ *  - a 4-ary min-heap on the packed (tick, priority, sequence) key
+ *    for far-future events beyond the wheel window (stats intervals,
+ *    occupancy samplers). The heap stays tiny, so its O(log n) sift
+ *    cost is off the hot path entirely.
  *
- * Same-tick bucket events always belong to the earliest pending tick
- * (nothing can be scheduled in the past), so the only ordering work at
- * pop time is a single key comparison against the heap top.
+ * Cross-structure ordering is exact: every event carries the packed
+ * (priority, sequence) order key, the wheel drain merges heap events
+ * that share the drained tick, and within the current tick the only
+ * per-pop work is one key comparison between the bucket heads and the
+ * sorted current-tick list.
  */
 
 #ifndef MDA_SIM_EVENT_QUEUE_HH
 #define MDA_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -108,6 +119,17 @@ class EventQueue
             // monotone, so appending keeps each bucket FIFO-sorted.
             _now[p].items.emplace_back(seq, std::forward<Fn>(fn));
             ++_nowCount;
+        } else if (when - _curTick < wheelSize) {
+            // Strictly less than the window so a slot is never
+            // appended to while it is the one being drained: a
+            // delta-W event would alias the current tick's slot.
+            const std::size_t s = when & wheelMask;
+            if (_wheel[s].empty())
+                _wheelOcc[s >> 6] |= std::uint64_t{1} << (s & 63);
+            _wheel[s].push_back(
+                WheelEvent{packOrder(p, seq),
+                           allocCallback(std::forward<Fn>(fn))});
+            ++_wheelCount;
         } else {
             heapEmplace(when, packOrder(p, seq),
                         std::forward<Fn>(fn));
@@ -124,18 +146,30 @@ class EventQueue
     }
 
     /** Whether any events remain. */
-    bool empty() const { return _nowCount == 0 && _heap.empty(); }
+    bool
+    empty() const
+    {
+        return _nowCount == 0 && _curHead == _cur.size() &&
+               _wheelCount == 0 && _heap.empty();
+    }
 
     /** Number of pending events. */
-    std::size_t size() const { return _nowCount + _heap.size(); }
+    std::size_t
+    size() const
+    {
+        return _nowCount + (_cur.size() - _curHead) + _wheelCount +
+               _heap.size();
+    }
 
     /** Tick of the next pending event (maxTick if none). */
     Tick
     nextTick() const
     {
-        if (_nowCount != 0)
+        if (_nowCount != 0 || _curHead != _cur.size())
             return _curTick;
-        return _heap.empty() ? maxTick : _heap.front().when;
+        const Tick tw = nextWheelTick();
+        const Tick th = _heap.empty() ? maxTick : _heap.front().when;
+        return std::min(tw, th);
     }
 
     /**
@@ -171,6 +205,22 @@ class EventQueue
         return executeOne<false>(maxTick);
     }
 
+    /**
+     * Jump simulated time forward to @p when without executing
+     * anything (sampling fast-forward between measured windows).
+     *
+     * Only legal while the queue is empty: pending wheel events are
+     * addressed modulo the window, so teleporting time past them
+     * would corrupt the slot-to-tick mapping.
+     */
+    void
+    advanceTo(Tick when)
+    {
+        mda_assert(empty(), "advanceTo with pending events");
+        mda_assert(when >= _curTick, "advanceTo into the past");
+        _curTick = when;
+    }
+
     /** Discard all pending events and reset time to zero. */
     void
     reset()
@@ -183,6 +233,12 @@ class EventQueue
             bucket.head = 0;
         }
         _nowCount = 0;
+        for (std::vector<WheelEvent> &slot : _wheel)
+            slot.clear();
+        _wheelOcc.fill(0);
+        _wheelCount = 0;
+        _cur.clear();
+        _curHead = 0;
         _curTick = 0;
         _nextSeq = 0;
     }
@@ -199,6 +255,12 @@ class EventQueue
     static constexpr unsigned seqBits = 56;
     static constexpr unsigned numPriorities = 4;
     static constexpr std::size_t heapArity = 4;
+    /** Calendar window, in ticks. Covers every latency the memory
+     *  system schedules in practice; rarer far-future events (stats
+     *  intervals, heartbeat slices) overflow to the heap. */
+    static constexpr std::size_t wheelSize = 1024;
+    static constexpr Tick wheelMask = wheelSize - 1;
+    static constexpr std::size_t wheelWords = wheelSize / 64;
 
     /**
      * Heap node: ordering key plus a slot index into the callback
@@ -209,6 +271,14 @@ class EventQueue
     struct HeapKey
     {
         Tick when;
+        std::uint64_t order;  ///< packOrder(prio, seq)
+        std::uint32_t slot;   ///< index into _cbSlab
+    };
+
+    /** Wheel entry: the tick is implied by the slot, so only the
+     *  order key and the callback's slab index are stored. */
+    struct WheelEvent
+    {
         std::uint64_t order;  ///< packOrder(prio, seq)
         std::uint32_t slot;   ///< index into _cbSlab
     };
@@ -244,14 +314,14 @@ class EventQueue
         return a_order < b.order;
     }
 
+    /** Construct the callback in a stable slab slot and return its
+     *  index. Slot choice never affects event ordering (the order key
+     *  carries it), and the free list is LIFO by execution order —
+     *  simulation state, never addresses. */
     template <typename Fn>
-    void
-    heapEmplace(Tick when, std::uint64_t order, Fn &&fn)
+    std::uint32_t
+    allocCallback(Fn &&fn)
     {
-        // Construct the callback in a stable slab slot; only the key
-        // participates in sifting. Slot choice never affects event
-        // ordering (the key carries it), and the free list is LIFO by
-        // execution order — simulation state, never addresses.
         std::uint32_t slot;
         if (!_cbFree.empty()) {
             slot = _cbFree.back();
@@ -264,6 +334,15 @@ class EventQueue
             slot = static_cast<std::uint32_t>(_cbSlab.size());
             _cbSlab.emplace_back(std::forward<Fn>(fn));
         }
+        return slot;
+    }
+
+    template <typename Fn>
+    void
+    heapEmplace(Tick when, std::uint64_t order, Fn &&fn)
+    {
+        const std::uint32_t slot =
+            allocCallback(std::forward<Fn>(fn));
         _heap.push_back(HeapKey{when, order, slot});
         std::size_t i = _heap.size() - 1;
         if (i == 0 ||
@@ -317,11 +396,93 @@ class EventQueue
     }
 
     /**
+     * Tick of the earliest wheel event (maxTick if none).
+     *
+     * A circular scan of the occupancy bitmap starting just past the
+     * current tick's position enumerates slots in increasing distance;
+     * the slot sharing the current tick's position is empty by
+     * construction (delta-W events go to the heap, and the slot was
+     * drained when this tick was reached), so the first set bit found
+     * is the minimum.
+     */
+    Tick
+    nextWheelTick() const
+    {
+        if (_wheelCount == 0)
+            return maxTick;
+        const std::size_t base = (_curTick + 1) & wheelMask;
+        std::size_t w = base >> 6;
+        std::uint64_t bits =
+            _wheelOcc[w] & (~std::uint64_t{0} << (base & 63));
+        for (;;) {
+            if (bits != 0) {
+                const std::size_t s =
+                    (w << 6) | static_cast<std::size_t>(
+                                   std::countr_zero(bits));
+                const Tick d = (s - _curTick) & wheelMask;
+                mda_assert(d != 0, "wheel event at the current tick");
+                return _curTick + d;
+            }
+            w = (w + 1) & (wheelWords - 1);
+            bits = _wheelOcc[w];
+        }
+    }
+
+    /**
+     * Advance time to the earliest pending tick (if <= @p limit) and
+     * stage that tick's events, sorted by order key, into _cur.
+     *
+     * Heap events sharing the tick are merged here, so during
+     * execution the heap front is always strictly in the future and
+     * never consulted on the per-event path.
+     *
+     * @pre no executable work remains at the current tick.
+     * @return false (time unchanged) if the next tick exceeds @p limit
+     *         or nothing is pending.
+     */
+    bool
+    advanceToNext(Tick limit)
+    {
+        if (_wheelCount == 0 && _heap.empty())
+            return false;
+        const Tick tw = nextWheelTick();
+        const Tick th = _heap.empty() ? maxTick : _heap.front().when;
+        const Tick t = std::min(tw, th);
+        if (t > limit)
+            return false;
+        mda_assert(t > _curTick, "time went backwards");
+        _curTick = t;
+        _cur.clear();
+        _curHead = 0;
+        if (t == tw) {
+            std::vector<WheelEvent> &slot = _wheel[t & wheelMask];
+            _cur.swap(slot);
+            _wheelCount -= _cur.size();
+            _wheelOcc[(t & wheelMask) >> 6] &=
+                ~(std::uint64_t{1} << (t & 63));
+        }
+        while (!_heap.empty() && _heap.front().when == t) {
+            const HeapKey key = heapPop();
+            _cur.push_back(WheelEvent{key.order, key.slot});
+        }
+        // Appends arrive in sequence order per priority, so the list
+        // is almost always sorted already and this degenerates to one
+        // verification pass.
+        if (_cur.size() > 1) {
+            std::sort(_cur.begin(), _cur.end(),
+                      [](const WheelEvent &a, const WheelEvent &b) {
+                          return a.order < b.order;
+                      });
+        }
+        return true;
+    }
+
+    /**
      * Execute the globally earliest event if its tick is <= @p limit.
      *
-     * Bucket events are all at _curTick, which is <= every heap tick,
-     * so the cross-structure ordering decision reduces to one key
-     * comparison when the heap top shares the current tick.
+     * Bucket and _cur events are all at _curTick, which is < every
+     * heap/wheel tick, so the cross-structure ordering decision
+     * reduces to one order-key comparison.
      *
      * @return true if an event ran.
      */
@@ -329,17 +490,21 @@ class EventQueue
     bool
     executeOne(Tick limit)
     {
-        if (_nowCount != 0) {
-            if (MDA_UNLIKELY(_curTick > limit))
+        if (_nowCount == 0 && _curHead == _cur.size()) {
+            if (!advanceToNext(limit))
                 return false;
+        } else if (MDA_UNLIKELY(_curTick > limit)) {
+            return false;
+        }
+        if (_nowCount != 0) {
             unsigned p = 0;
             while (_now[p].drained())
                 ++p;
             NowBucket &bucket = _now[p];
             const std::uint64_t seq = bucket.items[bucket.head].seq;
-            if (!_heap.empty() && _heap.front().when == _curTick &&
-                _heap.front().order < packOrder(p, seq))
-                return executeHeapTop<Traced>();
+            if (_curHead != _cur.size() &&
+                _cur[_curHead].order < packOrder(p, seq))
+                return executeCur<Traced>();
             Callback cb = std::move(bucket.items[bucket.head].cb);
             if (++bucket.head == bucket.items.size()) {
                 bucket.items.clear();
@@ -351,23 +516,21 @@ class EventQueue
             cb();
             return true;
         }
-        if (_heap.empty() || _heap.front().when > limit)
-            return false;
-        return executeHeapTop<Traced>();
+        return executeCur<Traced>();
     }
 
+    /** Execute the head of the staged current-tick list.
+     *  @pre _curHead != _cur.size() */
     template <bool Traced>
     bool
-    executeHeapTop()
+    executeCur()
     {
         // Move the callback out and release its slot before running,
         // so the callback can safely schedule further events (and
         // even reset() the queue) without touching live slab state.
-        HeapKey ev = heapPop();
+        const WheelEvent ev = _cur[_curHead++];
         Callback cb = std::move(_cbSlab[ev.slot]);
         _cbFree.push_back(ev.slot);
-        mda_assert(ev.when >= _curTick, "time went backwards");
-        _curTick = ev.when;
         if constexpr (Traced) {
             traceExecute(ev.order & ((std::uint64_t{1} << seqBits) - 1),
                          static_cast<unsigned>(ev.order >> seqBits));
@@ -395,13 +558,21 @@ class EventQueue
     }
 
     std::vector<HeapKey> _heap;
-    /** Callback storage for heap events, indexed by HeapKey::slot.
+    /** Callback storage for wheel and heap events, indexed by slot.
      *  Slots are stable while their event is pending. */
     std::vector<Callback> _cbSlab;
     /** Recycled slab slots (LIFO by execution order). */
     std::vector<std::uint32_t> _cbFree;
     std::array<NowBucket, numPriorities> _now;
     std::size_t _nowCount = 0;
+    /** Calendar slots: pending events for tick T live at T mod W. */
+    std::array<std::vector<WheelEvent>, wheelSize> _wheel;
+    /** One occupancy bit per wheel slot, for next-tick scans. */
+    std::array<std::uint64_t, wheelWords> _wheelOcc{};
+    std::size_t _wheelCount = 0;
+    /** The current tick's staged events, sorted by order key. */
+    std::vector<WheelEvent> _cur;
+    std::size_t _curHead = 0;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
 };

@@ -34,6 +34,25 @@ class MemClient
     virtual void recvRetry() = 0;
 };
 
+/**
+ * One access applied functionally: state effects only, no timing.
+ *
+ * Used by sampled simulation's fast-forward phase to keep cache
+ * contents (tags, recency, dirty/valid masks, duplicate-coherence
+ * state) warm between measured windows. Carries no payload — data
+ * correctness is the checker's concern, and sampling forbids the
+ * checker.
+ */
+struct FunctionalReq
+{
+    OrientedLine line;       ///< Accessed line (scalar: containing).
+    Addr addr = 0;           ///< Scalar word address (!isLine only).
+    Addr pc = 0;             ///< Issuing PC (trains the prefetcher).
+    std::uint8_t wordMask = 0x01; ///< Words touched (line ops).
+    bool isLine = false;
+    bool isWrite = false;
+};
+
 /** Downward-facing interface: accepts requests from the level above. */
 class MemDevice
 {
@@ -51,6 +70,33 @@ class MemDevice
 
     /** Connect the upstream client that receives responses/retries. */
     virtual void setUpstream(MemClient *client) = 0;
+
+    /**
+     * Apply @p req's state effects immediately — replacement, dirty
+     * bits, duplicate coherence — bypassing timing, flow control,
+     * MSHRs, and statistics. Misses recurse into the level below.
+     * Main memory keeps no access-dependent state, so the default
+     * no-op terminates the chain.
+     *
+     * @pre The timed machinery is idle (no in-flight transactions):
+     *      fast-forward runs strictly between drained windows.
+     */
+    virtual void functionalAccess(const FunctionalReq &req)
+    {
+        (void)req;
+    }
+
+    /**
+     * Functional counterpart of a writeback arriving from above:
+     * merge @p mask's words of @p line as dirty, allocating like the
+     * timed writeback path would. Same default as functionalAccess().
+     */
+    virtual void
+    functionalWriteback(const OrientedLine &line, std::uint8_t mask)
+    {
+        (void)line;
+        (void)mask;
+    }
 };
 
 } // namespace mda

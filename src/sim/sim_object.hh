@@ -52,9 +52,10 @@ class SimObject
     /** Register a scalar stat as "<name>.<local>". */
     void
     regScalar(const std::string &local, stats::Scalar *stat,
-              const std::string &desc = "")
+              const std::string &desc = "",
+              stats::StatKind kind = stats::StatKind::Counter)
     {
-        _statGroup.regScalar(_name + "." + local, stat, desc);
+        _statGroup.regScalar(_name + "." + local, stat, desc, kind);
     }
 
     void

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -218,16 +219,47 @@ class TimeSeries
  * A named collection of statistics. Components register their stats
  * here; benches and tests read them back by dotted name.
  */
+/**
+ * How a Scalar accumulates — the contract sampled simulation relies
+ * on to scale measured-window deltas up to whole-run estimates.
+ */
+enum class StatKind : std::uint8_t
+{
+    Counter, ///< Monotone accumulation; scales with work performed.
+    Gauge,   ///< Point-in-time level (e.g. presence-bit population);
+             ///  never scaled, the last observed value stands.
+};
+
 class StatGroup
 {
   public:
     /** Register a scalar under @p name (must be unique). */
     void
     regScalar(const std::string &name, Scalar *stat,
-              const std::string &desc = "")
+              const std::string &desc = "",
+              StatKind kind = StatKind::Counter)
     {
         addUnique(name);
         _scalars[name] = {stat, desc};
+        if (kind == StatKind::Gauge)
+            _gauges.insert(name);
+    }
+
+    /** True when @p name was registered as a Gauge. */
+    bool
+    isGauge(const std::string &name) const
+    {
+        return _gauges.count(name) != 0;
+    }
+
+    /** Overwrite a scalar's value (sampled-run estimate scaling). */
+    void
+    setScalar(const std::string &name, double value)
+    {
+        auto it = _scalars.find(name);
+        if (it == _scalars.end())
+            fatal("no such scalar stat: %s", name.c_str());
+        *it->second.stat = value;
     }
 
     void
@@ -366,6 +398,7 @@ class StatGroup
     std::map<std::string, Entry<Distribution>> _dists;
     std::map<std::string, Entry<TimeSeries>> _series;
     std::map<std::string, std::string> _meta;
+    std::set<std::string> _gauges;
 };
 
 } // namespace mda::stats

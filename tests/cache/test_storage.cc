@@ -1,4 +1,4 @@
-/** @file Unit tests for set-associative line storage. */
+/** @file Unit tests for SoA set-associative line storage. */
 
 #include <gtest/gtest.h>
 
@@ -13,33 +13,34 @@ TEST(LineStorage, InstallFindInvalidate)
 {
     LineStorage storage(4, 2);
     OrientedLine line(Orientation::Col, 99);
-    EXPECT_EQ(storage.find(1, line), nullptr);
-    CacheEntry *victim = storage.victim(1);
+    EXPECT_EQ(storage.find(1, line), kNoSlot);
+    StorageSlot victim = storage.victim(1);
     storage.install(victim, line);
     EXPECT_EQ(storage.find(1, line), victim);
+    EXPECT_EQ(storage.line(victim), line);
     // Same id, other orientation is a different line.
     EXPECT_EQ(storage.find(1, OrientedLine(Orientation::Row, 99)),
-              nullptr);
+              kNoSlot);
     storage.invalidate(victim);
-    EXPECT_EQ(storage.find(1, line), nullptr);
+    EXPECT_EQ(storage.find(1, line), kNoSlot);
 }
 
 TEST(LineStorage, VictimPrefersInvalid)
 {
     LineStorage storage(1, 2);
-    CacheEntry *a = storage.victim(0);
+    StorageSlot a = storage.victim(0);
     storage.install(a, OrientedLine(Orientation::Row, 1));
-    CacheEntry *b = storage.victim(0);
+    StorageSlot b = storage.victim(0);
     EXPECT_NE(a, b);
-    EXPECT_FALSE(b->valid);
+    EXPECT_FALSE(storage.valid(b));
 }
 
 TEST(LineStorage, LruVictimIsOldest)
 {
     LineStorage storage(1, 2);
-    CacheEntry *a = storage.victim(0);
+    StorageSlot a = storage.victim(0);
     storage.install(a, OrientedLine(Orientation::Row, 1));
-    CacheEntry *b = storage.victim(0);
+    StorageSlot b = storage.victim(0);
     storage.install(b, OrientedLine(Orientation::Row, 2));
     storage.touch(a); // a is now most recent
     EXPECT_EQ(storage.victim(0), b);
@@ -48,23 +49,23 @@ TEST(LineStorage, LruVictimIsOldest)
 TEST(LineStorage, WordDataAndDirtyBits)
 {
     LineStorage storage(1, 1);
-    CacheEntry *e = storage.victim(0);
+    StorageSlot e = storage.victim(0);
     storage.install(e, OrientedLine(Orientation::Row, 5));
-    e->setWord(3, 0x1234, false);
-    EXPECT_EQ(e->word(3), 0x1234u);
-    EXPECT_FALSE(e->dirty());
-    e->setWord(3, 0x5678, true);
-    EXPECT_EQ(e->dirtyMask, 1u << 3);
-    EXPECT_TRUE(e->dirty());
+    storage.setWord(e, 3, 0x1234, false);
+    EXPECT_EQ(storage.word(e, 3), 0x1234u);
+    EXPECT_FALSE(storage.dirty(e));
+    storage.setWord(e, 3, 0x5678, true);
+    EXPECT_EQ(storage.dirtyMask(e), 1u << 3);
+    EXPECT_TRUE(storage.dirty(e));
 }
 
 TEST(LineStorage, OrientationOccupancyCounters)
 {
     LineStorage storage(4, 2);
     EXPECT_EQ(storage.validColLines(), 0u);
-    CacheEntry *a = storage.victim(0);
+    StorageSlot a = storage.victim(0);
     storage.install(a, OrientedLine(Orientation::Col, 8));
-    CacheEntry *b = storage.victim(1);
+    StorageSlot b = storage.victim(1);
     storage.install(b, OrientedLine(Orientation::Row, 9));
     EXPECT_EQ(storage.validColLines(), 1u);
     EXPECT_EQ(storage.validRowLines(), 1u);
@@ -72,13 +73,83 @@ TEST(LineStorage, OrientationOccupancyCounters)
     EXPECT_EQ(storage.validColLines(), 0u);
 }
 
+TEST(LineStorage, CrossingMaskSweep)
+{
+    // All 16 lines of a tile in one big set (Same-Set geometry):
+    // one sweep yields the resident-crossing-line mask.
+    LineStorage storage(1, 16);
+    std::uint64_t tile = 7;
+    for (unsigned idx : {1u, 4u, 6u}) {
+        StorageSlot v = storage.victim(0);
+        storage.install(
+            v, OrientedLine(Orientation::Col, (tile << 3) | idx));
+    }
+    // A row line of another tile and a row line of this tile must
+    // not contaminate the column sweep.
+    StorageSlot v = storage.victim(0);
+    storage.install(v, OrientedLine(Orientation::Row, (tile << 3) | 4));
+    v = storage.victim(0);
+    storage.install(v,
+                    OrientedLine(Orientation::Col, ((tile + 1) << 3)));
+
+    std::array<StorageSlot, lineWords> slots{};
+    std::uint8_t mask =
+        storage.crossingMask(0, Orientation::Col, tile, slots);
+    EXPECT_EQ(mask, (1u << 1) | (1u << 4) | (1u << 6));
+    for (unsigned idx : {1u, 4u, 6u}) {
+        EXPECT_EQ(storage.line(slots[idx]),
+                  OrientedLine(Orientation::Col, (tile << 3) | idx));
+    }
+}
+
+TEST(LineStorage, ShadowMapTracksAndDetectsDivergence)
+{
+    LineStorage storage(2, 2);
+    storage.enableShadow();
+    OrientedLine line(Orientation::Row, 12);
+    StorageSlot s = storage.victim(0);
+    storage.install(s, line);
+    EXPECT_TRUE(storage.shadowViolations().empty());
+    storage.invalidate(s);
+    EXPECT_TRUE(storage.shadowViolations().empty());
+    // A tag mutation that bypasses the bookkeeping must surface.
+    storage.install(storage.victim(1), line);
+    storage.testCorruptInvalidate(storage.slotOf(1, 0));
+    EXPECT_FALSE(storage.shadowViolations().empty());
+}
+
 TEST(LineStorageDeathTest, DoubleInstall)
 {
     LineStorage storage(1, 1);
-    CacheEntry *e = storage.victim(0);
+    StorageSlot e = storage.victim(0);
     storage.install(e, OrientedLine(Orientation::Row, 1));
     EXPECT_DEATH(storage.install(e, OrientedLine(Orientation::Row, 2)),
                  "valid entry");
+}
+
+TEST(TileStorage, InstallFindInvalidate)
+{
+    TileStorage storage(4, 2);
+    EXPECT_EQ(storage.find(2, 77), kNoSlot);
+    StorageSlot s = storage.slotOf(2, 0);
+    storage.installFrame(s, 77);
+    EXPECT_EQ(storage.find(2, 77), s);
+    EXPECT_EQ(storage.tile(s), 77u);
+    EXPECT_EQ(storage.wordValid(s), 0u);
+    storage.setWord(s, 9, 0xabcd);
+    storage.orWordValid(s, 1ULL << 9);
+    EXPECT_EQ(storage.word(s, 9), 0xabcdu);
+    storage.invalidate(s);
+    EXPECT_EQ(storage.find(2, 77), kNoSlot);
+    EXPECT_EQ(storage.wordValid(s), 0u);
+}
+
+TEST(TileStorageDeathTest, DoubleInstall)
+{
+    TileStorage storage(1, 1);
+    StorageSlot s = storage.slotOf(0, 0);
+    storage.installFrame(s, 1);
+    EXPECT_DEATH(storage.installFrame(s, 2), "valid frame");
 }
 
 } // namespace

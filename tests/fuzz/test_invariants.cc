@@ -38,19 +38,20 @@ struct TileInvariants : public ::testing::Test
     TileCache &llc() { return *static_cast<TileCache *>(
         rig.levels[0].get()); }
 
-    /** The valid frame holding @p tile (asserts it exists). */
-    TileEntry &
+    /** The valid frame slot holding @p tile (asserts it exists). */
+    StorageSlot
     frameOf(std::uint64_t tile)
     {
+        TileStorage &st = llc().storage();
         for (std::uint64_t s = 0; s < llc().numSets(); ++s) {
             for (unsigned w = 0; w < 2; ++w) {
-                TileEntry &e = llc().frameAt(s, w);
-                if (e.valid && e.tile == tile)
-                    return e;
+                StorageSlot slot = st.slotOf(s, w);
+                if (st.valid(slot) && st.tile(slot) == tile)
+                    return slot;
             }
         }
         ADD_FAILURE() << "tile " << tile << " not cached";
-        return llc().frameAt(0, 0);
+        return st.slotOf(0, 0);
     }
 
     TestRig rig;
@@ -67,10 +68,11 @@ TEST_F(TileInvariants, CleanTrafficHasNoViolations)
 TEST_F(TileInvariants, DetectsDirtyBitOnAbsentWord)
 {
     rig.readLine(OrientedLine(Orientation::Row, (0ull << 3) | 1));
-    TileEntry &e = frameOf(0);
+    StorageSlot e = frameOf(0);
+    TileStorage &st = llc().storage();
     // Row 1 is present; mark a word of the never-filled row 5 dirty.
-    ASSERT_EQ(e.wordValid & (1ull << (5 * 8 + 2)), 0u);
-    e.wordDirty |= 1ull << (5 * 8 + 2);
+    ASSERT_EQ(st.wordValid(e) & (1ull << (5 * 8 + 2)), 0u);
+    st.testWordDirty(e) |= 1ull << (5 * 8 + 2);
     EXPECT_TRUE(mentions(llc().checkInvariants(),
                          "dirty bits on absent words"));
 }
@@ -78,8 +80,9 @@ TEST_F(TileInvariants, DetectsDirtyBitOnAbsentWord)
 TEST_F(TileInvariants, DetectsPresenceCounterDrift)
 {
     rig.readLine(OrientedLine(Orientation::Row, (0ull << 3) | 1));
-    TileEntry &e = frameOf(0);
-    e.wordValid &= e.wordValid - 1; // drop one presence bit
+    StorageSlot e = frameOf(0);
+    TileStorage &st = llc().storage();
+    st.testWordValid(e) &= st.testWordValid(e) - 1; // drop one bit
     EXPECT_TRUE(mentions(llc().checkInvariants(),
                          "presence-bit counter"));
 }
@@ -87,9 +90,10 @@ TEST_F(TileInvariants, DetectsPresenceCounterDrift)
 TEST_F(TileInvariants, DetectsBitsOnInvalidFrame)
 {
     // No traffic: every frame is invalid.
-    TileEntry &e = llc().frameAt(0, 0);
-    ASSERT_FALSE(e.valid);
-    e.wordValid = 1;
+    TileStorage &st = llc().storage();
+    StorageSlot e = st.slotOf(0, 0);
+    ASSERT_FALSE(st.valid(e));
+    st.testWordValid(e) = 1;
     EXPECT_TRUE(mentions(llc().checkInvariants(), "invalid frame"));
 }
 
@@ -127,18 +131,19 @@ TEST_F(LineInvariants, DetectsTwoDirtyCopiesOfOneWord)
     ASSERT_TRUE(l1().checkInvariants().empty());
     // ...until one copy goes dirty while the other survives — exactly
     // what the Fig. 9 write-evicts-duplicates policy must prevent.
-    CacheEntry *re = l1().storage().find(l1().setFor(row), row);
-    ASSERT_NE(re, nullptr);
-    re->dirtyMask |= 1u << 5; // word (2,5) seen from the row
+    StorageSlot re = l1().storage().find(l1().setFor(row), row);
+    ASSERT_NE(re, kNoSlot);
+    l1().storage().testDirtyMask(re) |= 1u << 5; // word (2,5), row view
     EXPECT_TRUE(mentions(l1().checkInvariants(),
                          "second copy in an intersecting line"));
 }
 
 TEST_F(LineInvariants, DetectsDirtyMaskOnInvalidFrame)
 {
-    CacheEntry *base = l1().storage().setBase(0);
-    ASSERT_FALSE(base[0].valid);
-    base[0].dirtyMask = 0x10;
+    LineStorage &st = l1().storage();
+    StorageSlot s = st.slotOf(0, 0);
+    ASSERT_FALSE(st.valid(s));
+    st.testDirtyMask(s) = 0x10;
     EXPECT_TRUE(mentions(l1().checkInvariants(), "dirty mask"));
 }
 
@@ -146,11 +151,26 @@ TEST_F(LineInvariants, DetectsOccupancyCounterDrift)
 {
     rig.readLine(OrientedLine(Orientation::Row, (1ull << 3) | 4));
     OrientedLine row(Orientation::Row, (1ull << 3) | 4);
-    CacheEntry *e = l1().storage().find(l1().setFor(row), row);
-    ASSERT_NE(e, nullptr);
-    e->valid = false; // frame vanishes but the counters still count it
+    StorageSlot e = l1().storage().find(l1().setFor(row), row);
+    ASSERT_NE(e, kNoSlot);
+    // Frame vanishes but the counters still count it.
+    l1().storage().testCorruptInvalidate(e);
     EXPECT_TRUE(mentions(l1().checkInvariants(),
                          "occupancy counters"));
+}
+
+TEST_F(LineInvariants, DetectsShadowMapDivergence)
+{
+    l1().storage().enableShadow();
+    rig.readLine(OrientedLine(Orientation::Row, (1ull << 3) | 4));
+    ASSERT_TRUE(l1().checkInvariants().empty());
+    OrientedLine row(Orientation::Row, (1ull << 3) | 4);
+    StorageSlot e = l1().storage().find(l1().setFor(row), row);
+    ASSERT_NE(e, kNoSlot);
+    // Drop the tag without telling the shadow map: the SoA arrays and
+    // the shadow representation now disagree.
+    l1().storage().testCorruptInvalidate(e);
+    EXPECT_TRUE(mentions(l1().checkInvariants(), "shadow map"));
 }
 
 } // namespace

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden-stats pinning: the SoA metadata refactor must be invisible
+ * in every statistic. The committed archives under tests/harness/
+ * golden/ were captured from the pre-refactor (per-line-object)
+ * build; this suite re-runs all 10 zoo+paper workloads through the
+ * CellRunner archive path and asserts the emitted --stats-json bytes
+ * match the goldens exactly — at --jobs 1 and at --jobs 4, on a
+ * LineCache design and on the TileCache (2P2L) design.
+ *
+ * Regenerating (only legitimate when a PR deliberately changes
+ * simulated behavior or the stats schema):
+ *
+ *   MDA_UPDATE_GOLDEN=1 ./build/tests/harness/test_golden_stats
+ *
+ * writes fresh archives into the source tree; commit them with the
+ * behavior change that motivated the refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "harness/runner.hh"
+#include "workloads/kernels.hh"
+
+namespace mda
+{
+namespace
+{
+
+#ifndef MDA_GOLDEN_DIR
+#error "MDA_GOLDEN_DIR must point at tests/harness/golden"
+#endif
+
+/** All 10 workloads: the 7 paper kernels plus the serving zoo. */
+std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names = workloads::workloadNames();
+    for (const auto &name : workloads::zooWorkloadNames())
+        names.push_back(name);
+    return names;
+}
+
+std::vector<RunSpec>
+goldenSpecs(DesignPoint design)
+{
+    std::vector<RunSpec> specs;
+    for (const auto &workload : allWorkloads()) {
+        RunSpec spec;
+        spec.workload = workload;
+        // spmv's hot-column set needs n >= 32; one size for all keeps
+        // the archive layout obvious.
+        spec.n = 32;
+        spec.system.design = design;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return {};
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Run the archive sweep with @p jobs workers and return its bytes. */
+std::string
+archiveBytes(DesignPoint design, unsigned jobs)
+{
+    std::string path = testing::TempDir() + "golden_archive_" +
+                       designName(design) + "_j" +
+                       std::to_string(jobs) + ".json";
+    {
+        bench::CellRunner runner(path, jobs);
+        std::vector<RunSpec> specs = goldenSpecs(design);
+        runner.warm(specs);
+        for (const auto &spec : specs)
+            runner(spec);
+    } // archive written on destruction
+    std::string bytes = readFile(path);
+    std::remove(path.c_str());
+    return bytes;
+}
+
+std::string
+goldenPath(DesignPoint design)
+{
+    return std::string(MDA_GOLDEN_DIR) + "/stats_" +
+           designName(design) + "_n32.json";
+}
+
+bool
+updateRequested()
+{
+    const char *env = std::getenv("MDA_UPDATE_GOLDEN");
+    return env && std::string(env) != "0";
+}
+
+class GoldenStats : public testing::TestWithParam<DesignPoint>
+{
+};
+
+TEST_P(GoldenStats, ByteIdenticalAtJobs1AndJobs4)
+{
+    DesignPoint design = GetParam();
+    std::string j1 = archiveBytes(design, 1);
+    ASSERT_FALSE(j1.empty());
+
+    if (updateRequested()) {
+        std::ofstream os(goldenPath(design), std::ios::binary);
+        ASSERT_TRUE(os.good()) << goldenPath(design);
+        os << j1;
+        GTEST_SKIP() << "golden regenerated: " << goldenPath(design);
+    }
+
+    std::string golden = readFile(goldenPath(design));
+    ASSERT_FALSE(golden.empty())
+        << "missing golden archive " << goldenPath(design)
+        << " (regenerate with MDA_UPDATE_GOLDEN=1)";
+
+    EXPECT_EQ(golden, j1)
+        << designName(design)
+        << ": jobs=1 archive diverged from the pre-refactor golden";
+
+    std::string j4 = archiveBytes(design, 4);
+    EXPECT_EQ(golden, j4)
+        << designName(design)
+        << ": jobs=4 archive diverged from the pre-refactor golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, GoldenStats,
+    testing::Values(DesignPoint::D0_1P1L, DesignPoint::D1_1P2L,
+                    DesignPoint::D1_1P2L_SameSet,
+                    DesignPoint::D2_2P2L),
+    [](const testing::TestParamInfo<DesignPoint> &param_info) {
+        std::string name = designName(param_info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace mda
