@@ -11,6 +11,8 @@
 namespace mda::obs
 {
 
+// MDA_LINT_ALLOW(CONC-1): written only by refresh() during
+// single-threaded configuration; hot sweeps are forced to --jobs 1.
 bool hot = false;
 
 void
@@ -34,10 +36,15 @@ namespace
 std::vector<Flag *> &
 registry()
 {
+    // MDA_LINT_ALLOW(CONC-1): mutated only by Flag constructors at
+    // static-initialization time (single-threaded); read-only after.
     static std::vector<Flag *> flags;
     return flags;
 }
 
+// MDA_LINT_ALLOW(CONC-1): set once by setOutputStream() during
+// single-threaded test setup; DPRINTF output implies obs::hot, which
+// restricts sweeps to --jobs 1.
 std::ostream *outputStream = nullptr; // nullptr = stderr
 
 } // namespace

@@ -37,6 +37,9 @@ namespace mda::obs
  * predicted-false branch for the whole block instead of one per
  * observation point.
  */
+// MDA_LINT_ALLOW(CONC-1): written only by obs::refresh() during
+// single-threaded configuration; hot sweeps are forced to --jobs 1 by
+// Executor::forEach, so workers only ever read it.
 extern bool hot;
 
 /** Recompute hot from the debug flags and the trace log. */
@@ -69,13 +72,23 @@ class Flag
     bool _enabled = false;
 };
 
-// The registered flags, one per traceable subsystem.
+// The registered flags, one per traceable subsystem. Flag state is
+// set during single-threaded startup (CLI / MDA_DEBUG_FLAGS), and any
+// enabled flag makes obs::hot true, which restricts sweeps to
+// --jobs 1 (Executor::forEach fatals otherwise).
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag Cache;     ///< LineCache hits/misses/evictions.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag MSHR;      ///< MSHR allocate/coalesce/retire/defer.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag Coherence; ///< Duplicate-coherence writebacks/evictions.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag TileCache; ///< 2P2L sparse-block fills and validates.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag MDAMem;    ///< Memory controller scheduling.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag TraceCpu;  ///< CPU issue and response stream.
+// MDA_LINT_ALLOW(CONC-1): set at single-threaded startup only.
 extern Flag Event;     ///< Event-queue scheduling (very verbose).
 
 /** All registered flags, in registration order. */

@@ -10,7 +10,7 @@ namespace mda
 namespace logging_detail
 {
 
-bool quiet = false;
+std::atomic<bool> quiet{false};
 
 void
 vreport(LogLevel level, const char *fmt, std::va_list args)
@@ -37,9 +37,8 @@ vreport(LogLevel level, const char *fmt, std::va_list args)
 bool
 setQuietLogging(bool quiet)
 {
-    bool prev = logging_detail::quiet;
-    logging_detail::quiet = quiet;
-    return prev;
+    return logging_detail::quiet.exchange(
+        quiet, std::memory_order_relaxed);
 }
 
 void
@@ -65,7 +64,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (logging_detail::quiet)
+    if (logging_detail::quiet.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);
@@ -76,7 +75,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (logging_detail::quiet)
+    if (logging_detail::quiet.load(std::memory_order_relaxed))
         return;
     std::va_list args;
     va_start(args, fmt);

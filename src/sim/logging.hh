@@ -10,6 +10,7 @@
 #ifndef MDA_SIM_LOGGING_HH
 #define MDA_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +25,10 @@ enum class LogLevel { Panic, Fatal, Warn, Inform };
 namespace logging_detail
 {
 
-/** Whether warn()/inform() output is suppressed (tests use this). */
-extern bool quiet;
+/** Whether warn()/inform() output is suppressed (tests use this).
+ *  Atomic: sweep workers call warn()/inform() concurrently while the
+ *  harness may toggle suppression around a parallel section. */
+extern std::atomic<bool> quiet;
 
 void vreport(LogLevel level, const char *fmt, std::va_list args);
 

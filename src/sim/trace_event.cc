@@ -11,12 +11,18 @@ namespace mda::trace
 
 namespace detail
 {
+// MDA_LINT_ALLOW(CONC-1): toggled only by EventLog open/reset during
+// single-threaded setup; active tracing makes obs::hot true, which
+// restricts sweeps to --jobs 1 (Executor::forEach fatals otherwise).
 bool active = false;
 } // namespace detail
 
 EventLog &
 log()
 {
+    // MDA_LINT_ALLOW(CONC-1): the process-wide trace log is by
+    // design a singleton; recording with --jobs > 1 is rejected by
+    // Executor::forEach before any worker can touch it.
     static EventLog instance;
     return instance;
 }

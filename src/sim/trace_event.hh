@@ -44,6 +44,8 @@ namespace mda::trace
 namespace detail
 {
 /** Hot-path switch: true while an EventLog is recording. */
+// MDA_LINT_ALLOW(CONC-1): toggled only during single-threaded setup;
+// active tracing restricts sweeps to --jobs 1 via obs::hot.
 extern bool active;
 } // namespace detail
 

@@ -1,0 +1,36 @@
+// CONC-1 clean fixture: every exempt category — const, constexpr,
+// atomics, mutexes, thread_local — plus function declarations and
+// definitions at namespace scope, which must never be mistaken for
+// mutable globals.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+namespace fixture
+{
+
+const int kWays = 8;
+constexpr unsigned long kLineBytes = 64;
+static const char *const kName = "mda";
+static constexpr int kBanks = 16;
+
+std::atomic<unsigned long> liveCount{0};
+static std::atomic<bool> shuttingDown{false};
+std::mutex registryMutex;
+std::condition_variable registryCv;
+std::once_flag initOnce;
+thread_local int workerScratch = 0;
+
+// Declarations and definitions, single- and split-line: the '('
+// before any initializer marks these as functions, not globals.
+int lookup(const std::string &key);
+int
+lookup2(const std::string &key,
+        unsigned long way)
+{
+    return static_cast<int>(way) + static_cast<int>(key.size());
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// CONC-1 suppression fixture: the allowlist mechanism. Each static
+// carries a reasoned allow naming why concurrent access is safe.
+
+#include <vector>
+
+namespace fixture
+{
+
+// MDA_LINT_ALLOW(CONC-1): set once during single-threaded startup;
+// workers only ever read it.
+bool configured = false;
+
+} // namespace fixture
+
+struct Flag;
+
+std::vector<Flag *> &
+registry()
+{
+    // MDA_LINT_ALLOW(CONC-1): mutated only by constructors at
+    // static-initialization time (single-threaded); read-only after.
+    static std::vector<Flag *> flags;
+    return flags;
+}

@@ -1,0 +1,34 @@
+// CONC-1 fixture: mutable statics reachable from System-owned code.
+// Every sweep worker shares these; a System must be worker-confined.
+
+#include <string>
+#include <vector>
+
+namespace fixture
+{
+
+int hitCounter = 0;              // line 10: CONC-1 namespace mutable
+std::string lastName = "none";   // line 11: CONC-1 namespace mutable
+
+extern bool verbose;             // line 13: CONC-1 extern mutable
+
+} // namespace fixture
+
+int
+countCalls()
+{
+    static int calls = 0;        // line 20: CONC-1 function-local
+    return ++calls;
+}
+
+std::vector<int> &
+sharedScratch()
+{
+    static std::vector<int> scratch; // line 27: CONC-1 static object
+    return scratch;
+}
+
+struct Registry
+{
+    static int instances;        // line 33: CONC-1 class static
+};

@@ -1,0 +1,20 @@
+// CONC-2 suppression fixture: a deliberate shared accumulator waived
+// with a reasoned allow; must analyze clean.
+
+#include <cstddef>
+
+struct Executor
+{
+    template <typename F> void forEach(std::size_t count, F fn);
+};
+
+void
+benignRace(Executor &exec, std::size_t n)
+{
+    unsigned long approx = 0;
+    exec.forEach(n, [&](std::size_t idx) {
+        // MDA_LINT_ALLOW(CONC-2): statistical counter where lost
+        // updates are acceptable; value is only a progress hint.
+        approx += idx;
+    });
+}

@@ -1,0 +1,32 @@
+// CONC-3 clean fixture: the correct atomic idioms — fetch_add,
+// exchange, compare_exchange loops, and independent load/store
+// statements (each a single atomic operation).
+
+#include <atomic>
+
+std::atomic<unsigned long> counter{0};
+std::atomic<int> highWater{0};
+std::atomic<bool> done{false};
+
+void
+increment()
+{
+    counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+raiseHighWater(int sample)
+{
+    int seen = highWater.load(std::memory_order_relaxed);
+    while (seen < sample &&
+           !highWater.compare_exchange_weak(seen, sample)) {
+    }
+}
+
+unsigned long
+snapshotThenReset()
+{
+    unsigned long v = counter.load();
+    done.store(true); // Different atomic: no RMW in this statement.
+    return v;
+}

@@ -1,0 +1,14 @@
+// CONC-3 suppression fixture: an RMW that is provably single-threaded
+// at that point, waived with a reasoned allow; must analyze clean.
+
+#include <atomic>
+
+std::atomic<unsigned long> epoch{0};
+
+void
+advanceEpochSingleThreaded()
+{
+    // MDA_LINT_ALLOW(CONC-3): called only from the main thread
+    // between sweeps, when no worker is live.
+    epoch = epoch + 1;
+}

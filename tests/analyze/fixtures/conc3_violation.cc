@@ -1,0 +1,21 @@
+// CONC-3 fixture: non-atomic read-modify-write of atomics — two
+// atomic operations with a lost-update window between them.
+
+#include <atomic>
+
+std::atomic<unsigned long> counter{0};
+std::atomic<int> highWater{0};
+
+void
+plainRmw()
+{
+    counter = counter + 1; // line 12: CONC-3 load+store RMW
+}
+
+void
+storeOfOwnLoad(int sample)
+{
+    highWater.store(highWater.load() < sample ? sample
+                                              : highWater.load());
+    // line 18-19: CONC-3 store derived from own load
+}

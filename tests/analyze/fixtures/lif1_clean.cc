@@ -1,0 +1,53 @@
+// LIF-1 clean fixture: the sanctioned ownership patterns from the
+// real codebase, pinned here so the analyzer can never regress into
+// flagging them.
+
+#include <utility>
+
+#include "fake_packet.hh"
+
+struct EventQueue
+{
+    template <typename F> void scheduleAfter(int, F);
+};
+
+struct Cache
+{
+    EventQueue &eventq();
+    void defer(PacketPtr pkt);
+    void respond(PacketPtr pkt, bool fast);
+};
+
+// Pattern 1 (cache_base.cc): unwrap + value-capture into a scheduled
+// callback that re-wraps. Ownership transfers into the lambda.
+void
+scheduleResponse(Cache *c, PacketPtr pkt)
+{
+    auto *raw = pkt.release();
+    c->eventq().scheduleAfter(4, [c, raw] {
+        PacketPtr p(raw);
+        c->respond(std::move(p), false);
+    });
+}
+
+// Pattern 2 (line_cache.cc allocateMiss): a deferring branch that
+// returns, then use of the still-owned smart pointer. The branch
+// merge must not think pkt escaped on the fallthrough path.
+void
+allocateMiss(Cache &c, PacketPtr pkt, bool conflict)
+{
+    if (conflict) {
+        c.defer(std::move(pkt));
+        return;
+    }
+    pkt->pc = 1;
+    c.respond(std::move(pkt), true);
+}
+
+// Pattern 3 (trySendQueues): .get() peeks without taking ownership.
+unsigned long
+peek(const PacketPtr &fill)
+{
+    const Packet *sent = fill.get();
+    return sent->addr;
+}

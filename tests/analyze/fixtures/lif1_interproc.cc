@@ -1,0 +1,23 @@
+// Interprocedural LIF-1 fixture, caller half: the caller allocates
+// (well, unwraps) the packet and hands it to drain() — defined in
+// lif1_interproc_sink.cc — which releases it. Releasing again here is
+// the double release the analyzer must catch ACROSS files.
+
+#include "fake_packet.hh"
+
+void drain(PacketPool &pool, Packet *p);
+
+void
+callerDoubleRelease(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    drain(pool, raw);
+    pool.release(raw); // line 15: LIF-1 (drain already released it)
+}
+
+void
+callerClean(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    drain(pool, raw); // Ownership transferred exactly once: clean.
+}

@@ -1,0 +1,20 @@
+// Interprocedural LIF-1 fixture, callee half: drain() releases its
+// packet argument on every path, so its summary marks parameter 1 as
+// released-always. The caller lives in lif1_interproc.cc; the two
+// files are analyzed together to prove the release summary crosses
+// the translation-unit boundary.
+
+#include "fake_packet.hh"
+
+void
+drain(PacketPool &pool, Packet *p)
+{
+    pool.release(p);
+}
+
+void
+drainIfReady(PacketPool &pool, Packet *p, bool ready)
+{
+    if (ready)
+        pool.release(p); // Releases only on one path: maybe-release.
+}

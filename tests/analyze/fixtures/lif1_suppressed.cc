@@ -1,0 +1,16 @@
+// LIF-1 suppression fixture: the same double release as
+// lif1_violation.cc, waived with a reasoned allow. Analyzing this
+// file must produce zero findings (and the allow must count as used,
+// so SUP-1 stays quiet too).
+
+#include "fake_packet.hh"
+
+void
+doubleReleaseAllowed(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    pool.release(raw);
+    // MDA_LINT_ALLOW(LIF-1): fixture exercising the suppression path;
+    // the pool tolerates double release in this imaginary variant.
+    pool.release(raw);
+}

@@ -1,0 +1,28 @@
+// LIF-1 fixture: double release, discarded .release(), and a leak on
+// an early return — every line commented with the expected finding.
+// Fixtures are analyzer input, not build targets.
+
+#include "fake_packet.hh"
+
+void
+doubleRelease(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    pool.release(raw);
+    pool.release(raw); // line 12: LIF-1 double release
+}
+
+void
+discardedRelease(PacketPtr pkt)
+{
+    pkt.release(); // line 18: LIF-1 result discarded (leak)
+}
+
+void
+leakOnEarlyReturn(PacketPool &pool, PacketPtr pkt, bool defer)
+{
+    Packet *raw = pkt.release();
+    if (defer)
+        return; // line 26: LIF-1 'raw' still owned on this path
+    pool.release(raw);
+}

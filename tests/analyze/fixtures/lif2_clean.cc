@@ -1,0 +1,21 @@
+// LIF-2 clean fixture: reads that look like use-after-release but
+// are not — use before the release, and peeking via .get() which
+// never takes ownership.
+
+#include "fake_packet.hh"
+
+unsigned long
+useThenRelease(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    unsigned long addr = raw->addr; // Use strictly before release.
+    pool.release(raw);
+    return addr;
+}
+
+unsigned long
+peekViaGet(const PacketPtr &pkt)
+{
+    const Packet *view = pkt.get(); // Borrowed view, never owned.
+    return view->addr + view->pc;
+}

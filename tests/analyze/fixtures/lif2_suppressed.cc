@@ -1,0 +1,14 @@
+// LIF-2 suppression fixture: the violation from lif2_violation.cc
+// waived with a reasoned allow; must analyze clean.
+
+#include "fake_packet.hh"
+
+unsigned long
+useAfterReleaseAllowed(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    pool.release(raw);
+    // MDA_LINT_ALLOW(LIF-2): fixture exercising the suppression path;
+    // this imaginary pool defers recycling until the next tick.
+    return raw->addr;
+}

@@ -1,0 +1,22 @@
+// LIF-2 fixture: dereference of a raw Packet* after it went back to
+// the pool — the slot may already hold another request's payload.
+
+#include "fake_packet.hh"
+
+unsigned long
+useAfterRelease(PacketPool &pool, PacketPtr pkt)
+{
+    Packet *raw = pkt.release();
+    pool.release(raw);
+    return raw->addr; // line 11: LIF-2 read of a recycled slot
+}
+
+void
+useAfterMaybeRelease(PacketPool &pool, PacketPtr pkt, bool early)
+{
+    Packet *raw = pkt.release();
+    if (early)
+        pool.release(raw);
+    raw->pc = 7; // line 20: LIF-2 (released on the 'early' path)
+    pool.release(raw);
+}

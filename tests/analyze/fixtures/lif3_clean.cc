@@ -1,0 +1,39 @@
+// LIF-3 clean fixture: the sanctioned hand-off — everything the
+// callback needs is captured by value ([this, raw] in the real code,
+// [c, raw] here), plus a non-scheduled lambda that may capture
+// whatever it likes.
+
+#include <algorithm>
+
+#include "fake_packet.hh"
+
+struct EventQueue
+{
+    template <typename F> void scheduleAfter(long delay, F fn);
+};
+
+struct Cache
+{
+    EventQueue &eventq();
+    void respond(PacketPtr pkt);
+};
+
+void
+valueCaptureHandoff(Cache *c, PacketPtr pkt)
+{
+    auto *raw = pkt.release();
+    c->eventq().scheduleAfter(2, [c, raw] {
+        PacketPtr p(raw);
+        c->respond(PacketPtr{p.release()});
+    });
+}
+
+// An immediately-invoked comparator lambda is not a scheduled
+// callback; reference captures are fine.
+int
+sortNow(int *begin, int *end, int pivot)
+{
+    std::sort(begin, end,
+              [&pivot](int a, int b) { return a % pivot < b % pivot; });
+    return pivot;
+}

@@ -1,0 +1,20 @@
+// LIF-3 suppression fixture: a reference capture that is provably
+// drained before the frame dies, waived with a reasoned allow.
+
+struct EventQueue
+{
+    template <typename F> void scheduleAfter(long delay, F fn);
+    void run();
+};
+
+void
+drainedInScope(EventQueue &eq)
+{
+    unsigned long sink = 0;
+    eq.scheduleAfter(
+        1,
+        // MDA_LINT_ALLOW(LIF-3): eq.run() below drains the queue
+        // while 'sink' is still in scope; nothing outlives the frame.
+        [&sink] { ++sink; });
+    eq.run();
+}

@@ -1,0 +1,35 @@
+// LIF-3 fixture: scheduled callbacks capturing by reference. The
+// callback runs when the event queue drains — long after these
+// frames are gone.
+
+struct EventQueue
+{
+    template <typename F> void schedule(long when, F fn);
+    template <typename F> void scheduleAfter(long delay, F fn);
+};
+
+template <typename F> struct InlineCallback
+{
+    explicit InlineCallback(F fn);
+};
+
+void
+defaultRefCapture(EventQueue &eq)
+{
+    int count = 0;
+    eq.schedule(10, [&] { ++count; }); // line 20: LIF-3 '[&]'
+}
+
+void
+namedRefCapture(EventQueue &eq)
+{
+    int hits = 0;
+    eq.scheduleAfter(4, [&hits] { ++hits; }); // line 27: LIF-3 &hits
+}
+
+void
+inlineCallbackRefCapture()
+{
+    int state = 0;
+    InlineCallback cb([&state] { state = 1; }); // line 34: LIF-3
+}

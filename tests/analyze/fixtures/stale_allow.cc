@@ -1,0 +1,21 @@
+// SUP-1 fixture: suppression hygiene. A reasoned allow on clean code
+// (suppresses nothing → stale), an allow with no reason, and an allow
+// naming a rule that does not exist. All three must be reported, and
+// SUP-1 itself must not be suppressible.
+
+#include <atomic>
+
+namespace fixture
+{
+
+// MDA_LINT_ALLOW(CONC-1): this counter is already atomic, so the
+// allow below suppresses nothing and must be flagged as stale.
+std::atomic<int> alreadySafe{0};
+
+// MDA_LINT_ALLOW(LIF-1)
+const int unreasoned = 1; // line 15: SUP-1 allow without a reason
+
+// MDA_LINT_ALLOW(LIF-9): no such rule exists.
+const int unknownRule = 2; // line 18: SUP-1 unknown rule ID
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: SUP-1 suppression hygiene for mda-lint. A reasoned allow
+// on clean code (suppresses nothing → stale), an allow naming a rule
+// neither tool owns, and an allow for an mda-analyze rule, which
+// mda-lint must leave alone entirely (that tool judges it).
+#include <cstdint>
+#include <map>
+
+void
+hygiene(std::uint64_t key)
+{
+    // MDA_LINT_ALLOW(DET-2): std::map is ordered, so this allow
+    // suppresses nothing and must be flagged stale. (line 11)
+    std::map<std::uint64_t, int> ordered;
+    ordered[key] = 1;
+
+    // MDA_LINT_ALLOW(DET-9): no such rule exists. (line 16)
+    int x = static_cast<int>(key);
+
+    // MDA_LINT_ALLOW(CONC-1): mda-analyze's rule; mda-lint must not
+    // consume or report this annotation.
+    static_cast<void>(x);
+}

@@ -213,10 +213,33 @@ TEST(MdaLint, CleanFixturesProduceNoFindings)
 
 TEST(MdaLint, SuppressionRequiresAReason)
 {
-    // Same violation, allow comment without a reason: still flagged.
+    // Same violation, allow comment without a reason: still flagged,
+    // and the reasonless annotation itself is a SUP-1 finding.
     RunResult r = lintFixture("unreasoned.cc");
     EXPECT_EQ(r.exitCode, 1) << r.output;
     expectFinding(r, fixprefix + "unreasoned.cc", 10, "DET-2");
+    expectFinding(r, fixprefix + "unreasoned.cc", 9, "SUP-1");
+}
+
+TEST(MdaLint, Sup1FlagsStaleAndUnknownAllows)
+{
+    RunResult r = lintFixture("stale_allow.cc");
+    EXPECT_EQ(r.exitCode, 1) << r.output;
+    std::string f = fixprefix + "stale_allow.cc";
+    expectFinding(r, f, 11, "SUP-1"); // Reasoned allow, no finding.
+    expectFinding(r, f, 16, "SUP-1"); // DET-9: unknown rule.
+    // The CONC-1 allow belongs to mda-analyze: exactly 2 findings,
+    // nothing else reported.
+    EXPECT_EQ(countFindings(r, "SUP-1"), 2) << r.output;
+    EXPECT_EQ(countFindings(r, "CONC-1"), 0) << r.output;
+}
+
+TEST(MdaLint, Sup1StaysQuietWhenEveryAllowSuppresses)
+{
+    // suppressed.cc: every allow waives a live finding; no SUP-1.
+    RunResult r = lintFixture("suppressed.cc");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_EQ(countFindings(r, "SUP-1"), 0) << r.output;
 }
 
 TEST(MdaLint, BaselineRoundTrip)
@@ -248,7 +271,7 @@ TEST(MdaLint, ListRulesNamesEveryFamily)
     EXPECT_EQ(r.exitCode, 0);
     for (const char *rule :
          {"DET-1", "DET-2", "DET-3", "EVT-1", "OBS-1", "OBS-2",
-          "HDR-1", "TRC-1"}) {
+          "HDR-1", "TRC-1", "SUP-1"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "missing " << rule << " in:\n" << r.output;
     }

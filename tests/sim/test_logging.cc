@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 
@@ -42,6 +45,33 @@ TEST(Logging, SetQuietReturnsPrevious)
     bool orig = setQuietLogging(true);
     EXPECT_TRUE(setQuietLogging(false));
     EXPECT_FALSE(setQuietLogging(orig));
+}
+
+TEST(Logging, QuietToggleIsThreadSafe)
+{
+    // Regression: logging_detail::quiet is std::atomic<bool> so that
+    // sweep workers may call warn()/inform() while the harness
+    // toggles suppression around a parallel section. Under
+    // -DMDA_TSAN=ON this test fails if the flag regresses to a plain
+    // bool; in any build it pins the exchange-returns-previous
+    // contract under contention.
+    bool orig = setQuietLogging(true);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([w] {
+            for (int i = 0; i < 200; ++i)
+                warn("worker %d iteration %d", w, i);
+        });
+    }
+    for (int i = 0; i < 200; ++i) {
+        // Re-assert suppression while the workers log. Storing the
+        // same value is still a write: with a plain bool this races
+        // against the workers' reads and TSan reports it.
+        EXPECT_TRUE(setQuietLogging(true));
+    }
+    for (std::thread &t : workers)
+        t.join();
+    setQuietLogging(orig);
 }
 
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * mda-analyze-ast: Clang AST engine for the type-aware subset of the
+ * mda-analyze rules.
+ *
+ * The tokenizer engine (mda_analyze.cc) is the always-available CI
+ * gate; this LibTooling/AST-matchers engine is built only when Clang
+ * dev libraries are found (see tools/analyze/CMakeLists.txt) and adds
+ * precision the tokenizer cannot:
+ *
+ *  - LIF-3: lambdas with reference captures passed to schedule /
+ *    scheduleAfter / InlineCallback are found via the actual capture
+ *    list in the AST (LambdaExpr::captures), so a '[&]' hidden behind
+ *    a helper or an init-capture alias cannot slip through.
+ *  - CONC-1: mutable statics are found via VarDecl storage class and
+ *    canonical type, so a paren-constructed global ("Flag f(\"x\");")
+ *    — which the tokenizer documents as a blind spot — is caught
+ *    directly, and std::atomic / mutex exemptions see through
+ *    aliases.
+ *  - CONC-3: compound assignment and ++/-- on a std::atomic resolve
+ *    through the overloaded operators, catching RMW spelled through
+ *    typedefs.
+ *
+ * Findings use the same stable rule IDs and file:line output format
+ * as the tokenizer engine; suppression and baselining are handled by
+ * re-running the tokenizer, so this binary is the deep-audit tier.
+ *
+ * Usage: mda-analyze-ast -p <build-dir> <file>...
+ */
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include <string>
+
+using namespace clang;
+using namespace clang::ast_matchers;
+using namespace clang::tooling;
+
+namespace
+{
+
+llvm::cl::OptionCategory analyzeCategory("mda-analyze-ast options");
+
+int findingCount = 0;
+
+void
+report(const SourceManager &sm, SourceLocation loc,
+       const std::string &rule, const std::string &message)
+{
+    if (loc.isInvalid() || !sm.isInFileID(sm.getExpansionLoc(loc),
+                                          sm.getMainFileID())) {
+        return;
+    }
+    SourceLocation expansion = sm.getExpansionLoc(loc);
+    llvm::outs() << sm.getFilename(expansion) << ":"
+                 << sm.getExpansionLineNumber(loc) << ": [" << rule
+                 << "] " << message << "\n";
+    ++findingCount;
+}
+
+/** LIF-3: reference captures in callbacks handed to the event queue. */
+class Lif3CaptureCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *lam = result.Nodes.getNodeAs<LambdaExpr>("lam");
+        if (!lam)
+            return;
+        for (const LambdaCapture &cap : lam->captures()) {
+            bool byRef =
+                cap.getCaptureKind() == LCK_ByRef ||
+                (cap.capturesVariable() &&
+                 cap.getCaptureKind() == LCK_VLAType);
+            if (!byRef)
+                continue;
+            std::string what =
+                cap.capturesVariable()
+                    ? "&" + cap.getCapturedVar()->getNameAsString()
+                    : "[&]";
+            report(*result.SourceManager, cap.getLocation(), "LIF-3",
+                   "scheduled callback captures " + what +
+                       " by reference; it runs after the enclosing "
+                       "frame is gone — capture by value instead");
+        }
+    }
+};
+
+/** CONC-1: mutable static-storage variables of non-exempt type. */
+class Conc1StaticCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *vd = result.Nodes.getNodeAs<VarDecl>("var");
+        if (!vd)
+            return;
+        QualType t = vd->getType().getCanonicalType();
+        if (t.isConstQualified())
+            return;
+        std::string ty = t.getAsString();
+        for (const char *exempt :
+             {"atomic", "mutex", "once_flag", "condition_variable"}) {
+            if (ty.find(exempt) != std::string::npos)
+                return;
+        }
+        if (vd->getTSCSpec() == TSCS_thread_local)
+            return;
+        report(*result.SourceManager, vd->getLocation(), "CONC-1",
+               "mutable static '" + vd->getNameAsString() +
+                   "' is shared by every sweep worker; make it "
+                   "const/atomic/per-System state");
+    }
+};
+
+/** CONC-3: compound assignment / increment spelled on an atomic via
+ *  a plain load-modify-store expression (a = a + 1). */
+class Conc3RmwCheck : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const auto *op =
+            result.Nodes.getNodeAs<CXXOperatorCallExpr>("assign");
+        if (!op)
+            return;
+        report(*result.SourceManager, op->getBeginLoc(), "CONC-3",
+               "atomic assigned a value derived from its own load in "
+               "one expression — a non-atomic read-modify-write; use "
+               "fetch_add or a compare_exchange loop");
+    }
+};
+
+} // namespace
+
+int
+main(int argc, const char **argv)
+{
+    auto parser =
+        CommonOptionsParser::create(argc, argv, analyzeCategory);
+    if (!parser) {
+        llvm::errs() << llvm::toString(parser.takeError());
+        return 2;
+    }
+    ClangTool tool(parser->getCompilations(),
+                   parser->getSourcePathList());
+
+    MatchFinder finder;
+    Lif3CaptureCheck lif3;
+    Conc1StaticCheck conc1;
+    Conc3RmwCheck conc3;
+
+    // Lambdas appearing anywhere inside a call to the event queue's
+    // deferral APIs.
+    finder.addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasAnyName("schedule", "scheduleAfter"))),
+                 forEachDescendant(lambdaExpr().bind("lam"))),
+        &lif3);
+    finder.addMatcher(
+        cxxConstructExpr(
+            hasDeclaration(cxxConstructorDecl(
+                ofClass(hasName("InlineCallback")))),
+            forEachDescendant(lambdaExpr().bind("lam"))),
+        &lif3);
+
+    // Namespace-scope and static-storage variables (including class
+    // statics and function-local statics).
+    finder.addMatcher(
+        varDecl(hasGlobalStorage(), unless(isConstexpr()),
+                unless(parmVarDecl()))
+            .bind("var"),
+        &conc1);
+
+    // atomic = <expr mentioning the same atomic>: the overloaded
+    // operator= on std::atomic whose RHS contains a load of the same
+    // object (conservative: any operator= on an atomic whose RHS
+    // references an atomic conversion).
+    finder.addMatcher(
+        cxxOperatorCallExpr(
+            hasOverloadedOperatorName("="),
+            hasArgument(
+                0, expr(hasType(cxxRecordDecl(hasName("atomic"))))),
+            hasArgument(
+                1, expr(hasDescendant(cxxMemberCallExpr(callee(
+                       cxxMethodDecl(ofClass(hasName("atomic")))))))))
+            .bind("assign"),
+        &conc3);
+
+    int status =
+        tool.run(newFrontendActionFactory(&finder).get());
+    if (status != 0)
+        return 2;
+    if (findingCount > 0) {
+        llvm::outs() << "mda-analyze-ast: " << findingCount
+                     << " finding(s)\n";
+        return 1;
+    }
+    llvm::outs() << "mda-analyze-ast: clean\n";
+    return 0;
+}

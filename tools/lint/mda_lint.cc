@@ -50,6 +50,12 @@
  *          from trace_format.hh. Non-trace file I/O elsewhere
  *          (stats JSON, fuzz repro files) must carry a reasoned
  *          annotation.
+ *   SUP-1  Suppression hygiene (meta-rule, not suppressible): every
+ *          MDA_LINT_ALLOW for an mda-lint rule must carry a reason
+ *          and must suppress a live finding; an allow that matches
+ *          nothing is stale and is itself a finding, as is an allow
+ *          naming a rule no tool owns. Stale baseline entries
+ *          likewise fail the run instead of silently passing.
  *
  * Suppressions: a finding is waived by a comment on the same line or
  * the line directly above:
@@ -61,12 +67,12 @@
  * "RULE<TAB>file<TAB>key" triple per line) grandfathers findings so
  * CI can gate on *new* findings only; the shipped baseline is empty.
  *
- * This translation unit is the tokenizer fallback engine: it blanks
- * comments and string literals, tracks preprocessor continuations,
- * and matches identifier tokens. It is deliberately conservative and
- * std-only so the CI gate runs on any toolchain. When Clang dev libs
- * are available, mda_lint_ast.cc supplies an AST engine for the
- * type-aware subset (see tools/lint/CMakeLists.txt).
+ * This translation unit is the tokenizer fallback engine: the shared
+ * scanning/suppression/baseline machinery lives in
+ * tools/common/scan.hh (also used by mda-analyze). It is deliberately
+ * conservative and std-only so the CI gate runs on any toolchain.
+ * When Clang dev libs are available, mda_lint_ast.cc supplies an AST
+ * engine for the type-aware subset (see tools/lint/CMakeLists.txt).
  */
 
 #include <algorithm>
@@ -81,286 +87,24 @@
 #include <string>
 #include <vector>
 
+#include "tools/common/scan.hh"
+
 namespace fs = std::filesystem;
 
 namespace
 {
 
-// ---------------------------------------------------------------------
-// Findings.
-
-struct Finding
-{
-    std::string rule;    ///< Stable rule ID ("DET-1", ...).
-    std::string file;    ///< Path relative to --root when possible.
-    int line = 0;        ///< 1-based.
-    std::string key;     ///< Stable fingerprint detail for baselines.
-    std::string message; ///< Human-readable description.
-};
-
-bool
-findingBefore(const Finding &a, const Finding &b)
-{
-    if (a.file != b.file)
-        return a.file < b.file;
-    if (a.line != b.line)
-        return a.line < b.line;
-    return a.rule < b.rule;
-}
-
-// ---------------------------------------------------------------------
-// Scanned-file representation.
-
-/** One MDA_LINT_ALLOW(<rule>): <reason> comment. */
-struct Allow
-{
-    std::string rule;
-    bool hasReason = false;
-};
-
-/** A source file with comments/strings blanked and allows indexed. */
-struct ScanFile
-{
-    std::string path;    ///< Path as opened.
-    std::string relpath; ///< Relative to --root (used in reports).
-    std::vector<std::string> code; ///< Blanked lines, 0-based.
-    std::vector<bool> preproc;     ///< Directive or its continuation.
-    std::map<int, std::vector<Allow>> allows; ///< 1-based line.
-    bool isHeader = false;
-};
-
-/** Parse every MDA_LINT_ALLOW(<rule>)[: reason] in a comment. */
-void
-parseAllows(const std::string &comment, int line, ScanFile &sf)
-{
-    const std::string tag = "MDA_LINT_ALLOW";
-    std::size_t pos = 0;
-    while ((pos = comment.find(tag, pos)) != std::string::npos) {
-        pos += tag.size();
-        if (pos >= comment.size() || comment[pos] != '(')
-            continue;
-        std::size_t close = comment.find(')', pos);
-        if (close == std::string::npos)
-            break;
-        Allow a;
-        a.rule = comment.substr(pos + 1, close - pos - 1);
-        std::size_t after = close + 1;
-        while (after < comment.size() && std::isspace(
-                   static_cast<unsigned char>(comment[after]))) {
-            ++after;
-        }
-        if (after < comment.size() && comment[after] == ':') {
-            ++after;
-            while (after < comment.size() &&
-                   std::isspace(
-                       static_cast<unsigned char>(comment[after]))) {
-                ++after;
-            }
-            a.hasReason = after < comment.size();
-        }
-        sf.allows[line].push_back(a);
-        pos = close;
-    }
-}
-
-/**
- * Blank comments, string literals, and char literals (preserving line
- * structure), record preprocessor lines (including backslash
- * continuations), and index MDA_LINT_ALLOW comments.
- */
-void
-scanSource(const std::string &text, ScanFile &sf)
-{
-    enum class St { Code, Line, Block, Str, Chr, Raw };
-    St st = St::Code;
-    std::string code_line, comment;
-    std::string raw_delim; ///< Raw-string closing delimiter ")d\"".
-    int line = 1;
-    bool continuation = false;
-
-    auto flushLine = [&]() {
-        bool pp = continuation;
-        std::size_t i = code_line.find_first_not_of(" \t");
-        if (i != std::string::npos && code_line[i] == '#')
-            pp = true;
-        continuation = pp && !code_line.empty() &&
-                       code_line.back() == '\\';
-        sf.code.push_back(code_line);
-        sf.preproc.push_back(pp);
-        code_line.clear();
-    };
-    auto flushComment = [&]() {
-        parseAllows(comment, line, sf);
-        comment.clear();
-    };
-
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        char c = text[i];
-        char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '\n') {
-            if (st == St::Line) {
-                flushComment();
-                st = St::Code;
-            } else if (st == St::Block) {
-                flushComment();
-            }
-            flushLine();
-            ++line;
-            continue;
-        }
-        switch (st) {
-          case St::Code:
-            if (c == '/' && next == '/') {
-                st = St::Line;
-                code_line += "  ";
-                ++i;
-            } else if (c == '/' && next == '*') {
-                st = St::Block;
-                code_line += "  ";
-                ++i;
-            } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
-                // Raw string literal: R"delim( ... )delim"
-                std::size_t paren = text.find('(', i);
-                if (paren == std::string::npos) {
-                    code_line += ' ';
-                    break;
-                }
-                raw_delim = ")" + text.substr(i + 1, paren - i - 1) +
-                            "\"";
-                st = St::Raw;
-                code_line += ' ';
-            } else if (c == '"') {
-                st = St::Str;
-                code_line += ' ';
-            } else if (c == '\'' &&
-                       !(i >= 1 &&
-                         (std::isalnum(
-                              static_cast<unsigned char>(text[i - 1])) ||
-                          text[i - 1] == '_'))) {
-                // A quote after an identifier/number char is a C++14
-                // digit separator (1'000), not a char literal.
-                st = St::Chr;
-                code_line += ' ';
-            } else {
-                code_line += c;
-            }
-            break;
-          case St::Line:
-          case St::Block:
-            comment += c;
-            code_line += ' ';
-            if (st == St::Block && c == '*' && next == '/') {
-                flushComment();
-                st = St::Code;
-                code_line += ' ';
-                ++i;
-            }
-            break;
-          case St::Str:
-            code_line += ' ';
-            if (c == '\\') {
-                code_line += ' ';
-                ++i;
-            } else if (c == '"') {
-                st = St::Code;
-            }
-            break;
-          case St::Chr:
-            code_line += ' ';
-            if (c == '\\') {
-                code_line += ' ';
-                ++i;
-            } else if (c == '\'') {
-                st = St::Code;
-            }
-            break;
-          case St::Raw:
-            code_line += ' ';
-            if (c == ')' && text.compare(i, raw_delim.size(),
-                                         raw_delim) == 0) {
-                for (std::size_t k = 1; k < raw_delim.size(); ++k)
-                    code_line += ' ';
-                i += raw_delim.size() - 1;
-                st = St::Code;
-            }
-            break;
-        }
-    }
-    if (st == St::Line || st == St::Block)
-        flushComment();
-    flushLine();
-}
-
-// ---------------------------------------------------------------------
-// Token helpers.
-
-struct Token
-{
-    std::string text;
-    std::size_t col; ///< 0-based start column in the blanked line.
-};
-
-std::vector<Token>
-tokensOf(const std::string &line)
-{
-    std::vector<Token> out;
-    std::size_t i = 0;
-    while (i < line.size()) {
-        char c = line[i];
-        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-            std::size_t j = i;
-            while (j < line.size() &&
-                   (std::isalnum(
-                        static_cast<unsigned char>(line[j])) ||
-                    line[j] == '_')) {
-                ++j;
-            }
-            out.push_back({line.substr(i, j - i), i});
-            i = j;
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
-/** First non-space character at or after @p col; '\0' if none. */
-char
-nextCharAfter(const std::string &line, std::size_t col)
-{
-    while (col < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[col]))) {
-        ++col;
-    }
-    return col < line.size() ? line[col] : '\0';
-}
-
-/**
- * First non-space character after @p col, looking across line breaks
- * (a call's open paren or first argument may start the next line).
- */
-char
-nextCharMultiline(const ScanFile &sf, std::size_t idx, std::size_t col,
-                  std::size_t *out_idx = nullptr,
-                  std::size_t *out_col = nullptr)
-{
-    for (std::size_t l = idx; l < sf.code.size() && l < idx + 3; ++l) {
-        const std::string &s = sf.code[l];
-        std::size_t c = l == idx ? col : 0;
-        while (c < s.size() &&
-               std::isspace(static_cast<unsigned char>(s[c]))) {
-            ++c;
-        }
-        if (c < s.size()) {
-            if (out_idx)
-                *out_idx = l;
-            if (out_col)
-                *out_col = c;
-            return s[c];
-        }
-    }
-    return '\0';
-}
+using mda::scan::Allow;
+using mda::scan::Finding;
+using mda::scan::ScanFile;
+using mda::scan::Token;
+using mda::scan::allowed;
+using mda::scan::findAllow;
+using mda::scan::findingBefore;
+using mda::scan::nextCharAfter;
+using mda::scan::nextCharMultiline;
+using mda::scan::scanSource;
+using mda::scan::tokensOf;
 
 // ---------------------------------------------------------------------
 // The lint context: registries, options, findings.
@@ -394,7 +138,9 @@ struct Context
         std::string file;
         int line;
         std::string kind;
-        bool suppressed;
+        /** Covering reasoned allow, if any. Not marked used at decl
+         *  time — only finishObs1 knows whether it suppresses. */
+        const Allow *allow;
     };
     std::map<std::string, std::vector<StatDecl>> statDecls;
     /** Member names passed by address to reg{Scalar,Dist,TimeSeries}. */
@@ -407,36 +153,6 @@ struct Context
         findings.push_back({rule, sf.relpath, line, key, message});
     }
 };
-
-/**
- * True when an allow for @p rule covers @p line (1-based): the allow
- * comment sits on the same line or in the comment block directly
- * above (walking up through comment-only/blank lines).
- */
-bool
-allowed(const ScanFile &sf, int line, const std::string &rule)
-{
-    auto match = [&](int l) {
-        auto it = sf.allows.find(l);
-        if (it == sf.allows.end())
-            return false;
-        for (const Allow &a : it->second) {
-            if (a.rule == rule && a.hasReason)
-                return true;
-        }
-        return false;
-    };
-    if (match(line))
-        return true;
-    for (int l = line - 1; l >= 1; --l) {
-        if (match(l))
-            return true;
-        const std::string &code = sf.code[l - 1];
-        if (code.find_first_not_of(" \t") != std::string::npos)
-            break; // A real code line ends the adjacent block.
-    }
-    return false;
-}
 
 // ---------------------------------------------------------------------
 // DET-1: nondeterminism sources.
@@ -701,7 +417,7 @@ checkObs1(Context &ctx, const ScanFile &sf)
                     if (depth == 0 && toks[m].text[0] == '_') {
                         ctx.statDecls[toks[m].text].push_back(
                             {sf.relpath, lineno, kind,
-                             allowed(sf, lineno, "OBS-1")});
+                             findAllow(sf, lineno, "OBS-1")});
                     }
                 }
             }
@@ -876,7 +592,8 @@ checkObs2(Context &ctx, const ScanFile &sf)
     }
 }
 
-/** After all files are scanned: declared stats never registered. */
+/** After all files are scanned: declared stats never registered.
+ *  Marks covering allows used only when they actually suppress. */
 void
 finishObs1(Context &ctx)
 {
@@ -884,8 +601,10 @@ finishObs1(Context &ctx)
         if (ctx.statRegistered.count(kv.first))
             continue;
         for (const Context::StatDecl &d : kv.second) {
-            if (d.suppressed)
+            if (d.allow) {
+                d.allow->used = true;
                 continue;
+            }
             ctx.findings.push_back(
                 {"OBS-1", d.file, d.line, kv.first,
                  "stats::" + d.kind + " member '" + kv.first +
@@ -1063,93 +782,6 @@ checkTrc1(Context &ctx, const ScanFile &sf)
 }
 
 // ---------------------------------------------------------------------
-// Input collection.
-
-bool
-lintableExtension(const fs::path &p)
-{
-    std::string ext = p.extension().string();
-    return ext == ".cc" || ext == ".cpp" || ext == ".hh" ||
-           ext == ".h" || ext == ".hpp";
-}
-
-/** Pull "file" entries out of a compile_commands.json. */
-std::vector<std::string>
-compdbFiles(const std::string &path)
-{
-    std::vector<std::string> out;
-    std::ifstream in(path);
-    if (!in) {
-        std::cerr << "mda-lint: cannot open compdb: " << path << "\n";
-        return out;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    const std::string text = ss.str();
-    const std::string key = "\"file\"";
-    std::size_t pos = 0;
-    while ((pos = text.find(key, pos)) != std::string::npos) {
-        pos = text.find('"', pos + key.size() + 1);
-        if (pos == std::string::npos)
-            break;
-        std::size_t end = pos + 1;
-        std::string val;
-        while (end < text.size() && text[end] != '"') {
-            if (text[end] == '\\' && end + 1 < text.size())
-                ++end;
-            val += text[end++];
-        }
-        out.push_back(val);
-        pos = end;
-    }
-    return out;
-}
-
-std::string
-relativeTo(const fs::path &root, const fs::path &p)
-{
-    std::error_code ec;
-    fs::path abs = fs::weakly_canonical(p, ec);
-    if (ec)
-        abs = p;
-    fs::path rootc = fs::weakly_canonical(root, ec);
-    if (ec)
-        rootc = root;
-    fs::path rel = abs.lexically_relative(rootc);
-    if (rel.empty() || *rel.begin() == "..")
-        return p.generic_string();
-    return rel.generic_string();
-}
-
-// ---------------------------------------------------------------------
-// Baseline files: "RULE<TAB>file<TAB>key" triples.
-
-std::set<std::string>
-loadBaseline(const std::string &path)
-{
-    std::set<std::string> out;
-    std::ifstream in(path);
-    if (!in) {
-        std::cerr << "mda-lint: cannot open baseline: " << path
-                  << "\n";
-        std::exit(2);
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        out.insert(line);
-    }
-    return out;
-}
-
-std::string
-baselineKey(const Finding &f)
-{
-    return f.rule + "\t" + f.file + "\t" + f.key;
-}
-
-// ---------------------------------------------------------------------
 // Driver.
 
 const char *usage =
@@ -1191,6 +823,9 @@ const char *ruleCatalog =
     "TRC-1  raw file I/O (fopen/fstream family/mmap) is confined to\n"
     "       src/trace/; binary traces go through TraceWriter /\n"
     "       TraceReader, non-trace file I/O needs a reasoned allow\n"
+    "SUP-1  suppression hygiene (not suppressible): every allow must\n"
+    "       carry a reason and suppress a live finding; stale allows\n"
+    "       and stale baseline entries fail the run\n"
     "\n"
     "Suppress one finding with a reasoned comment on the same line\n"
     "or the line above: // MDA_LINT_ALLOW(<rule>): <reason>\n";
@@ -1250,37 +885,9 @@ main(int argc, char **argv)
 
     // Collect the file set (sorted, deduplicated, filtered).
     std::set<std::string> files;
-    auto addFile = [&](const fs::path &p) {
-        if (!lintableExtension(p))
-            return;
-        std::string rel = relativeTo(opts.root, p);
-        if (!opts.under.empty() &&
-            rel.rfind(opts.under, 0) != 0) {
-            return;
-        }
-        files.insert((opts.root / rel).generic_string());
-    };
-    for (const std::string &input : opts.inputs) {
-        fs::path p = input;
-        std::error_code ec;
-        if (fs::is_directory(p, ec)) {
-            for (auto it = fs::recursive_directory_iterator(p, ec);
-                 !ec && it != fs::recursive_directory_iterator();
-                 ++it) {
-                if (it->is_regular_file())
-                    addFile(it->path());
-            }
-        } else if (fs::is_regular_file(p, ec)) {
-            addFile(p);
-        } else {
-            std::cerr << "mda-lint: no such file or directory: "
-                      << input << "\n";
-            return 2;
-        }
-    }
-    if (!opts.compdb.empty()) {
-        for (const std::string &f : compdbFiles(opts.compdb))
-            addFile(f);
+    if (!mda::scan::collectInputs(opts.root, opts.inputs, opts.compdb,
+                                  opts.under, "mda-lint", files)) {
+        return 2;
     }
 
     // OBS-1 flag registry.
@@ -1320,19 +927,12 @@ main(int argc, char **argv)
     std::vector<ScanFile> scanned;
     scanned.reserve(files.size());
     for (const std::string &path : files) {
-        std::ifstream in(path);
-        if (!in) {
+        ScanFile sf;
+        if (!mda::scan::loadScanFile(
+                path, mda::scan::relativeTo(opts.root, path), sf)) {
             std::cerr << "mda-lint: cannot read: " << path << "\n";
             return 2;
         }
-        std::stringstream ss;
-        ss << in.rdbuf();
-        ScanFile sf;
-        sf.path = path;
-        sf.relpath = relativeTo(opts.root, path);
-        std::string ext = fs::path(path).extension().string();
-        sf.isHeader = ext == ".hh" || ext == ".h" || ext == ".hpp";
-        scanSource(ss.str(), sf);
         scanned.push_back(std::move(sf));
     }
     for (const ScanFile &sf : scanned) {
@@ -1347,50 +947,29 @@ main(int argc, char **argv)
     }
     finishObs1(ctx);
 
+    // SUP-1 after all rule passes: any allow for an mda-lint rule
+    // that suppressed nothing is itself a finding.
+    mda::scan::appendStaleAllowFindings(scanned,
+                                        mda::scan::lintRules(),
+                                        ctx.findings);
+
     std::sort(ctx.findings.begin(), ctx.findings.end(),
               findingBefore);
 
     if (!opts.writeBaselinePath.empty()) {
-        std::ofstream out(opts.writeBaselinePath);
-        out << "# mda-lint baseline: RULE<TAB>file<TAB>key triples.\n"
-            << "# Findings listed here are grandfathered; refresh\n"
-            << "# with --write-baseline (see ci/LINT.md).\n";
-        std::set<std::string> keys;
-        for (const Finding &f : ctx.findings)
-            keys.insert(baselineKey(f));
-        for (const std::string &k : keys)
-            out << k << "\n";
+        mda::scan::writeBaseline(
+            opts.writeBaselinePath, ctx.findings,
+            "# mda-lint baseline: RULE<TAB>file<TAB>key triples.\n"
+            "# Findings listed here are grandfathered; refresh\n"
+            "# with --write-baseline (see ci/LINT.md).\n");
     }
 
     std::set<std::string> baseline;
     if (!opts.baselinePath.empty())
-        baseline = loadBaseline(opts.baselinePath);
+        baseline = mda::scan::loadBaseline(opts.baselinePath,
+                                           "mda-lint");
 
-    int fresh = 0, grandfathered = 0;
-    for (const Finding &f : ctx.findings) {
-        if (baseline.count(baselineKey(f))) {
-            ++grandfathered;
-            continue;
-        }
-        ++fresh;
-        std::cout << f.file << ":" << f.line << ": [" << f.rule
-                  << "] " << f.message << "\n";
-    }
-
-    if (fresh > 0) {
-        std::cout << "mda-lint: " << fresh << " finding(s)";
-        if (grandfathered)
-            std::cout << " (+" << grandfathered << " in baseline)";
-        std::cout << " in " << scanned.size() << " file(s)\n";
-        return 1;
-    }
-    if (!opts.quiet) {
-        std::cout << "mda-lint: clean (" << scanned.size()
-                  << " file(s)";
-        if (grandfathered)
-            std::cout << ", " << grandfathered
-                      << " baseline-suppressed";
-        std::cout << ")\n";
-    }
-    return 0;
+    return mda::scan::reportFindings(ctx.findings, baseline,
+                                     scanned.size(), "mda-lint",
+                                     opts.quiet);
 }
